@@ -1,0 +1,24 @@
+//! # faros-baselines — the comparison tools of §VI-B
+//!
+//! Reproductions of the two analyzer classes the paper compares FAROS
+//! against:
+//!
+//! * [`cuckoo`] — a CuckooBox-style sandbox: syscall/file/process/network
+//!   event collection with artifact-based detection (blind to
+//!   in-memory-only behaviour);
+//! * [`malfind`] — a Volatility/malfind-style snapshot scanner: hunts
+//!   private executable regions containing decodable code in a one-shot
+//!   memory dump (defeated by transient attacks, offers no provenance);
+//! * [`comparison`] — the harness that runs a sample under all three
+//!   analyzers (Cuckoo, malfind, FAROS) and tabulates who caught what.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod comparison;
+pub mod cuckoo;
+pub mod malfind;
+
+pub use comparison::{compare, render_table, ComparisonRow};
+pub use cuckoo::{CuckooReport, CuckooSandbox};
+pub use malfind::{scan, MalfindHit, MalfindReport};

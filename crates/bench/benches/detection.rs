@@ -1,0 +1,42 @@
+//! End-to-end detection cost: full record+replay+FAROS analysis per attack
+//! class (the analyst-facing turnaround time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faros::Policy;
+use faros_bench::experiments::run_faros;
+use faros_corpus::{attacks, families};
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("reflective_dll_inject", |b| {
+        b.iter(|| {
+            let sample = attacks::reflective_dll_inject();
+            let (faros, _) = run_faros(&sample, Policy::paper());
+            assert!(faros.report().attack_flagged());
+        })
+    });
+
+    group.bench_function("process_hollowing", |b| {
+        b.iter(|| {
+            let sample = attacks::process_hollowing();
+            let (faros, _) = run_faros(&sample, Policy::paper());
+            assert!(faros.report().attack_flagged());
+        })
+    });
+
+    group.bench_function("benign_family", |b| {
+        let family = &families::malware_rows()[0];
+        b.iter(|| {
+            let sample = families::build_family_sample(family, 1, 1);
+            let (faros, _) = run_faros(&sample, Policy::paper());
+            assert!(!faros.report().attack_flagged());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! The indirect-flow ablation (paper §III/§IV, Figs. 1-2): propagation cost
+//! and taint spread under the three policies — direct-only (FAROS),
+//! +address dependencies (Suh/Minos style), and fully conservative
+//! (+control dependencies, RIFLE style).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faros_taint::engine::{PropagationMode, TaintEngine};
+use faros_taint::shadow::ShadowAddr;
+use faros_taint::tag::NetflowTag;
+
+/// Simulates the paper's Fig. 1 lookup-table copy at the shadow-op level:
+/// each output byte is read through an index derived from tainted input.
+fn lookup_table_copy(engine: &mut TaintEngine, len: u32) {
+    for i in 0..len {
+        // str2[j] = lookuptable[str1[j]]: the loaded value is untainted,
+        // the address depends on the tainted str1 byte.
+        engine.copy(ShadowAddr::Reg { index: 0, off: 0 }, ShadowAddr::Mem(0x1000 + i), 1);
+        engine.addr_dep(
+            ShadowAddr::Reg { index: 1, off: 0 },
+            4,
+            &[(ShadowAddr::Reg { index: 0, off: 0 }, 4)],
+        );
+        engine.copy(ShadowAddr::Mem(0x2000 + i), ShadowAddr::Reg { index: 1, off: 0 }, 1);
+    }
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indirect_flows");
+    let modes = [
+        ("direct_only", PropagationMode::direct_only()),
+        ("address_deps", PropagationMode::with_address_deps()),
+        ("conservative", PropagationMode::conservative()),
+    ];
+    for (name, mode) in modes {
+        group.bench_function(format!("lookup_copy_1k/{name}"), |b| {
+            b.iter(|| {
+                let mut e = TaintEngine::new(mode);
+                let nf = e
+                    .tables_mut()
+                    .intern_netflow(NetflowTag {
+                        src_ip: [1, 1, 1, 1],
+                        src_port: 1,
+                        dst_ip: [2, 2, 2, 2],
+                        dst_port: 2,
+                    })
+                    .unwrap();
+                e.label_range_fresh(0x1000, 1024, nf);
+                lookup_table_copy(&mut e, 1024);
+                e.shadow().tainted_mem_bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

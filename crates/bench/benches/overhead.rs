@@ -1,0 +1,37 @@
+//! Table V as a Criterion benchmark: replay each performance workload with
+//! an empty plugin stack (plain PANDA replay) vs. with FAROS attached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faros::{Faros, Policy};
+use faros_bench::experiments::BUDGET;
+use faros_corpus::perf;
+use faros_replay::{record, replay, PluginManager};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_replay");
+    group.sample_size(10);
+    for workload in perf::perf_workloads() {
+        let (recording, _) = record(&workload.sample.scenario, BUDGET).expect("record");
+        let label = workload.label.replace(' ', "_").to_lowercase();
+        group.bench_function(format!("{label}/base"), |b| {
+            b.iter(|| {
+                let mut empty = PluginManager::new();
+                replay(&workload.sample.scenario, &recording, BUDGET, &mut empty)
+                    .expect("replay")
+                    .instructions
+            })
+        });
+        group.bench_function(format!("{label}/faros"), |b| {
+            b.iter(|| {
+                let mut faros = Faros::new(Policy::paper());
+                replay(&workload.sample.scenario, &recording, BUDGET, &mut faros)
+                    .expect("replay")
+                    .instructions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

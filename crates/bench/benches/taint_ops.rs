@@ -1,0 +1,81 @@
+//! Microbenchmarks of the DIFT engine's Table-I operations: the costs that
+//! dominate FAROS' 14x replay slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faros_taint::engine::{PropagationMode, TaintEngine};
+use faros_taint::shadow::ShadowAddr;
+use faros_taint::tag::{NetflowTag, ProvTag, TagKind};
+
+fn engine_with_labels(n: usize) -> TaintEngine {
+    let mut e = TaintEngine::new(PropagationMode::direct_only());
+    let nf = e
+        .tables_mut()
+        .intern_netflow(NetflowTag {
+            src_ip: [1, 2, 3, 4],
+            src_port: 4444,
+            dst_ip: [5, 6, 7, 8],
+            dst_port: 49152,
+        })
+        .unwrap();
+    e.label_range_fresh(0x1000, n, nf);
+    e
+}
+
+fn bench_taint_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taint_ops");
+
+    group.bench_function("copy_tainted_4k", |b| {
+        let mut e = engine_with_labels(4096);
+        b.iter(|| {
+            for i in 0..4096u32 {
+                e.copy(ShadowAddr::Mem(0x10_0000 + i), ShadowAddr::Mem(0x1000 + i), 1);
+            }
+        })
+    });
+
+    group.bench_function("copy_untainted_4k", |b| {
+        let mut e = TaintEngine::new(PropagationMode::direct_only());
+        b.iter(|| {
+            for i in 0..4096u32 {
+                e.copy(ShadowAddr::Mem(0x10_0000 + i), ShadowAddr::Mem(0x1000 + i), 1);
+            }
+        })
+    });
+
+    group.bench_function("append_process_tag_4k", |b| {
+        let mut e = engine_with_labels(4096);
+        let p = e.tables_mut().intern_process(0x3000, "a.exe").unwrap();
+        b.iter(|| {
+            for i in 0..4096u32 {
+                e.append_tag(ShadowAddr::Mem(0x1000 + i), p);
+            }
+        })
+    });
+
+    group.bench_function("union_chain_1k", |b| {
+        let mut e = engine_with_labels(16);
+        let file = e.tables_mut().intern_file("x", 1).unwrap();
+        e.label_fresh(ShadowAddr::Mem(0x2000), file);
+        b.iter(|| {
+            for _ in 0..1000 {
+                e.union_into(
+                    ShadowAddr::Mem(0x3000),
+                    4,
+                    &[(ShadowAddr::Mem(0x1000), 4), (ShadowAddr::Mem(0x2000), 1)],
+                    true,
+                );
+            }
+        })
+    });
+
+    group.bench_function("label_fresh_4k", |b| {
+        let mut e = TaintEngine::new(PropagationMode::direct_only());
+        let tag = ProvTag::new(TagKind::ExportTable, 0);
+        b.iter(|| e.label_range_fresh(0x1000, 4096, tag))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_taint_ops);
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! `faros-cli` — the analyst-facing command-line workflow of §V-C.
+//!
+//! ```text
+//! faros-cli list                      list every corpus sample
+//! faros-cli record <sample> -o FILE   run live, save the recording (JSON)
+//! faros-cli analyze <sample> [opts]   record + replay under FAROS, print report
+//! faros-cli replay <sample> -i FILE   replay a saved recording under FAROS
+//! faros-cli compare <sample>          Cuckoo vs malfind vs FAROS
+//! faros-cli trace <sample>            record and print the event timeline
+//! faros-cli run-asm FILE [opts]       assemble FE32 text source and run it
+//!                                     as a guest process under FAROS
+//!
+//! analyze/replay options:
+//!   --policy paper|netflow|cross-process   trigger configuration
+//!   --minos                                enable the tainted-PC extension
+//!   --conservative                         propagate all indirect flows
+//!   --whitelist NAME                       suppress detections in NAME
+//!   --json                                 emit the report as JSON
+//!   --taint-map                            dump the coalesced taint map
+//!   --dot                                  emit provenance chains as Graphviz
+//! ```
+
+use faros::{Faros, Policy};
+use faros_baselines::comparison;
+use faros_corpus::{find_sample, sample_registry};
+use faros_replay::{record, replay, Recording, TracePlugin};
+use faros_taint::engine::PropagationMode;
+use std::path::PathBuf;
+use std::process::exit;
+
+const BUDGET: u64 = 20_000_000;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faros-cli <list | record <sample> -o FILE | analyze <sample> [opts] \
+         | replay <sample> -i FILE [opts] | compare <sample> | trace <sample>\n\
+         | run-asm FILE [opts]>\n\
+         opts: --policy paper|netflow|cross-process, --minos, --conservative,\n\
+               --whitelist NAME, --json"
+    );
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+struct Opts {
+    policy: Policy,
+    conservative: bool,
+    json: bool,
+    dot: bool,
+    taint_map: bool,
+    file: Option<PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        policy: Policy::paper(),
+        conservative: false,
+        json: false,
+        dot: false,
+        taint_map: false,
+        file: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--policy" => match it.next().map(String::as_str) {
+                Some("paper") => opts.policy = Policy::paper(),
+                Some("netflow") => opts.policy = Policy::netflow_only(),
+                Some("cross-process") => opts.policy = Policy::cross_process_only(),
+                _ => usage(),
+            },
+            "--minos" => opts.policy = opts.policy.clone().with_tainted_pc(),
+            "--conservative" => opts.conservative = true,
+            "--whitelist" => match it.next() {
+                Some(name) => opts.policy = opts.policy.clone().whitelist(name),
+                None => usage(),
+            },
+            "--json" => opts.json = true,
+            "--taint-map" => opts.taint_map = true,
+            "--dot" => opts.dot = true,
+            "-o" | "-i" => match it.next() {
+                Some(path) => opts.file = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn make_faros(opts: &Opts) -> Faros {
+    let mode = if opts.conservative {
+        PropagationMode::conservative()
+    } else {
+        PropagationMode::direct_only()
+    };
+    Faros::with_mode(opts.policy.clone(), mode)
+}
+
+fn print_report(faros: &Faros, opts: &Opts) {
+    let report = faros.report();
+    if opts.json {
+        println!("{}", report.to_json().expect("report serializes"));
+        return;
+    }
+    if opts.dot {
+        print!("{}", report.to_dot());
+        return;
+    }
+    print!("{report}");
+    if report.attack_flagged() {
+        println!(
+            "\n[!] in-memory injection flagged in: {}",
+            report.flagged_processes().join(", ")
+        );
+        for d in &report.detections {
+            println!("    {} at {:#010x}: {}", d.kind, d.insn_vaddr, d.insn);
+        }
+    } else {
+        println!("\n[ok] nothing flagged");
+    }
+    if !report.whitelisted.is_empty() {
+        println!("[i] {} whitelisted detection(s) suppressed", report.whitelisted.len());
+    }
+    let stats = faros.stats();
+    println!(
+        "[i] {} instructions observed, {} tainted bytes live, {} export pointers tagged",
+        stats.instructions,
+        faros.engine().shadow().tainted_mem_bytes(),
+        stats.export_pointers
+    );
+    if opts.taint_map {
+        let regions = faros.engine().tainted_regions();
+        println!("\n[taint map] {} region(s):", regions.len());
+        for r in regions.iter().take(40) {
+            println!(
+                "  {:#010x}+{:<6} {}",
+                r.phys,
+                format!("{:#x}", r.len),
+                faros.engine().display_list(r.list)
+            );
+        }
+        if regions.len() > 40 {
+            println!("  ... {} more", regions.len() - 40);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else { usage() };
+    match cmd {
+        "list" => {
+            let samples = sample_registry();
+            println!("{} samples:", samples.len());
+            for s in &samples {
+                println!("  {:<28} {:?}", s.name(), s.category);
+            }
+        }
+        "record" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let opts = parse_opts(&args[2..]);
+            let Some(path) = opts.file else { usage() };
+            let sample = find_sample(name)
+                .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
+            let (recording, outcome) =
+                record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
+            recording.save(&path).unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "recorded {} virtual ticks ({} net events) -> {}",
+                outcome.instructions,
+                recording.net_log.events.len(),
+                path.display()
+            );
+        }
+        "analyze" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let opts = parse_opts(&args[2..]);
+            let sample = find_sample(name)
+                .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
+            let (recording, _) =
+                record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
+            let mut faros = make_faros(&opts);
+            replay(&sample.scenario, &recording, BUDGET, &mut faros)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            print_report(&faros, &opts);
+        }
+        "replay" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let opts = parse_opts(&args[2..]);
+            let Some(path) = opts.file.clone() else { usage() };
+            let sample = find_sample(name)
+                .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
+            let recording =
+                Recording::load(&path).unwrap_or_else(|e| fail(&e.to_string()));
+            let mut faros = make_faros(&opts);
+            replay(&sample.scenario, &recording, BUDGET, &mut faros)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            print_report(&faros, &opts);
+        }
+        "run-asm" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let opts = parse_opts(&args[2..]);
+            let source = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| fail(&format!("{file}: {e}")));
+            let bytes =
+                faros_emu::text::assemble_text(&source, faros_kernel::machine::IMAGE_BASE)
+                    .unwrap_or_else(|e| fail(&e.to_string()));
+            let mut padded = bytes;
+            padded.resize(padded.len().next_multiple_of(0x1000) + 0x1000, 0);
+            let image = faros_kernel::FdlImage {
+                entry: faros_kernel::machine::IMAGE_BASE,
+                export_table_va: faros_kernel::machine::IMAGE_BASE + 0x10_0000,
+                sections: vec![faros_kernel::module::Section {
+                    va: faros_kernel::machine::IMAGE_BASE,
+                    data: padded,
+                    perms: faros_emu::Perms::RWX,
+                }],
+                exports: vec![],
+            };
+            let mut machine =
+                faros_kernel::Machine::new(faros_kernel::MachineConfig::default());
+            machine
+                .install_program("C:/user.exe", &image)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            let mut faros = make_faros(&opts);
+            machine
+                .spawn_process("C:/user.exe", false, None, &mut faros)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            let exit = machine.run(BUDGET, &mut faros);
+            println!("run: {exit:?}, {} virtual ticks", machine.ticks());
+            for (pid, line) in machine.console() {
+                println!("  {pid}: {line}");
+            }
+            print_report(&faros, &opts);
+        }
+        "trace" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let sample = find_sample(name)
+                .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
+            let (recording, _) =
+                record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
+            let mut trace = TracePlugin::new();
+            replay(&sample.scenario, &recording, BUDGET, &mut trace)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            print!("{}", trace.render());
+        }
+        "compare" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let sample = find_sample(name)
+                .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
+            let row = comparison::compare(&sample, BUDGET)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            println!("{}", comparison::render_table(std::slice::from_ref(&row)));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,62 @@
+//! `tables` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! Usage: tables [table1|table2|figs12|fig7|fig8|fig9|fig10|injections|table3|table4|table5|cuckoo|ablation|all]
+//! ```
+//!
+//! With no argument, `all` is assumed. Output is plain text in the shape of
+//! the corresponding paper artifact; EXPERIMENTS.md records paper-vs-
+//! reproduction values.
+
+use faros_bench::experiments;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables [table1|table2|figs12|fig7|fig8|fig9|fig10|injections|table3|table4|table5|cuckoo|ablation|all]"
+    );
+    std::process::exit(2);
+}
+
+fn run(which: &str) {
+    match which {
+        "table1" => print!("{}", experiments::table1()),
+        "table2" => print!("{}", experiments::table2()),
+        "figs12" => print!("{}", experiments::figs_1_2()),
+        "fig7" => print!("{}", experiments::figure(7)),
+        "fig8" => print!("{}", experiments::figure(8)),
+        "fig9" => print!("{}", experiments::figure(9)),
+        "fig10" => print!("{}", experiments::figure(10)),
+        "injections" => print!("{}", experiments::injections_summary()),
+        "table3" => print!("{}", experiments::table3()),
+        "table4" => print!("{}", experiments::table4()),
+        "table5" => print!("{}", experiments::table5()),
+        "cuckoo" => print!("{}", experiments::cuckoo_comparison()),
+        "ablation" => print!("{}", experiments::ablation()),
+        "all" => {
+            for part in [
+                "injections",
+                "table1",
+                "figs12",
+                "table2",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "table3",
+                "table4",
+                "cuckoo",
+                "ablation",
+                "table5",
+            ] {
+                run(part);
+                println!("\n{}\n", "=".repeat(72));
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    run(&arg);
+}

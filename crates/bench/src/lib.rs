@@ -1,0 +1,17 @@
+//! # faros-bench — experiment harness
+//!
+//! One runner per table/figure of the paper's evaluation (§VI). The
+//! [`experiments`] module produces the analyst-facing text artifacts; the
+//! `tables` binary prints them, and the Criterion benches time the
+//! underlying runs. See EXPERIMENTS.md for the paper-vs-reproduction
+//! record.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+
+pub use experiments::{
+    ablation, cuckoo_comparison, figs_1_2, figure, injections_summary, run_faros, table1,
+    table2, table3, table4, table5, Table5Row,
+};

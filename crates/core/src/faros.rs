@@ -1,0 +1,453 @@
+//! The FAROS plugin: provenance tag insertion, propagation glue, and the
+//! tag-confluence attack detector (paper §V).
+
+use crate::policy::Policy;
+use crate::report::{Detection, FarosReport};
+use faros_emu::cpu::{CpuHooks, InsnCtx, ShadowLoc};
+use faros_emu::isa::{Reg, Width};
+use faros_kernel::event::{ByteRange, CopyRun, KernelEvents};
+use faros_kernel::module::{ModuleInfo, EXPORT_ENTRY_SIZE, EXPORT_PTR_OFFSET};
+use faros_kernel::net::FlowTuple;
+use faros_kernel::process::ProcessInfo;
+use faros_kernel::{Pid, Tid};
+use faros_replay::Plugin;
+use faros_taint::engine::{PropagationMode, TaintEngine};
+use faros_taint::provlist::ListId;
+use faros_taint::shadow::{ShadowAddr, SHADOW_REGS};
+use faros_taint::tag::{NetflowTag, ProvTag, TagKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Converts the emulator's shadow location into the taint engine's.
+#[inline]
+fn loc(l: ShadowLoc) -> ShadowAddr {
+    match l {
+        ShadowLoc::Mem(p) => ShadowAddr::Mem(p),
+        ShadowLoc::Reg { reg, off } => ShadowAddr::Reg { index: reg.index() as u8, off },
+    }
+}
+
+/// Converts a kernel flow tuple into a netflow tag payload.
+fn netflow_of(flow: &FlowTuple) -> NetflowTag {
+    NetflowTag {
+        src_ip: flow.src_ip,
+        src_port: flow.src_port,
+        dst_ip: flow.dst_ip,
+        dst_port: flow.dst_port,
+    }
+}
+
+/// Summary counters for a FAROS run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FarosStats {
+    /// Instructions observed.
+    pub instructions: u64,
+    /// Netflow labeling events.
+    pub net_labels: u64,
+    /// File labeling events.
+    pub file_labels: u64,
+    /// Export-table pointers tainted.
+    pub export_pointers: u64,
+    /// Kernel-mediated copies shadowed (bytes).
+    pub copied_bytes: u64,
+    /// Export-table reads by foreign code (pre-dedup).
+    pub confluence_hits: u64,
+}
+
+/// The FAROS plugin.
+///
+/// Attach it to a replay (via `faros_replay::PluginManager` or directly as
+/// the observer) and read the [`FarosReport`] afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use faros::{Faros, Policy};
+///
+/// let faros = Faros::new(Policy::paper());
+/// assert!(!faros.report().attack_flagged());
+/// ```
+#[derive(Debug)]
+pub struct Faros {
+    engine: TaintEngine,
+    policy: Policy,
+    /// CR3 -> interned process tag.
+    proc_tags: HashMap<u32, ProvTag>,
+    /// CR3 -> image name.
+    proc_names: HashMap<u32, String>,
+    /// Pid -> CR3 (events carry pids; taint identity is the CR3).
+    pid_cr3: HashMap<Pid, u32>,
+    /// Per-thread register shadow banks, swapped on context switch.
+    reg_banks: HashMap<(Pid, Tid), [[ListId; 4]; SHADOW_REGS]>,
+    current_thread: Option<(Pid, Tid)>,
+    current_cr3: u32,
+    detections: Vec<Detection>,
+    whitelisted: Vec<Detection>,
+    seen_insns: HashSet<u32>,
+    stats: FarosStats,
+}
+
+impl Faros {
+    /// Creates a FAROS instance with the given policy and the paper's
+    /// propagation configuration (direct flows only).
+    pub fn new(policy: Policy) -> Faros {
+        Faros::with_mode(policy, PropagationMode::direct_only())
+    }
+
+    /// Creates a FAROS instance with an explicit propagation mode (for the
+    /// indirect-flow ablation experiments).
+    pub fn with_mode(policy: Policy, mode: PropagationMode) -> Faros {
+        Faros {
+            engine: TaintEngine::new(mode),
+            policy,
+            proc_tags: HashMap::new(),
+            proc_names: HashMap::new(),
+            pid_cr3: HashMap::new(),
+            reg_banks: HashMap::new(),
+            current_thread: None,
+            current_cr3: 0,
+            detections: Vec::new(),
+            whitelisted: Vec::new(),
+            seen_insns: HashSet::new(),
+            stats: FarosStats::default(),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The underlying DIFT engine (for inspection and tests).
+    pub fn engine(&self) -> &TaintEngine {
+        &self.engine
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> FarosStats {
+        self.stats
+    }
+
+    /// Builds the analyst report.
+    pub fn report(&self) -> FarosReport {
+        FarosReport {
+            detections: self.detections.clone(),
+            whitelisted: self.whitelisted.clone(),
+        }
+    }
+
+    fn process_tag(&mut self, cr3: u32) -> ProvTag {
+        if let Some(&t) = self.proc_tags.get(&cr3) {
+            return t;
+        }
+        let name = self
+            .proc_names
+            .get(&cr3)
+            .cloned()
+            .unwrap_or_else(|| format!("cr3-{cr3:#x}"));
+        let tag = self
+            .engine
+            .tables_mut()
+            .intern_process(cr3, &name)
+            .expect("process tag table overflow");
+        self.proc_tags.insert(cr3, tag);
+        tag
+    }
+
+    fn pid_tag(&mut self, pid: Pid) -> Option<ProvTag> {
+        let cr3 = *self.pid_cr3.get(&pid)?;
+        Some(self.process_tag(cr3))
+    }
+
+    fn label_ranges_fresh(&mut self, ranges: &[ByteRange], tag: ProvTag, proc_tag: Option<ProvTag>) {
+        for r in ranges {
+            self.engine.label_range_fresh(r.phys, r.len as usize, tag);
+            if let Some(pt) = proc_tag {
+                self.engine.append_tag_range(r.phys, r.len as usize, pt);
+            }
+        }
+    }
+
+    fn code_provenance(&mut self, ctx: &InsnCtx) -> ListId {
+        let mut acc = ListId::EMPTY;
+        for &p in ctx.code_bytes() {
+            let id = self.engine.prov_id(ShadowAddr::Mem(p));
+            if !id.is_empty() {
+                acc = self.engine.union_lists(acc, id);
+            }
+        }
+        acc
+    }
+
+    fn current_process_name(&self) -> String {
+        self.proc_names
+            .get(&self.current_cr3)
+            .cloned()
+            .unwrap_or_else(|| format!("cr3-{:#x}", self.current_cr3))
+    }
+}
+
+impl CpuHooks for Faros {
+    fn on_insn(&mut self, ctx: &InsnCtx) {
+        self.stats.instructions += 1;
+        self.current_cr3 = ctx.asid.0;
+    }
+
+    fn flow_copy(&mut self, dst: ShadowLoc, src: ShadowLoc, len: u8) {
+        self.engine.copy(loc(dst), loc(src), len);
+        // "If a process accesses a byte in memory, FAROS adds a process tag
+        // into the head of that byte's provenance list" — applied on stores
+        // of tainted bytes.
+        if let ShadowLoc::Mem(p) = dst {
+            let cr3 = self.current_cr3;
+            for i in 0..len {
+                let a = ShadowAddr::Mem(p + i as u32);
+                if !self.engine.prov_id(a).is_empty() {
+                    let tag = self.process_tag(cr3);
+                    self.engine.append_tag(a, tag);
+                }
+            }
+        }
+    }
+
+    fn flow_union(&mut self, dst: ShadowLoc, dst_len: u8, srcs: &[(ShadowLoc, u8)], keep_dst: bool) {
+        let srcs: Vec<(ShadowAddr, u8)> = srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
+        self.engine.union_into(loc(dst), dst_len, &srcs, keep_dst);
+    }
+
+    fn flow_delete(&mut self, dst: ShadowLoc, len: u8) {
+        self.engine.delete(loc(dst), len);
+    }
+
+    fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {
+        let srcs: Vec<(ShadowAddr, u8)> = addr_srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
+        self.engine.addr_dep(loc(dst), dst_len, &srcs);
+    }
+
+    fn flow_flags(&mut self, srcs: &[(ShadowLoc, u8)]) {
+        let srcs: Vec<(ShadowAddr, u8)> = srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
+        self.engine.note_flags(&srcs);
+    }
+
+    fn on_branch(&mut self, _ctx: &InsnCtx, _taken: bool) {
+        // Under the conservative (control-dependency) mode, writes after a
+        // tainted comparison pick up its provenance until the flags are
+        // re-derived from clean data.
+        self.engine.enter_branch_scope();
+    }
+
+    fn on_load(&mut self, ctx: &InsnCtx, _vaddr: u32, phys: u32, width: Width, _dst: Reg) {
+        // The confluence check (§IV): a load whose *code bytes* are foreign
+        // reading a location carrying the export-table tag.
+        let code_prov = self.code_provenance(ctx);
+        if code_prov.is_empty() {
+            return;
+        }
+        let has_netflow = self.engine.interner().contains_kind(code_prov, TagKind::Netflow);
+        let cross_process = self
+            .engine
+            .interner()
+            .tags_of_kind(code_prov, TagKind::Process)
+            .any(|t| {
+                self.engine
+                    .tables()
+                    .process(t)
+                    .is_some_and(|p| p.cr3 != self.current_cr3)
+            });
+        let foreign = (self.policy.trigger_netflow && has_netflow)
+            || (self.policy.trigger_cross_process && cross_process);
+        if !foreign {
+            return;
+        }
+        // Any byte of the read carrying the export-table tag triggers.
+        let mut target_id = ListId::EMPTY;
+        let mut hit = false;
+        for i in 0..width.bytes() as u32 {
+            let id = self.engine.prov_id(ShadowAddr::Mem(phys + i));
+            if self.engine.interner().contains_kind(id, TagKind::ExportTable) {
+                target_id = id;
+                hit = true;
+                break;
+            }
+        }
+        if !hit {
+            return;
+        }
+        self.stats.confluence_hits += 1;
+        if !self.seen_insns.insert(ctx.vaddr) {
+            return;
+        }
+        let process = self.current_process_name();
+        let detection = Detection {
+            insn_vaddr: ctx.vaddr,
+            insn: ctx.instr.to_string(),
+            read_vaddr: _vaddr,
+            process: process.clone(),
+            cr3: self.current_cr3,
+            code_provenance: self.engine.display_list(code_prov),
+            target_provenance: self.engine.display_list(target_id),
+            tick: self.stats.instructions,
+            via_netflow: self.policy.trigger_netflow && has_netflow,
+            via_cross_process: self.policy.trigger_cross_process && cross_process,
+            kind: crate::report::DetectionKind::ExportTableRead,
+        };
+        if self.policy.is_whitelisted(&process) {
+            self.whitelisted.push(detection);
+        } else {
+            self.detections.push(detection);
+        }
+    }
+
+    fn on_control(&mut self, ctx: &InsnCtx, target: u32, target_src: Option<ShadowLoc>) {
+        // Extension policy (Minos-style, §VII): flag indirect transfers
+        // whose target address was read from netflow-tainted bytes.
+        if !self.policy.minos_tainted_pc {
+            return;
+        }
+        let Some(src) = target_src else { return };
+        let prov = self.engine.prov_id(loc(src));
+        if !self.engine.interner().contains_kind(prov, TagKind::Netflow) {
+            return;
+        }
+        if !self.seen_insns.insert(ctx.vaddr) {
+            return;
+        }
+        let process = self.current_process_name();
+        let detection = Detection {
+            insn_vaddr: ctx.vaddr,
+            insn: ctx.instr.to_string(),
+            read_vaddr: target,
+            process: process.clone(),
+            cr3: self.current_cr3,
+            code_provenance: self.engine.display_list(prov),
+            target_provenance: format!("control transfer target {target:#010x}"),
+            tick: self.stats.instructions,
+            via_netflow: true,
+            via_cross_process: false,
+            kind: crate::report::DetectionKind::TaintedControlTransfer,
+        };
+        if self.policy.is_whitelisted(&process) {
+            self.whitelisted.push(detection);
+        } else {
+            self.detections.push(detection);
+        }
+    }
+}
+
+impl KernelEvents for Faros {
+    fn process_created(&mut self, info: &ProcessInfo) {
+        self.proc_names.insert(info.cr3, info.name.clone());
+        self.pid_cr3.insert(info.pid, info.cr3);
+        let _ = self.process_tag(info.cr3);
+    }
+
+    fn module_loaded(&mut self, _pid: Option<Pid>, module: &ModuleInfo, export_table: &[ByteRange]) {
+        // Taint the function-pointer field of every export entry (§V-A:
+        // "scans all loaded modules and taints the function pointers in the
+        // export tables"). Tags are *named* per entry — the paper's stated
+        // future work — so reports can say which pointer was read.
+        let flat: Vec<u32> = export_table
+            .iter()
+            .flat_map(|r| (0..r.len).map(move |i| r.phys + i))
+            .collect();
+        for (i, export) in module.exports.iter().enumerate() {
+            let tag = self
+                .engine
+                .tables_mut()
+                .intern_export(&format!("{}!{}", module.name, export.name))
+                .unwrap_or(ProvTag::EXPORT_TABLE);
+            let ptr_off = (4 + i as u32 * EXPORT_ENTRY_SIZE + EXPORT_PTR_OFFSET) as usize;
+            for b in 0..4 {
+                if let Some(&phys) = flat.get(ptr_off + b) {
+                    self.engine.label_fresh(ShadowAddr::Mem(phys), tag);
+                }
+            }
+            self.stats.export_pointers += 1;
+        }
+    }
+
+    fn net_rx(&mut self, pid: Pid, flow: &FlowTuple, dst: &[ByteRange]) {
+        self.stats.net_labels += 1;
+        let tag = self
+            .engine
+            .tables_mut()
+            .intern_netflow(netflow_of(flow))
+            .expect("netflow tag table overflow");
+        let ptag = self.pid_tag(pid);
+        self.label_ranges_fresh(dst, tag, ptag);
+    }
+
+    fn file_read(&mut self, pid: Pid, path: &str, version: u32, dst: &[ByteRange]) {
+        self.stats.file_labels += 1;
+        let tag = self
+            .engine
+            .tables_mut()
+            .intern_file(path, version)
+            .expect("file tag table overflow");
+        let ptag = self.pid_tag(pid);
+        self.label_ranges_fresh(dst, tag, ptag);
+    }
+
+    fn file_write(&mut self, _pid: Pid, path: &str, version: u32, src: &[ByteRange]) {
+        self.stats.file_labels += 1;
+        // "When a buffer is written into a file, FAROS taints the buffer
+        // with a file tag" (§V-A).
+        let tag = self
+            .engine
+            .tables_mut()
+            .intern_file(path, version)
+            .expect("file tag table overflow");
+        for r in src {
+            self.engine.append_tag_range(r.phys, r.len as usize, tag);
+        }
+    }
+
+    fn guest_copy(&mut self, _src_pid: Pid, dst_pid: Pid, runs: &[CopyRun]) {
+        // Shadow follows the kernel's copy loop byte-for-byte; bytes landing
+        // in the destination address space collect its process tag
+        // (NetFlow -> injector -> victim chronology of Table II).
+        let dst_tag = self.pid_tag(dst_pid);
+        for run in runs {
+            self.stats.copied_bytes += run.len as u64;
+            for i in 0..run.len {
+                let dst = ShadowAddr::Mem(run.dst_phys + i);
+                let src = ShadowAddr::Mem(run.src_phys + i);
+                self.engine.copy(dst, src, 1);
+                if let Some(t) = dst_tag {
+                    if !self.engine.prov_id(dst).is_empty() {
+                        self.engine.append_tag(dst, t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn kernel_write(&mut self, _pid: Pid, dst: &[ByteRange]) {
+        for r in dst {
+            let mut left = r.len;
+            let mut p = r.phys;
+            while left > 0 {
+                let chunk = left.min(255) as u8;
+                self.engine.delete(ShadowAddr::Mem(p), chunk);
+                p += chunk as u32;
+                left -= chunk as u32;
+            }
+        }
+    }
+
+    fn context_switch(&mut self, from: Option<(Pid, Tid)>, to: (Pid, Tid)) {
+        if let Some(f) = from {
+            let bank = self.engine.shadow().save_regs();
+            self.reg_banks.insert(f, bank);
+        }
+        let bank = self.reg_banks.get(&to).copied().unwrap_or([[ListId::EMPTY; 4]; SHADOW_REGS]);
+        self.engine.shadow_mut().restore_regs(bank);
+        self.current_thread = Some(to);
+    }
+}
+
+impl Plugin for Faros {
+    fn name(&self) -> &str {
+        "faros"
+    }
+}

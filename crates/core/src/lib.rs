@@ -1,0 +1,55 @@
+//! # faros — the FAROS plugin
+//!
+//! The reproduction of the paper's primary contribution: a PANDA-style
+//! plugin that performs whole-system provenance DIFT over a recorded
+//! execution and flags in-memory injection attacks by tag confluence.
+//!
+//! * [`faros::Faros`] — the plugin: tag insertion (netflow at network DMA,
+//!   file tags at the 26 hooked file syscalls, process tags on access,
+//!   export-table tags at module load), Table-I propagation glue between
+//!   the FE32 hook surface and the `faros-taint` engine, and the
+//!   confluence detector;
+//! * [`policy::Policy`] — the per-security-policy flagging criteria
+//!   (netflow / cross-process triggers, analyst whitelisting);
+//! * [`report::FarosReport`] — analyst output with full provenance chains
+//!   (the paper's Table II).
+//!
+//! ## Usage (the paper's §V-C workflow)
+//!
+//! ```no_run
+//! use faros::{Faros, Policy};
+//! use faros_replay::{record, replay};
+//! # struct Demo;
+//! # impl faros_replay::Scenario for Demo {
+//! #     fn name(&self) -> &str { "demo" }
+//! #     fn build(
+//! #         &self,
+//! #         fabric: faros_kernel::net::NetworkFabric,
+//! #         _obs: &mut dyn faros_kernel::event::Observer,
+//! #     ) -> Result<faros_kernel::Machine, faros_kernel::MachineError> {
+//! #         Ok(faros_kernel::Machine::with_fabric(Default::default(), fabric))
+//! #     }
+//! # }
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Demo;
+//! // 1. Record the malware run (attacker endpoints live).
+//! let (recording, _) = record(&scenario, 20_000_000)?;
+//! // 2. Replay the capture with FAROS attached.
+//! let mut faros = Faros::new(Policy::paper());
+//! replay(&scenario, &recording, 20_000_000, &mut faros)?;
+//! // 3. Read the provenance report.
+//! println!("{}", faros.report());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod faros;
+pub mod policy;
+pub mod report;
+
+pub use crate::faros::{Faros, FarosStats};
+pub use policy::Policy;
+pub use report::{Detection, DetectionKind, FarosReport};

@@ -1,0 +1,130 @@
+//! Security policies — the per-policy handling of indirect flows (§IV).
+//!
+//! FAROS regains the accuracy lost by not propagating indirect flows by
+//! defining attacks as a *confluence of tag types* on a memory location.
+//! The policy decides which confluence flags an in-memory injection:
+//!
+//! * the instruction being executed must be **foreign** — its code bytes
+//!   carry a netflow tag ([`Policy::trigger_netflow`]) and/or a process tag
+//!   of a process other than the one executing it
+//!   ([`Policy::trigger_cross_process`], the cross-process write signature);
+//! * the address it reads must carry the **export-table** tag.
+//!
+//! The paper's headline invariant is the netflow + export-table confluence
+//! (§IV); its evaluation also flags a hollowing sample whose payload never
+//! touched the network (Fig. 10), which the cross-process trigger covers.
+//! [`Policy::paper`] enables both. The single-trigger variants exist for the
+//! ablation study (EXPERIMENTS.md): netflow-only misses file-sourced
+//! hollowing; cross-process-only misses in-process JIT-style loads (and
+//! therefore has no JIT false positives).
+
+use serde::{Deserialize, Serialize};
+
+/// The flagging policy (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Foreign if the instruction's code bytes carry a netflow tag.
+    pub trigger_netflow: bool,
+    /// Foreign if the code bytes carry another process's tag.
+    pub trigger_cross_process: bool,
+    /// Process image names whose detections are suppressed — the paper's
+    /// analyst whitelisting of known JIT engines ("JITs software is
+    /// relatively uncommon and can be white-listed", §VI-A).
+    pub whitelist: Vec<String>,
+    /// Extension: also flag *tainted control transfers* — an indirect
+    /// `call`/`jmp`/`ret` whose target address was read from
+    /// netflow-tainted bytes. This is the Minos-style control-data policy
+    /// (§VII) expressed in FAROS' framework; off by default (the paper's
+    /// FAROS does not implement it).
+    #[serde(default)]
+    pub minos_tainted_pc: bool,
+}
+
+impl Policy {
+    /// The paper's full policy: both triggers, nothing whitelisted.
+    pub fn paper() -> Policy {
+        Policy {
+            trigger_netflow: true,
+            trigger_cross_process: true,
+            whitelist: Vec::new(),
+            minos_tainted_pc: false,
+        }
+    }
+
+    /// Netflow trigger only (the §IV headline invariant, verbatim).
+    pub fn netflow_only() -> Policy {
+        Policy {
+            trigger_netflow: true,
+            trigger_cross_process: false,
+            whitelist: Vec::new(),
+            minos_tainted_pc: false,
+        }
+    }
+
+    /// Cross-process trigger only.
+    pub fn cross_process_only() -> Policy {
+        Policy {
+            trigger_netflow: false,
+            trigger_cross_process: true,
+            whitelist: Vec::new(),
+            minos_tainted_pc: false,
+        }
+    }
+
+    /// Adds a process image name to the whitelist, builder style.
+    pub fn whitelist(mut self, process_name: &str) -> Policy {
+        self.whitelist.push(process_name.to_string());
+        self
+    }
+
+    /// Enables the Minos-style tainted-control-transfer extension, builder
+    /// style.
+    pub fn with_tainted_pc(mut self) -> Policy {
+        self.minos_tainted_pc = true;
+        self
+    }
+
+    /// Returns `true` if detections in `process_name` are suppressed.
+    pub fn is_whitelisted(&self, process_name: &str) -> bool {
+        self.whitelist.iter().any(|w| w == process_name)
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_policy_enables_both_triggers() {
+        let p = Policy::paper();
+        assert!(p.trigger_netflow && p.trigger_cross_process);
+        assert!(p.whitelist.is_empty());
+        assert_eq!(Policy::default(), p);
+    }
+
+    #[test]
+    fn single_trigger_variants() {
+        assert!(!Policy::netflow_only().trigger_cross_process);
+        assert!(!Policy::cross_process_only().trigger_netflow);
+    }
+
+    #[test]
+    fn tainted_pc_extension_is_opt_in() {
+        assert!(!Policy::paper().minos_tainted_pc);
+        assert!(Policy::paper().with_tainted_pc().minos_tainted_pc);
+    }
+
+    #[test]
+    fn whitelisting() {
+        let p = Policy::paper().whitelist("java.exe").whitelist("browser.exe");
+        assert!(p.is_whitelisted("java.exe"));
+        assert!(p.is_whitelisted("browser.exe"));
+        assert!(!p.is_whitelisted("notepad.exe"));
+    }
+}

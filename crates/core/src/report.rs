@@ -1,0 +1,228 @@
+//! The analyst-facing output: detections with full provenance (Table II).
+//!
+//! FAROS is a reverse-engineering tool, not just a detector — the report
+//! carries, for every flagged instruction, the complete provenance chain
+//! ("where did this code come from?") so the analyst does not have to
+//! reconstruct it by hand (§V-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of confluence fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DetectionKind {
+    /// Foreign code reading export-table-tagged memory — the paper's
+    /// in-memory-injection invariant.
+    #[default]
+    ExportTableRead,
+    /// An indirect control transfer whose target address came from tainted
+    /// bytes — the optional Minos-style extension policy.
+    TaintedControlTransfer,
+}
+
+impl fmt::Display for DetectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectionKind::ExportTableRead => write!(f, "export-table read by foreign code"),
+            DetectionKind::TaintedControlTransfer => write!(f, "tainted control transfer"),
+        }
+    }
+}
+
+/// One flagged in-memory-injection read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Virtual address of the flagged instruction (the `mov` that read the
+    /// export table) — the "Memory Address" column of Table II.
+    pub insn_vaddr: u32,
+    /// Rendered instruction (e.g. `ld4 eax, [0x80010020]`).
+    pub insn: String,
+    /// Virtual address the instruction read (inside an export table).
+    pub read_vaddr: u32,
+    /// The executing (victim) process name.
+    pub process: String,
+    /// CR3 of the executing process.
+    pub cr3: u32,
+    /// The instruction bytes' provenance chain, rendered Table II style
+    /// (`NetFlow: {...} ->Process: inject_client.exe ->Process: notepad.exe`).
+    pub code_provenance: String,
+    /// The read target's provenance chain (contains `Export Table`).
+    pub target_provenance: String,
+    /// Virtual tick at detection.
+    pub tick: u64,
+    /// Which policy triggers fired: netflow presence.
+    pub via_netflow: bool,
+    /// Which policy triggers fired: cross-process code origin.
+    pub via_cross_process: bool,
+    /// What kind of confluence fired.
+    #[serde(default)]
+    pub kind: DetectionKind,
+}
+
+/// The FAROS output for one analyzed replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FarosReport {
+    /// All detections, in discovery order (one per flagged instruction
+    /// address).
+    pub detections: Vec<Detection>,
+    /// Detections suppressed by the whitelist (still listed for the
+    /// analyst, as the paper suggests white-listing is an analyst action).
+    pub whitelisted: Vec<Detection>,
+}
+
+impl FarosReport {
+    /// Returns `true` if any in-memory injection attack was flagged.
+    pub fn attack_flagged(&self) -> bool {
+        !self.detections.is_empty()
+    }
+
+    /// Distinct processes in which flagged instructions executed.
+    pub fn flagged_processes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for d in &self.detections {
+            if !out.contains(&d.process.as_str()) {
+                out.push(&d.process);
+            }
+        }
+        out
+    }
+
+    /// Renders the report as the paper's Table II: one row per flagged
+    /// memory address with its provenance list.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Memory Address | Provenance List\n");
+        s.push_str("---------------+----------------\n");
+        for d in &self.detections {
+            s.push_str(&format!("0x{:08X}     | {};\n", d.insn_vaddr, d.code_provenance));
+        }
+        if self.detections.is_empty() {
+            s.push_str("(no in-memory injection attacks flagged)\n");
+        }
+        s
+    }
+}
+
+impl FarosReport {
+    /// Renders the detections' provenance chains as a Graphviz DOT graph —
+    /// the machine-readable form of the paper's Figs. 7-10 diagrams (one
+    /// node per tag, edges in chronological order, each chain terminating
+    /// at the memory address it read).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph provenance {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (i, d) in self.detections.iter().enumerate() {
+            let stages: Vec<&str> = d.code_provenance.split("->").map(str::trim).collect();
+            let mut prev: Option<String> = None;
+            for (j, stage) in stages.iter().enumerate() {
+                let id = format!("d{i}_{j}");
+                let label = stage.replace('"', "'");
+                out.push_str(&format!("  {id} [label=\"{label}\"];\n"));
+                if let Some(p) = &prev {
+                    out.push_str(&format!("  {p} -> {id};\n"));
+                }
+                prev = Some(id);
+            }
+            let sink = format!("d{i}_read");
+            out.push_str(&format!(
+                "  {sink} [label=\"read {:#010x}\\n({})\", shape=ellipse];\n",
+                d.read_vaddr,
+                d.target_provenance.replace('"', "'")
+            ));
+            if let Some(p) = prev {
+                out.push_str(&format!("  {p} -> {sink} [style=bold, color=red];\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serializes the report to JSON for downstream tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error (practically impossible for this
+    /// plain-data structure).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<FarosReport, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl fmt::Display for FarosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_detection(addr: u32, process: &str) -> Detection {
+        Detection {
+            insn_vaddr: addr,
+            insn: "ld4 eax, [0x8001001c]".into(),
+            read_vaddr: 0x8001_001c,
+            process: process.into(),
+            cr3: 0x3000,
+            code_provenance:
+                "NetFlow: {src ip,port: 169.254.26.161:4444, dest ip,port: \
+                 169.254.57.168:49162} ->Process: inject_client.exe ->Process: notepad.exe"
+                    .into(),
+            target_provenance: "Export Table".into(),
+            tick: 1234,
+            via_netflow: true,
+            via_cross_process: true,
+            kind: DetectionKind::ExportTableRead,
+        }
+    }
+
+    #[test]
+    fn empty_report_flags_nothing() {
+        let r = FarosReport::default();
+        assert!(!r.attack_flagged());
+        assert!(r.to_table().contains("no in-memory injection"));
+    }
+
+    #[test]
+    fn table_matches_paper_shape() {
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(0x83B0_7019, "notepad.exe"));
+        r.detections.push(sample_detection(0x83B0_7018, "notepad.exe"));
+        let table = r.to_table();
+        assert!(table.contains("0x83B07019     | NetFlow:"));
+        assert!(table.contains("->Process: inject_client.exe ->Process: notepad.exe;"));
+        assert!(r.attack_flagged());
+    }
+
+    #[test]
+    fn dot_export_draws_the_chain() {
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(0x0100_0043, "notepad.exe"));
+        let dot = r.to_dot();
+        assert!(dot.starts_with("digraph provenance {"));
+        assert!(dot.contains("NetFlow"));
+        assert!(dot.contains("Process: notepad.exe"));
+        assert!(dot.contains("d0_0 -> d0_1"));
+        assert!(dot.contains("read 0x8001001c"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn flagged_processes_dedup() {
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(1, "a.exe"));
+        r.detections.push(sample_detection(2, "a.exe"));
+        r.detections.push(sample_detection(3, "b.exe"));
+        assert_eq!(r.flagged_processes(), vec!["a.exe", "b.exe"]);
+    }
+}

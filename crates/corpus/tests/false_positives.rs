@@ -1,0 +1,91 @@
+//! False-positive experiments: Table III (JIT workloads, 2/20 flagged) and
+//! Table IV (90 non-injecting malware + 14 benign, 0 flagged).
+
+use faros::{Faros, Policy};
+use faros_corpus::{families, jit, Category, Sample};
+use faros_replay::record_and_replay;
+
+const BUDGET: u64 = 20_000_000;
+
+fn flagged(sample: &Sample) -> bool {
+    let mut faros = Faros::new(Policy::paper());
+    let (_rec, outcome) = record_and_replay(&sample.scenario, BUDGET, &mut faros)
+        .unwrap_or_else(|e| panic!("{}: {e}", sample.name()));
+    assert_eq!(
+        outcome.exit,
+        faros_kernel::RunExit::AllExited,
+        "{} must terminate",
+        sample.name()
+    );
+    faros.report().attack_flagged()
+}
+
+#[test]
+fn table4_dataset_has_zero_false_positives() {
+    // The paper: "we evaluated FAROS' false positive rate with 102
+    // non-in-memory injecting malware samples and benign software ...
+    // FAROS produced a 0% false positive rate."
+    let dataset = families::fp_dataset();
+    assert_eq!(dataset.len(), 104);
+    let mut fps: Vec<String> = Vec::new();
+    for sample in &dataset {
+        assert!(!sample.category.should_flag());
+        if flagged(sample) {
+            fps.push(sample.name().to_string());
+        }
+    }
+    assert!(fps.is_empty(), "false positives on the Table IV dataset: {fps:?}");
+}
+
+#[test]
+fn table3_jit_workloads_flag_exactly_two_applets() {
+    // The paper: "FAROS flagged only two of the Java applets (10%)".
+    let workloads = jit::jit_workloads();
+    assert_eq!(workloads.len(), 20);
+    let mut flagged_names: Vec<String> = Vec::new();
+    for sample in &workloads {
+        assert_eq!(sample.category, Category::Jit);
+        if flagged(sample) {
+            flagged_names.push(sample.name().to_string());
+        }
+    }
+    flagged_names.sort();
+    assert_eq!(
+        flagged_names,
+        vec!["jit_collision".to_string(), "jit_pulleysystem".to_string()],
+        "exactly the two copy-and-patch applets must flag (10% JIT FP rate)"
+    );
+}
+
+#[test]
+fn jit_false_positives_are_whitelistable() {
+    // The paper's remedy: "JITs software is relatively uncommon and can be
+    // white-listed by an analyst."
+    let sample = jit::jit_workloads()
+        .into_iter()
+        .find(|s| s.name() == "jit_pulleysystem")
+        .expect("workload exists");
+    let mut faros = Faros::new(Policy::paper().whitelist("java.exe"));
+    record_and_replay(&sample.scenario, BUDGET, &mut faros).unwrap();
+    let report = faros.report();
+    assert!(!report.attack_flagged());
+    assert!(!report.whitelisted.is_empty(), "analyst still sees the JIT hits");
+}
+
+#[test]
+fn overall_false_positive_rate_matches_paper() {
+    // Abstract: 2 flagged JIT workloads out of (104 + 20) non-injecting
+    // runs ≈ 2% overall FP rate.
+    let mut total = 0u32;
+    let mut fps = 0u32;
+    for sample in families::fp_dataset().iter().chain(jit::jit_workloads().iter()) {
+        total += 1;
+        if flagged(sample) {
+            fps += 1;
+        }
+    }
+    assert_eq!(total, 124);
+    assert_eq!(fps, 2, "exactly the two JIT applets");
+    let rate = f64::from(fps) / f64::from(total) * 100.0;
+    assert!((1.0..3.0).contains(&rate), "overall FP rate ≈ 2%, got {rate:.1}%");
+}

@@ -1,0 +1,129 @@
+//! Whole-system robustness fuzzing: arbitrary byte soup and random (valid)
+//! instruction streams run as guest programs under full FAROS analysis.
+//! Whatever the guest does — illegal instructions, wild pointers, random
+//! syscall numbers with garbage arguments — the *host* stack (kernel,
+//! taint engine, detector) must never panic and the run must terminate.
+
+use faros::{Faros, Policy};
+use faros_corpus::{Sample, SampleScenario};
+use faros_emu::encode::encode;
+use faros_emu::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width};
+use faros_emu::mmu::Perms;
+use faros_kernel::machine::IMAGE_BASE;
+use faros_kernel::module::{FdlImage, Section};
+use faros_replay::record_and_replay;
+use proptest::prelude::*;
+
+fn wrap_bytes(code: Vec<u8>) -> Sample {
+    let mut data = code;
+    data.resize(0x2000, 0);
+    let image = FdlImage {
+        entry: IMAGE_BASE,
+        export_table_va: IMAGE_BASE + 0x10_0000,
+        sections: vec![Section { va: IMAGE_BASE, data, perms: Perms::RWX }],
+        exports: vec![],
+    };
+    let scenario = SampleScenario::new("fuzz")
+        .program("C:/fuzz.exe", image)
+        .autostart("C:/fuzz.exe");
+    Sample {
+        scenario,
+        category: faros_corpus::Category::Benign,
+        behaviors: Vec::new(),
+    }
+}
+
+fn run_under_faros(sample: &Sample) {
+    let mut faros = Faros::new(Policy::paper());
+    // Small budget: fuzzed programs may spin; they must still come back.
+    let result = record_and_replay(&sample.scenario, 200_000, &mut faros);
+    // Any outcome is fine (clean exit, fault-kill, budget); panics are not.
+    let _ = result;
+    let _ = faros.report();
+}
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::ALL.to_vec())
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    // Weighted toward memory traffic and syscalls — the host-facing surface.
+    prop_oneof![
+        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::MovRI { dst, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Instr::MovRR { dst, src }),
+        (reg_strategy(), reg_strategy(), any::<i16>()).prop_map(|(dst, base, disp)| {
+            Instr::Load {
+                dst,
+                mem: Mem::base_disp(base, disp as i32),
+                width: Width::B4,
+            }
+        }),
+        (reg_strategy(), reg_strategy(), any::<i16>()).prop_map(|(src, base, disp)| {
+            Instr::Store {
+                mem: Mem::base_disp(base, disp as i32),
+                src,
+                width: Width::B1,
+            }
+        }),
+        (prop::sample::select(AluOp::ALL.to_vec()), reg_strategy(), any::<u32>())
+            .prop_map(|(op, dst, imm)| Instr::Alu { op, dst, src: Operand::Imm(imm) }),
+        (reg_strategy(), any::<u32>())
+            .prop_map(|(a, imm)| Instr::Cmp { a, b: Operand::Imm(imm) }),
+        (prop::sample::select(Cond::ALL.to_vec()), -64i32..64)
+            .prop_map(|(cond, rel)| Instr::Jcc { cond, rel }),
+        reg_strategy().prop_map(|src| Instr::Push { src }),
+        reg_strategy().prop_map(|dst| Instr::Pop { dst }),
+        Just(Instr::Int { vector: 0x2e }),
+        Just(Instr::Ret),
+        Just(Instr::Hlt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_byte_soup_never_panics_the_host(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        run_under_faros(&wrap_bytes(bytes));
+    }
+
+    #[test]
+    fn random_instruction_streams_never_panic_the_host(
+        instrs in prop::collection::vec(instr_strategy(), 1..64)
+    ) {
+        let mut code = Vec::new();
+        for i in &instrs {
+            code.extend(encode(i));
+        }
+        run_under_faros(&wrap_bytes(code));
+    }
+
+    #[test]
+    fn random_syscall_arguments_never_panic_the_kernel(
+        calls in prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), 0u32..0x60),
+            1..24
+        )
+    ) {
+        // A program that makes syscalls with entirely attacker-chosen
+        // registers, then exits.
+        let mut code = Vec::new();
+        for (b, c, d, si, di, sysno) in &calls {
+            for (reg, val) in [
+                (Reg::Ebx, *b),
+                (Reg::Ecx, *c),
+                (Reg::Edx, *d),
+                (Reg::Esi, *si),
+                (Reg::Edi, *di),
+                (Reg::Eax, *sysno),
+            ] {
+                code.extend(encode(&Instr::MovRI { dst: reg, imm: val }));
+            }
+            code.extend(encode(&Instr::Int { vector: 0x2e }));
+        }
+        code.extend(encode(&Instr::Hlt));
+        run_under_faros(&wrap_bytes(code));
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end verification of the paper's Figs. 1-2 (the §III/§IV
+//! indirect-flow dilemma) at the guest level: the same programs, three
+//! propagation policies, and the predicted under/overtainting outcomes.
+
+use faros::{Faros, Policy};
+use faros_corpus::indirect::{self, COPY_LEN, INPUT_BUF, OUTPUT_BUF};
+use faros_replay::record_and_replay;
+use faros_taint::engine::PropagationMode;
+use faros_taint::shadow::ShadowAddr;
+use faros_taint::tag::TagKind;
+
+const BUDGET: u64 = 20_000_000;
+
+/// Runs a sample and returns (tainted input bytes, tainted output bytes)
+/// over the transformation buffers, plus total tainted memory.
+fn taint_footprint(sample: &faros_corpus::Sample, mode: PropagationMode) -> (u32, u32, usize) {
+    let mut faros = Faros::with_mode(Policy::paper(), mode);
+    let (_rec, outcome) =
+        record_and_replay(&sample.scenario, BUDGET, &mut faros).unwrap();
+    assert!(
+        outcome.machine.console().iter().any(|(_, s)| s == "done"),
+        "{} must complete its transformation",
+        sample.name()
+    );
+    // Translate the guest buffers to physical addresses (process may have
+    // exited; its page tables remain).
+    let proc = outcome
+        .machine
+        .processes()
+        .next()
+        .expect("the demo process exists");
+    let count_tainted = |va: u32| -> u32 {
+        (0..COPY_LEN)
+            .filter(|i| {
+                let entry = proc.aspace.entry(va + i).expect("buffer mapped");
+                let phys = entry.pfn * faros_emu::mem::PAGE_SIZE
+                    + ((va + i) & faros_emu::mem::PAGE_MASK);
+                faros.engine().has_kind(ShadowAddr::Mem(phys), TagKind::Netflow)
+            })
+            .count() as u32
+    };
+    (
+        count_tainted(INPUT_BUF),
+        count_tainted(OUTPUT_BUF),
+        faros.engine().shadow().tainted_mem_bytes(),
+    )
+}
+
+#[test]
+fn fig1_direct_policy_undertaints_the_lookup_copy() {
+    // "The only way to ensure that str2 is properly tainted is to propagate
+    // tags through the address dependency" — without it, the copy is lost.
+    let (input, output, _) =
+        taint_footprint(&indirect::fig1_lookup_table(), PropagationMode::direct_only());
+    assert_eq!(input, COPY_LEN, "downloaded input is fully tainted");
+    assert_eq!(output, 0, "direct-only policy loses the lookup copy (undertainting)");
+}
+
+#[test]
+fn fig1_address_deps_recover_the_lookup_copy() {
+    let (input, output, _) = taint_footprint(
+        &indirect::fig1_lookup_table(),
+        PropagationMode::with_address_deps(),
+    );
+    assert_eq!(input, COPY_LEN);
+    assert_eq!(
+        output, COPY_LEN,
+        "address-dependency propagation taints the looked-up copy"
+    );
+}
+
+#[test]
+fn fig2_bit_copy_launders_under_everything_but_conservative() {
+    // Control dependencies: neither the direct nor the address-dep policy
+    // sees the bit-copy...
+    for mode in [PropagationMode::direct_only(), PropagationMode::with_address_deps()] {
+        let (input, output, _) = taint_footprint(&indirect::fig2_bit_copy(), mode);
+        assert_eq!(input, COPY_LEN);
+        assert_eq!(output, 0, "bit-copy laundering defeats {mode:?}");
+    }
+    // ... only the conservative mode does, at a visible overtainting cost.
+    let (_, output, total_conservative) =
+        taint_footprint(&indirect::fig2_bit_copy(), PropagationMode::conservative());
+    assert_eq!(output, COPY_LEN, "control-dependency propagation keeps the taint");
+    let (_, _, total_direct) =
+        taint_footprint(&indirect::fig2_bit_copy(), PropagationMode::direct_only());
+    assert!(
+        total_conservative > total_direct,
+        "the conservative policy overtaints: {total_conservative} vs {total_direct} bytes"
+    );
+}

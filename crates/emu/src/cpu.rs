@@ -1,0 +1,1004 @@
+//! The FE32 CPU interpreter.
+//!
+//! [`Cpu::step`] executes one instruction against a [`PhysMem`] and an
+//! [`AddressSpace`], reporting everything a whole-system DIFT engine needs
+//! through the [`CpuHooks`] trait:
+//!
+//! * **data flows** at byte granularity (`flow_copy` / `flow_union` /
+//!   `flow_delete` — exactly the three propagation operations of the paper's
+//!   Table I), plus the optional *address-dependency* flow for indexed
+//!   addressing;
+//! * **instruction events** carrying the per-byte physical addresses the
+//!   instruction was fetched from — the provenance of code bytes is how
+//!   FAROS recognizes injected instructions;
+//! * **memory access events** with both virtual and physical addresses;
+//! * **control transfer events**, enabling Minos-style tainted-control-flow
+//!   policies as an ablation.
+//!
+//! The hook methods all have empty default bodies; a `Cpu` driven with
+//! [`NoHooks`] monomorphizes to a plain emulator with no DIFT overhead, which
+//! is what the Table V "replay without FAROS" baseline measures.
+
+use crate::encode::{decode, DecodeError, MAX_INSTR_LEN};
+use crate::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width, NUM_REGS, SYSCALL_VECTOR};
+use crate::mem::PhysMem;
+use crate::mmu::{Access, AddressSpace, Asid, Fault};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte-granular shadow location: a physical memory byte or a register
+/// byte. These are the operands of the propagation rules (paper Table I,
+/// "an address can be a byte in memory or a register").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShadowLoc {
+    /// A byte of guest physical memory.
+    Mem(u32),
+    /// Byte `off` (0..4) of a general-purpose register.
+    Reg {
+        /// The register.
+        reg: Reg,
+        /// Byte offset within the register, 0..4.
+        off: u8,
+    },
+}
+
+impl ShadowLoc {
+    /// The location `len` bytes after this one (same register or contiguous
+    /// physical memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a register location is advanced past byte 3.
+    #[inline]
+    pub fn offset(self, len: u8) -> ShadowLoc {
+        match self {
+            ShadowLoc::Mem(a) => ShadowLoc::Mem(a.wrapping_add(len as u32)),
+            ShadowLoc::Reg { reg, off } => {
+                debug_assert!(off + len < 4);
+                ShadowLoc::Reg { reg, off: off + len }
+            }
+        }
+    }
+}
+
+/// CPU condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag (unsigned borrow after `CMP`).
+    pub cf: bool,
+    /// Overflow flag (signed overflow after `CMP`).
+    pub of: bool,
+}
+
+/// Context describing the instruction currently being executed, passed to
+/// every hook.
+#[derive(Debug, Clone)]
+pub struct InsnCtx {
+    /// Virtual address the instruction was fetched from.
+    pub vaddr: u32,
+    /// Physical address of each instruction byte (fetch may cross pages).
+    pub code_phys: [u32; MAX_INSTR_LEN],
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Address space (CR3) the instruction executed under.
+    pub asid: Asid,
+}
+
+impl InsnCtx {
+    /// Physical addresses of the instruction's code bytes.
+    pub fn code_bytes(&self) -> &[u32] {
+        &self.code_phys[..self.len as usize]
+    }
+}
+
+/// Receiver for execution and data-flow events.
+///
+/// All methods default to no-ops; implementors override what they need. The
+/// `Cpu` is generic over the hook type, so an unhooked run compiles down to a
+/// bare interpreter.
+#[allow(unused_variables)]
+pub trait CpuHooks {
+    /// Called before an instruction executes (after a successful fetch and
+    /// decode, before any side effect).
+    fn on_insn(&mut self, ctx: &InsnCtx) {}
+
+    /// A byte-wise copy: `shadow(dst + i) = shadow(src + i)` for `i < len`.
+    fn flow_copy(&mut self, dst: ShadowLoc, src: ShadowLoc, len: u8) {}
+
+    /// A computation: every destination byte receives the union of all
+    /// source bytes' shadows, unioned with its own when `keep_dst` is set.
+    fn flow_union(&mut self, dst: ShadowLoc, dst_len: u8, srcs: &[(ShadowLoc, u8)], keep_dst: bool) {}
+
+    /// Shadow deletion: `shadow(dst + i) = ∅` for `i < len` (the paper's
+    /// `delete` rule, fired by immediates and `xor r, r`).
+    fn flow_delete(&mut self, dst: ShadowLoc, len: u8) {}
+
+    /// An *address dependency*: the value written to `dst` was read from (or
+    /// written to) an address computed from the given register sources.
+    /// Policies that propagate address dependencies union these into the
+    /// destination; the default FAROS policy ignores them (§IV).
+    fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {}
+
+    /// A memory load is about to complete. `phys` is the physical address of
+    /// the first byte (subsequent bytes may be on another page; consult the
+    /// per-byte flows for exact placement).
+    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, dst: Reg) {}
+
+    /// A memory store is about to complete.
+    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, src: Reg) {}
+
+    /// A control transfer resolved. `target_src` is the shadow location the
+    /// target address was read from for indirect transfers (`ret`,
+    /// `call/jmp reg`), enabling Minos-style tainted-PC policies.
+    fn on_control(&mut self, ctx: &InsnCtx, target: u32, target_src: Option<ShadowLoc>) {}
+
+    /// A conditional branch resolved; `taken` tells which way. The flag
+    /// source is a *control dependency* — FAROS deliberately does not
+    /// propagate these (§VI-D discusses the bit-copy evasion this allows).
+    fn on_branch(&mut self, ctx: &InsnCtx, taken: bool) {}
+
+    /// The flags register was written by a comparison whose operands are
+    /// `srcs`. Conservative (RIFLE-style) policies use this to taint
+    /// branch-scoped writes; FAROS ignores it.
+    fn flow_flags(&mut self, srcs: &[(ShadowLoc, u8)]) {}
+}
+
+/// A [`CpuHooks`] implementation that does nothing — the plain-QEMU-speed
+/// configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl CpuHooks for NoHooks {}
+
+// Forwarding impl so `&mut dyn`-style hook stacks (e.g. a plugin manager
+// handed around as a trait object) satisfy the generic bound on `Cpu::step`.
+impl<H: CpuHooks + ?Sized> CpuHooks for &mut H {
+    fn on_insn(&mut self, ctx: &InsnCtx) {
+        (**self).on_insn(ctx);
+    }
+    fn flow_copy(&mut self, dst: ShadowLoc, src: ShadowLoc, len: u8) {
+        (**self).flow_copy(dst, src, len);
+    }
+    fn flow_union(&mut self, dst: ShadowLoc, dst_len: u8, srcs: &[(ShadowLoc, u8)], keep_dst: bool) {
+        (**self).flow_union(dst, dst_len, srcs, keep_dst);
+    }
+    fn flow_delete(&mut self, dst: ShadowLoc, len: u8) {
+        (**self).flow_delete(dst, len);
+    }
+    fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {
+        (**self).flow_addr_dep(dst, dst_len, addr_srcs);
+    }
+    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, dst: Reg) {
+        (**self).on_load(ctx, vaddr, phys, width, dst);
+    }
+    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, src: Reg) {
+        (**self).on_store(ctx, vaddr, phys, width, src);
+    }
+    fn on_control(&mut self, ctx: &InsnCtx, target: u32, target_src: Option<ShadowLoc>) {
+        (**self).on_control(ctx, target, target_src);
+    }
+    fn on_branch(&mut self, ctx: &InsnCtx, taken: bool) {
+        (**self).on_branch(ctx, taken);
+    }
+    fn flow_flags(&mut self, srcs: &[(ShadowLoc, u8)]) {
+        (**self).flow_flags(srcs);
+    }
+}
+
+/// Why [`Cpu::step`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Instruction retired normally.
+    Normal,
+    /// A control transfer retired (ends a basic block).
+    Branch,
+    /// The syscall gate fired (`int 0x2e`); the kernel must service it.
+    Syscall {
+        /// Interrupt vector.
+        vector: u8,
+    },
+    /// The thread executed `hlt` (thread exit in the guest ABI).
+    Halt,
+    /// A translation fault; `eip` still points at the faulting instruction.
+    Fault(Fault),
+    /// The bytes at `eip` are not a valid instruction.
+    Illegal {
+        /// Faulting instruction address.
+        vaddr: u32,
+        /// The decode failure.
+        err: DecodeError,
+    },
+}
+
+impl StepEvent {
+    /// Returns `true` for events the scheduler treats as thread-fatal.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, StepEvent::Fault(_) | StepEvent::Illegal { .. })
+    }
+}
+
+impl fmt::Display for StepEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepEvent::Normal => write!(f, "retired"),
+            StepEvent::Branch => write!(f, "branch"),
+            StepEvent::Syscall { vector } => write!(f, "syscall (int {vector:#x})"),
+            StepEvent::Halt => write!(f, "halt"),
+            StepEvent::Fault(fault) => write!(f, "{fault}"),
+            StepEvent::Illegal { vaddr, err } => {
+                write!(f, "illegal instruction at {vaddr:#010x}: {err}")
+            }
+        }
+    }
+}
+
+/// The architectural thread context: registers, program counter, flags.
+///
+/// This is what the kernel snapshots on a context switch and what
+/// `NtGetContextThread` / `NtSetContextThread` expose to guests — the
+/// process-hollowing attack depends on being able to redirect a suspended
+/// thread's `eip` through this structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CpuContext {
+    /// General-purpose registers, indexed by [`Reg::index`].
+    pub regs: [u32; NUM_REGS],
+    /// Program counter.
+    pub eip: u32,
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+/// The FE32 CPU.
+///
+/// # Examples
+///
+/// ```
+/// use faros_emu::asm::Asm;
+/// use faros_emu::cpu::{Cpu, NoHooks, StepEvent};
+/// use faros_emu::isa::Reg;
+/// use faros_emu::mem::PhysMem;
+/// use faros_emu::mmu::{AddressSpace, Asid, Perms};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mem = PhysMem::new(4);
+/// let frame = mem.alloc_frame()?;
+/// let mut aspace = AddressSpace::new(Asid(1));
+/// aspace.map(0x1000, frame, Perms::RX);
+///
+/// let mut asm = Asm::new(0x1000);
+/// asm.mov_ri(Reg::Eax, 41);
+/// asm.add_ri(Reg::Eax, 1);
+/// asm.hlt();
+/// mem.write(frame * 4096, &asm.assemble()?)?;
+///
+/// let mut cpu = Cpu::new();
+/// cpu.context_mut().eip = 0x1000;
+/// cpu.set_asid(Asid(1));
+/// while cpu.step(&mut mem, &aspace, &mut NoHooks) != StepEvent::Halt {}
+/// assert_eq!(cpu.reg(Reg::Eax), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    ctx: CpuContext,
+    asid: Asid,
+    retired: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers zeroed.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// The architectural context (registers, `eip`, flags).
+    pub fn context(&self) -> &CpuContext {
+        &self.ctx
+    }
+
+    /// Mutable access to the architectural context.
+    pub fn context_mut(&mut self) -> &mut CpuContext {
+        &mut self.ctx
+    }
+
+    /// Reads a general-purpose register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.ctx.regs[r.index()]
+    }
+
+    /// Writes a general-purpose register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, val: u32) {
+        self.ctx.regs[r.index()] = val;
+    }
+
+    /// The current address-space identifier (CR3).
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Loads CR3 — performed by the kernel on a context switch.
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.asid = asid;
+    }
+
+    /// Total instructions retired since construction.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn mem_addr(&self, mem_op: &Mem) -> u32 {
+        let mut addr = mem_op.disp as u32;
+        if let Some(b) = mem_op.base {
+            addr = addr.wrapping_add(self.reg(b));
+        }
+        if let Some((i, scale)) = mem_op.index {
+            addr = addr.wrapping_add(self.reg(i).wrapping_mul(scale as u32));
+        }
+        addr
+    }
+
+    /// Translates `width` bytes starting at `vaddr`, byte by byte (accesses
+    /// may cross page boundaries).
+    fn translate_range(
+        aspace: &AddressSpace,
+        vaddr: u32,
+        width: usize,
+        access: Access,
+    ) -> Result<[u32; 4], Fault> {
+        let mut phys = [0u32; 4];
+        for (i, slot) in phys.iter_mut().enumerate().take(width) {
+            *slot = aspace.translate(vaddr.wrapping_add(i as u32), access)?;
+        }
+        Ok(phys)
+    }
+
+    fn read_mem(
+        mem: &PhysMem,
+        phys: &[u32; 4],
+        width: usize,
+    ) -> u32 {
+        let mut val = 0u32;
+        for (i, &p) in phys.iter().enumerate().take(width) {
+            // Physical addresses were produced by translate(); the kernel
+            // never maps beyond installed memory, so this cannot fail.
+            let byte = mem.read_u8(p).expect("translated address in range");
+            val |= (byte as u32) << (8 * i);
+        }
+        val
+    }
+
+    fn write_mem(mem: &mut PhysMem, phys: &[u32; 4], width: usize, val: u32) {
+        for (i, &p) in phys.iter().enumerate().take(width) {
+            mem.write_u8(p, (val >> (8 * i)) as u8)
+                .expect("translated address in range");
+        }
+    }
+
+    fn addr_srcs(mem_op: &Mem) -> ([(ShadowLoc, u8); 2], usize) {
+        let mut srcs = [(ShadowLoc::Reg { reg: Reg::Eax, off: 0 }, 0u8); 2];
+        let mut n = 0;
+        for r in mem_op.regs_used() {
+            srcs[n] = (ShadowLoc::Reg { reg: r, off: 0 }, 4);
+            n += 1;
+        }
+        (srcs, n)
+    }
+
+    fn set_cmp_flags(&mut self, a: u32, b: u32) {
+        let (res, borrow) = a.overflowing_sub(b);
+        self.ctx.flags.zf = res == 0;
+        self.ctx.flags.sf = (res as i32) < 0;
+        self.ctx.flags.cf = borrow;
+        self.ctx.flags.of = ((a ^ b) & (a ^ res)) & 0x8000_0000 != 0;
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        let f = self.ctx.flags;
+        match cond {
+            Cond::Z => f.zf,
+            Cond::Nz => !f.zf,
+            Cond::L => f.sf != f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::B => f.cf,
+            Cond::Ae => !f.cf,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// On a fault the CPU state is unchanged (`eip` still addresses the
+    /// faulting instruction) and no data-flow hooks have fired for it, so the
+    /// kernel can deliver the fault precisely.
+    pub fn step<H: CpuHooks>(
+        &mut self,
+        mem: &mut PhysMem,
+        aspace: &AddressSpace,
+        hooks: &mut H,
+    ) -> StepEvent {
+        // --- Fetch ---
+        let vaddr = self.ctx.eip;
+        let mut code = [0u8; MAX_INSTR_LEN];
+        let mut code_phys = [0u32; MAX_INSTR_LEN];
+        let mut fetched = 0usize;
+        for i in 0..MAX_INSTR_LEN {
+            match aspace.translate(vaddr.wrapping_add(i as u32), Access::Exec) {
+                Ok(p) => {
+                    code_phys[i] = p;
+                    code[i] = mem.read_u8(p).expect("translated address in range");
+                    fetched = i + 1;
+                }
+                Err(fault) => {
+                    // A fetch fault only matters if decoding actually needs
+                    // this byte; try decoding what we have first.
+                    if fetched == 0 {
+                        return StepEvent::Fault(fault);
+                    }
+                    break;
+                }
+            }
+        }
+        let (instr, len) = match decode(&code[..fetched]) {
+            Ok(ok) => ok,
+            Err(DecodeError::Truncated) if fetched < MAX_INSTR_LEN => {
+                // Ran off the mapped region mid-instruction.
+                return StepEvent::Fault(Fault::NotMapped {
+                    vaddr: vaddr.wrapping_add(fetched as u32),
+                });
+            }
+            Err(err) => return StepEvent::Illegal { vaddr, err },
+        };
+
+        let ctx = InsnCtx {
+            vaddr,
+            code_phys,
+            len: len as u8,
+            instr,
+            asid: self.asid,
+        };
+        hooks.on_insn(&ctx);
+
+        let next_eip = vaddr.wrapping_add(len as u32);
+
+        // --- Execute ---
+        macro_rules! reg_loc {
+            ($r:expr) => {
+                ShadowLoc::Reg { reg: $r, off: 0 }
+            };
+        }
+
+        let event = match instr {
+            Instr::Nop => {
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Hlt => {
+                self.ctx.eip = next_eip;
+                StepEvent::Halt
+            }
+            Instr::MovRR { dst, src } => {
+                self.set_reg(dst, self.reg(src));
+                hooks.flow_copy(reg_loc!(dst), reg_loc!(src), 4);
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::MovRI { dst, imm } => {
+                self.set_reg(dst, imm);
+                hooks.flow_delete(reg_loc!(dst), 4);
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Load { dst, mem: m, width } => {
+                let addr = self.mem_addr(&m);
+                let w = width.bytes();
+                let phys = match Self::translate_range(aspace, addr, w, Access::Read) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                let val = Self::read_mem(mem, &phys, w);
+                hooks.on_load(&ctx, addr, phys[0], width, dst);
+                self.set_reg(dst, val);
+                for (i, &p) in phys.iter().enumerate().take(w) {
+                    hooks.flow_copy(
+                        ShadowLoc::Reg { reg: dst, off: i as u8 },
+                        ShadowLoc::Mem(p),
+                        1,
+                    );
+                }
+                if w < 4 {
+                    // Zero-extension clears the upper shadow bytes too.
+                    hooks.flow_delete(ShadowLoc::Reg { reg: dst, off: w as u8 }, (4 - w) as u8);
+                }
+                let (srcs, n) = Self::addr_srcs(&m);
+                if n > 0 {
+                    hooks.flow_addr_dep(reg_loc!(dst), 4, &srcs[..n]);
+                }
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Store { mem: m, src, width } => {
+                let addr = self.mem_addr(&m);
+                let w = width.bytes();
+                let phys = match Self::translate_range(aspace, addr, w, Access::Write) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                hooks.on_store(&ctx, addr, phys[0], width, src);
+                Self::write_mem(mem, &phys, w, self.reg(src));
+                for (i, &p) in phys.iter().enumerate().take(w) {
+                    hooks.flow_copy(
+                        ShadowLoc::Mem(p),
+                        ShadowLoc::Reg { reg: src, off: i as u8 },
+                        1,
+                    );
+                }
+                let (srcs, n) = Self::addr_srcs(&m);
+                if n > 0 {
+                    hooks.flow_addr_dep(ShadowLoc::Mem(phys[0]), w as u8, &srcs[..n]);
+                }
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Lea { dst, mem: m } => {
+                let addr = self.mem_addr(&m);
+                self.set_reg(dst, addr);
+                let (srcs, n) = Self::addr_srcs(&m);
+                hooks.flow_union(reg_loc!(dst), 4, &srcs[..n], false);
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Alu { op, dst, src } => {
+                let b = match src {
+                    Operand::Reg(r) => self.reg(r),
+                    Operand::Imm(i) => i,
+                };
+                let a = self.reg(dst);
+                let res = op.apply(a, b);
+                self.set_reg(dst, res);
+                self.ctx.flags.zf = res == 0;
+                self.ctx.flags.sf = (res as i32) < 0;
+                match src {
+                    Operand::Reg(r) if r == dst && matches!(op, AluOp::Xor | AluOp::Sub) => {
+                        // xor r, r / sub r, r: result is constant zero —
+                        // the canonical taint-deleting idiom (paper §V-A).
+                        hooks.flow_delete(reg_loc!(dst), 4);
+                    }
+                    Operand::Reg(r) => {
+                        hooks.flow_union(reg_loc!(dst), 4, &[(reg_loc!(r), 4)], true);
+                    }
+                    Operand::Imm(_) => {
+                        // Computation with an untainted constant: destination
+                        // provenance is unchanged.
+                    }
+                }
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Cmp { a, b } => {
+                let bv = match b {
+                    Operand::Reg(r) => self.reg(r),
+                    Operand::Imm(i) => i,
+                };
+                self.set_cmp_flags(self.reg(a), bv);
+                match b {
+                    Operand::Reg(r) => {
+                        hooks.flow_flags(&[(reg_loc!(a), 4), (reg_loc!(r), 4)]);
+                    }
+                    Operand::Imm(_) => hooks.flow_flags(&[(reg_loc!(a), 4)]),
+                }
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Test { a, b } => {
+                let bv = match b {
+                    Operand::Reg(r) => self.reg(r),
+                    Operand::Imm(i) => i,
+                };
+                let res = self.reg(a) & bv;
+                self.ctx.flags.zf = res == 0;
+                self.ctx.flags.sf = (res as i32) < 0;
+                self.ctx.flags.cf = false;
+                self.ctx.flags.of = false;
+                match b {
+                    Operand::Reg(r) => {
+                        hooks.flow_flags(&[(reg_loc!(a), 4), (reg_loc!(r), 4)]);
+                    }
+                    Operand::Imm(_) => hooks.flow_flags(&[(reg_loc!(a), 4)]),
+                }
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Jmp { rel } => {
+                let target = next_eip.wrapping_add(rel as u32);
+                hooks.on_control(&ctx, target, None);
+                self.ctx.eip = target;
+                StepEvent::Branch
+            }
+            Instr::Jcc { cond, rel } => {
+                let taken = self.cond_holds(cond);
+                hooks.on_branch(&ctx, taken);
+                self.ctx.eip = if taken {
+                    next_eip.wrapping_add(rel as u32)
+                } else {
+                    next_eip
+                };
+                StepEvent::Branch
+            }
+            Instr::Call { rel } => {
+                let target = next_eip.wrapping_add(rel as u32);
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                let phys = match Self::translate_range(aspace, sp, 4, Access::Write) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                Self::write_mem(mem, &phys, 4, next_eip);
+                for p in &phys {
+                    hooks.flow_delete(ShadowLoc::Mem(*p), 1);
+                }
+                self.set_reg(Reg::Esp, sp);
+                hooks.on_control(&ctx, target, None);
+                self.ctx.eip = target;
+                StepEvent::Branch
+            }
+            Instr::CallReg { target } => {
+                let tgt = self.reg(target);
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                let phys = match Self::translate_range(aspace, sp, 4, Access::Write) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                Self::write_mem(mem, &phys, 4, next_eip);
+                for p in &phys {
+                    hooks.flow_delete(ShadowLoc::Mem(*p), 1);
+                }
+                self.set_reg(Reg::Esp, sp);
+                hooks.on_control(&ctx, tgt, Some(reg_loc!(target)));
+                self.ctx.eip = tgt;
+                StepEvent::Branch
+            }
+            Instr::JmpReg { target } => {
+                let tgt = self.reg(target);
+                hooks.on_control(&ctx, tgt, Some(reg_loc!(target)));
+                self.ctx.eip = tgt;
+                StepEvent::Branch
+            }
+            Instr::Ret => {
+                let sp = self.reg(Reg::Esp);
+                let phys = match Self::translate_range(aspace, sp, 4, Access::Read) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                let target = Self::read_mem(mem, &phys, 4);
+                self.set_reg(Reg::Esp, sp.wrapping_add(4));
+                hooks.on_control(&ctx, target, Some(ShadowLoc::Mem(phys[0])));
+                self.ctx.eip = target;
+                StepEvent::Branch
+            }
+            Instr::Push { src } => {
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                let phys = match Self::translate_range(aspace, sp, 4, Access::Write) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                Self::write_mem(mem, &phys, 4, self.reg(src));
+                for (i, p) in phys.iter().enumerate() {
+                    hooks.flow_copy(
+                        ShadowLoc::Mem(*p),
+                        ShadowLoc::Reg { reg: src, off: i as u8 },
+                        1,
+                    );
+                }
+                self.set_reg(Reg::Esp, sp);
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::PushImm { imm } => {
+                let sp = self.reg(Reg::Esp).wrapping_sub(4);
+                let phys = match Self::translate_range(aspace, sp, 4, Access::Write) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                Self::write_mem(mem, &phys, 4, imm);
+                for p in &phys {
+                    hooks.flow_delete(ShadowLoc::Mem(*p), 1);
+                }
+                self.set_reg(Reg::Esp, sp);
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Pop { dst } => {
+                let sp = self.reg(Reg::Esp);
+                let phys = match Self::translate_range(aspace, sp, 4, Access::Read) {
+                    Ok(p) => p,
+                    Err(f) => return StepEvent::Fault(f),
+                };
+                let val = Self::read_mem(mem, &phys, 4);
+                self.set_reg(dst, val);
+                for (i, p) in phys.iter().enumerate() {
+                    hooks.flow_copy(
+                        ShadowLoc::Reg { reg: dst, off: i as u8 },
+                        ShadowLoc::Mem(*p),
+                        1,
+                    );
+                }
+                self.set_reg(Reg::Esp, sp.wrapping_add(4));
+                self.ctx.eip = next_eip;
+                StepEvent::Normal
+            }
+            Instr::Int { vector } => {
+                self.ctx.eip = next_eip;
+                if vector == SYSCALL_VECTOR {
+                    StepEvent::Syscall { vector }
+                } else {
+                    // Unknown vectors behave as an illegal operation.
+                    StepEvent::Illegal { vaddr, err: DecodeError::BadOpcode(vector) }
+                }
+            }
+        };
+        self.retired += 1;
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::mem::PAGE_SIZE;
+    use crate::mmu::Perms;
+
+    fn machine(code: &Asm) -> (Cpu, PhysMem, AddressSpace) {
+        let mut mem = PhysMem::new(16);
+        let code_frame = mem.alloc_frame().unwrap();
+        let data_frame = mem.alloc_frame().unwrap();
+        let stack_frame = mem.alloc_frame().unwrap();
+        let mut aspace = AddressSpace::new(Asid(0x1000));
+        aspace.map(0x1000, code_frame, Perms::RX);
+        aspace.map(0x2000, data_frame, Perms::RW);
+        aspace.map(0x3000, stack_frame, Perms::RW);
+        let bytes = code.clone().assemble().unwrap();
+        assert!(bytes.len() <= PAGE_SIZE as usize);
+        mem.write(code_frame * PAGE_SIZE, &bytes).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = 0x1000;
+        cpu.set_reg(Reg::Esp, 0x4000); // top of stack page
+        cpu.set_asid(Asid(0x1000));
+        (cpu, mem, aspace)
+    }
+
+    fn run(cpu: &mut Cpu, mem: &mut PhysMem, aspace: &AddressSpace) -> StepEvent {
+        for _ in 0..10_000 {
+            let ev = cpu.step(mem, aspace, &mut NoHooks);
+            match ev {
+                StepEvent::Normal | StepEvent::Branch => continue,
+                other => return other,
+            }
+        }
+        panic!("program did not terminate");
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 10);
+        a.mov_ri(Reg::Ebx, 3);
+        a.sub_rr(Reg::Eax, Reg::Ebx); // 7
+        a.mul_ri(Reg::Eax, 6); // 42
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        assert_eq!(run(&mut cpu, &mut mem, &aspace), StepEvent::Halt);
+        assert_eq!(cpu.reg(Reg::Eax), 42);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 0xcafe_babe);
+        a.st4(Mem::abs(0x2010), Reg::Eax);
+        a.ld4(Reg::Ebx, Mem::abs(0x2010));
+        a.ld1(Reg::Ecx, Mem::abs(0x2010)); // low byte, zero-extended
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        assert_eq!(run(&mut cpu, &mut mem, &aspace), StepEvent::Halt);
+        assert_eq!(cpu.reg(Reg::Ebx), 0xcafe_babe);
+        assert_eq!(cpu.reg(Reg::Ecx), 0xbe);
+    }
+
+    #[test]
+    fn scaled_index_addressing() {
+        let mut a = Asm::new(0x1000);
+        // table[i] for i = 3 with 4-byte entries at 0x2000.
+        a.mov_ri(Reg::Ebx, 0x2000);
+        a.mov_ri(Reg::Ecx, 3);
+        a.ld4(Reg::Eax, Mem::table(Reg::Ebx, Reg::Ecx, 4));
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        mem.write_u32(PAGE_SIZE + 12, 0x1234_5678).unwrap(); // data frame is pfn 1
+        assert_eq!(run(&mut cpu, &mut mem, &aspace), StepEvent::Halt);
+        assert_eq!(cpu.reg(Reg::Eax), 0x1234_5678);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 0);
+        a.mov_ri(Reg::Ecx, 5);
+        a.label("loop");
+        a.add_ri(Reg::Eax, 2);
+        a.sub_ri(Reg::Ecx, 1);
+        a.cmp_ri(Reg::Ecx, 0);
+        a.jnz("loop");
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        assert_eq!(run(&mut cpu, &mut mem, &aspace), StepEvent::Halt);
+        assert_eq!(cpu.reg(Reg::Eax), 10);
+    }
+
+    #[test]
+    fn call_ret_uses_stack() {
+        let mut a = Asm::new(0x1000);
+        a.call("fn");
+        a.add_ri(Reg::Eax, 1); // executes after ret
+        a.hlt();
+        a.label("fn");
+        a.mov_ri(Reg::Eax, 41);
+        a.ret();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        assert_eq!(run(&mut cpu, &mut mem, &aspace), StepEvent::Halt);
+        assert_eq!(cpu.reg(Reg::Eax), 42);
+        assert_eq!(cpu.reg(Reg::Esp), 0x4000, "stack balanced");
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 7);
+        a.push(Reg::Eax);
+        a.push_imm(9);
+        a.pop(Reg::Ebx); // 9
+        a.pop(Reg::Ecx); // 7
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        assert_eq!(run(&mut cpu, &mut mem, &aspace), StepEvent::Halt);
+        assert_eq!(cpu.reg(Reg::Ebx), 9);
+        assert_eq!(cpu.reg(Reg::Ecx), 7);
+    }
+
+    #[test]
+    fn syscall_gate_reports_vector() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 5);
+        a.int_syscall();
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        let mut ev = cpu.step(&mut mem, &aspace, &mut NoHooks);
+        while ev == StepEvent::Normal {
+            ev = cpu.step(&mut mem, &aspace, &mut NoHooks);
+        }
+        assert_eq!(ev, StepEvent::Syscall { vector: SYSCALL_VECTOR });
+        // eip advanced past the gate: kernel resumes after it.
+        assert_eq!(cpu.step(&mut mem, &aspace, &mut NoHooks), StepEvent::Halt);
+    }
+
+    #[test]
+    fn write_to_ro_page_faults_precisely() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 1);
+        a.st4(Mem::abs(0x1000), Reg::Eax); // code page is RX
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        let ev = run(&mut cpu, &mut mem, &aspace);
+        assert_eq!(
+            ev,
+            StepEvent::Fault(Fault::Protection { vaddr: 0x1000, access: Access::Write })
+        );
+        // eip still points at the faulting store (precise fault).
+        let (i, _) = decode(&{
+            let p = aspace.translate(cpu.context().eip, Access::Exec).unwrap();
+            let mut b = [0u8; MAX_INSTR_LEN];
+            mem.read(p, &mut b).unwrap();
+            b
+        })
+        .unwrap();
+        assert!(matches!(i, Instr::Store { .. }));
+    }
+
+    #[test]
+    fn jump_to_unmapped_page_faults() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 0x7000_0000);
+        a.jmp_reg(Reg::Eax);
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        let ev = run(&mut cpu, &mut mem, &aspace);
+        assert!(matches!(ev, StepEvent::Fault(Fault::NotMapped { vaddr: 0x7000_0000 })));
+    }
+
+    #[test]
+    fn illegal_bytes_fault() {
+        let mut mem = PhysMem::new(2);
+        let f = mem.alloc_frame().unwrap();
+        let mut aspace = AddressSpace::new(Asid(1));
+        aspace.map(0x1000, f, Perms::RX);
+        mem.write(f * PAGE_SIZE, &[0xff, 0xff]).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = 0x1000;
+        let ev = cpu.step(&mut mem, &aspace, &mut NoHooks);
+        assert!(matches!(ev, StepEvent::Illegal { vaddr: 0x1000, .. }));
+        assert!(ev.is_fatal());
+    }
+
+    #[test]
+    fn flow_events_for_mov_chain() {
+        #[derive(Default)]
+        struct Recorder {
+            copies: Vec<(ShadowLoc, ShadowLoc, u8)>,
+            deletes: Vec<(ShadowLoc, u8)>,
+        }
+        impl CpuHooks for Recorder {
+            fn flow_copy(&mut self, dst: ShadowLoc, src: ShadowLoc, len: u8) {
+                self.copies.push((dst, src, len));
+            }
+            fn flow_delete(&mut self, dst: ShadowLoc, len: u8) {
+                self.deletes.push((dst, len));
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 5); // delete eax
+        a.mov_rr(Reg::Ebx, Reg::Eax); // copy eax -> ebx
+        a.xor_rr(Reg::Ecx, Reg::Ecx); // delete ecx
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        let mut rec = Recorder::default();
+        while !matches!(cpu.step(&mut mem, &aspace, &mut rec), StepEvent::Halt) {}
+        assert_eq!(
+            rec.copies,
+            vec![(
+                ShadowLoc::Reg { reg: Reg::Ebx, off: 0 },
+                ShadowLoc::Reg { reg: Reg::Eax, off: 0 },
+                4
+            )]
+        );
+        assert_eq!(rec.deletes.len(), 2);
+        assert_eq!(rec.deletes[0], (ShadowLoc::Reg { reg: Reg::Eax, off: 0 }, 4));
+        assert_eq!(rec.deletes[1], (ShadowLoc::Reg { reg: Reg::Ecx, off: 0 }, 4));
+    }
+
+    #[test]
+    fn load_reports_physical_address() {
+        struct LoadWatch(Option<(u32, u32)>);
+        impl CpuHooks for LoadWatch {
+            fn on_load(&mut self, _ctx: &InsnCtx, vaddr: u32, phys: u32, _w: Width, _d: Reg) {
+                self.0 = Some((vaddr, phys));
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        a.ld4(Reg::Eax, Mem::abs(0x2014));
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        let mut w = LoadWatch(None);
+        while !matches!(cpu.step(&mut mem, &aspace, &mut w), StepEvent::Halt) {}
+        // data page (0x2000) maps to pfn 1 in the test fixture.
+        assert_eq!(w.0, Some((0x2014, PAGE_SIZE + 0x14)));
+    }
+
+    #[test]
+    fn retired_counter_advances() {
+        let mut a = Asm::new(0x1000);
+        a.nop();
+        a.nop();
+        a.hlt();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        run(&mut cpu, &mut mem, &aspace);
+        assert_eq!(cpu.retired(), 3);
+    }
+}

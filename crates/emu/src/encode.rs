@@ -1,0 +1,492 @@
+//! Binary encoding and decoding of FE32 instructions.
+//!
+//! Instructions are variable-length byte sequences: one opcode byte followed
+//! by operand bytes (registers one byte each, immediates/displacements
+//! little-endian 32-bit, memory operands a flags byte plus components).
+//!
+//! Byte-level encoding matters for the reproduction: FAROS flags attacks by
+//! the provenance of the *bytes an instruction was fetched from*, so guest
+//! code must exist as taggable bytes in guest memory rather than as a
+//! pre-decoded structure.
+//!
+//! # Examples
+//!
+//! ```
+//! use faros_emu::encode::{decode, encode};
+//! use faros_emu::isa::{Instr, Reg};
+//!
+//! let i = Instr::MovRI { dst: Reg::Eax, imm: 0xdead_beef };
+//! let bytes = encode(&i);
+//! let (decoded, len) = decode(&bytes).unwrap();
+//! assert_eq!(decoded, i);
+//! assert_eq!(len, bytes.len());
+//! ```
+
+use crate::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width};
+use std::fmt;
+
+/// Error returned when a byte sequence is not a valid FE32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first byte is not a known opcode.
+    BadOpcode(u8),
+    /// A register operand byte is out of range.
+    BadReg(u8),
+    /// A memory operand's scale field is not 1, 2, 4, or 8.
+    BadScale(u8),
+    /// The byte sequence ends before the instruction is complete.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode byte {op:#04x}"),
+            DecodeError::BadReg(r) => write!(f, "invalid register encoding {r:#04x}"),
+            DecodeError::BadScale(s) => write!(f, "invalid scale encoding {s:#04x}"),
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space layout. Kept dense per class so decode dispatch stays simple.
+const OP_NOP: u8 = 0x00;
+const OP_MOV_RR: u8 = 0x01;
+const OP_MOV_RI: u8 = 0x02;
+const OP_LOAD_B1: u8 = 0x10;
+const OP_LOAD_B2: u8 = 0x11;
+const OP_LOAD_B4: u8 = 0x12;
+const OP_STORE_B1: u8 = 0x14;
+const OP_STORE_B2: u8 = 0x15;
+const OP_STORE_B4: u8 = 0x16;
+const OP_LEA: u8 = 0x18;
+const OP_ALU_RR_BASE: u8 = 0x20; // ..0x27
+const OP_ALU_RI_BASE: u8 = 0x28; // ..0x2f
+const OP_CMP_RR: u8 = 0x30;
+const OP_CMP_RI: u8 = 0x31;
+const OP_TEST_RR: u8 = 0x32;
+const OP_TEST_RI: u8 = 0x33;
+const OP_JMP: u8 = 0x40;
+const OP_JCC_BASE: u8 = 0x48; // ..0x4f
+const OP_CALL: u8 = 0x50;
+const OP_CALL_REG: u8 = 0x51;
+const OP_RET: u8 = 0x52;
+const OP_JMP_REG: u8 = 0x53;
+const OP_PUSH: u8 = 0x60;
+const OP_PUSH_IMM: u8 = 0x61;
+const OP_POP: u8 = 0x62;
+const OP_INT: u8 = 0x70;
+const OP_HLT: u8 = 0x71;
+
+/// Encodes one instruction, appending its bytes to `out`.
+pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) {
+    match *instr {
+        Instr::Nop => out.push(OP_NOP),
+        Instr::MovRR { dst, src } => {
+            out.push(OP_MOV_RR);
+            out.push(dst as u8);
+            out.push(src as u8);
+        }
+        Instr::MovRI { dst, imm } => {
+            out.push(OP_MOV_RI);
+            out.push(dst as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::Load { dst, mem, width } => {
+            out.push(match width {
+                Width::B1 => OP_LOAD_B1,
+                Width::B2 => OP_LOAD_B2,
+                Width::B4 => OP_LOAD_B4,
+            });
+            out.push(dst as u8);
+            encode_mem(&mem, out);
+        }
+        Instr::Store { mem, src, width } => {
+            out.push(match width {
+                Width::B1 => OP_STORE_B1,
+                Width::B2 => OP_STORE_B2,
+                Width::B4 => OP_STORE_B4,
+            });
+            out.push(src as u8);
+            encode_mem(&mem, out);
+        }
+        Instr::Lea { dst, mem } => {
+            out.push(OP_LEA);
+            out.push(dst as u8);
+            encode_mem(&mem, out);
+        }
+        Instr::Alu { op, dst, src } => match src {
+            Operand::Reg(s) => {
+                out.push(OP_ALU_RR_BASE + op as u8);
+                out.push(dst as u8);
+                out.push(s as u8);
+            }
+            Operand::Imm(imm) => {
+                out.push(OP_ALU_RI_BASE + op as u8);
+                out.push(dst as u8);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        },
+        Instr::Cmp { a, b } => match b {
+            Operand::Reg(r) => {
+                out.push(OP_CMP_RR);
+                out.push(a as u8);
+                out.push(r as u8);
+            }
+            Operand::Imm(imm) => {
+                out.push(OP_CMP_RI);
+                out.push(a as u8);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        },
+        Instr::Test { a, b } => match b {
+            Operand::Reg(r) => {
+                out.push(OP_TEST_RR);
+                out.push(a as u8);
+                out.push(r as u8);
+            }
+            Operand::Imm(imm) => {
+                out.push(OP_TEST_RI);
+                out.push(a as u8);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        },
+        Instr::Jmp { rel } => {
+            out.push(OP_JMP);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Instr::Jcc { cond, rel } => {
+            out.push(OP_JCC_BASE + cond as u8);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Instr::Call { rel } => {
+            out.push(OP_CALL);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Instr::CallReg { target } => {
+            out.push(OP_CALL_REG);
+            out.push(target as u8);
+        }
+        Instr::JmpReg { target } => {
+            out.push(OP_JMP_REG);
+            out.push(target as u8);
+        }
+        Instr::Ret => out.push(OP_RET),
+        Instr::Push { src } => {
+            out.push(OP_PUSH);
+            out.push(src as u8);
+        }
+        Instr::PushImm { imm } => {
+            out.push(OP_PUSH_IMM);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::Pop { dst } => {
+            out.push(OP_POP);
+            out.push(dst as u8);
+        }
+        Instr::Int { vector } => {
+            out.push(OP_INT);
+            out.push(vector);
+        }
+        Instr::Hlt => out.push(OP_HLT),
+    }
+}
+
+/// Encodes one instruction into a fresh byte vector.
+pub fn encode(instr: &Instr) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    encode_into(instr, &mut out);
+    out
+}
+
+fn encode_mem(mem: &Mem, out: &mut Vec<u8>) {
+    let mut flags = 0u8;
+    if mem.base.is_some() {
+        flags |= 1;
+    }
+    if mem.index.is_some() {
+        flags |= 2;
+    }
+    out.push(flags);
+    if let Some(b) = mem.base {
+        out.push(b as u8);
+    }
+    if let Some((i, scale)) = mem.index {
+        let log2 = scale.trailing_zeros() as u8;
+        out.push((i as u8) | (log2 << 4));
+    }
+    out.extend_from_slice(&mem.disp.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        Reg::from_index(b).ok_or(DecodeError::BadReg(b))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let flags = self.u8()?;
+        let base = if flags & 1 != 0 { Some(self.reg()?) } else { None };
+        let index = if flags & 2 != 0 {
+            let b = self.u8()?;
+            let reg = Reg::from_index(b & 0x0f).ok_or(DecodeError::BadReg(b))?;
+            let log2 = (b >> 4) & 0x0f;
+            if log2 > 3 {
+                return Err(DecodeError::BadScale(b));
+            }
+            Some((reg, 1u8 << log2))
+        } else {
+            None
+        };
+        let disp = self.i32()?;
+        Ok(Mem { base, index, disp })
+    }
+}
+
+/// Decodes one instruction from the start of `bytes`.
+///
+/// Returns the instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes do not form a valid instruction —
+/// this is how the emulator models an *illegal instruction* fault, e.g. when
+/// a process jumps into a non-code region.
+pub fn decode(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let opcode = r.u8()?;
+    let instr = match opcode {
+        OP_NOP => Instr::Nop,
+        OP_MOV_RR => Instr::MovRR { dst: r.reg()?, src: r.reg()? },
+        OP_MOV_RI => Instr::MovRI { dst: r.reg()?, imm: r.u32()? },
+        OP_LOAD_B1 | OP_LOAD_B2 | OP_LOAD_B4 => {
+            let width = match opcode {
+                OP_LOAD_B1 => Width::B1,
+                OP_LOAD_B2 => Width::B2,
+                _ => Width::B4,
+            };
+            Instr::Load { dst: r.reg()?, mem: r.mem()?, width }
+        }
+        OP_STORE_B1 | OP_STORE_B2 | OP_STORE_B4 => {
+            let width = match opcode {
+                OP_STORE_B1 => Width::B1,
+                OP_STORE_B2 => Width::B2,
+                _ => Width::B4,
+            };
+            let src = r.reg()?;
+            let mem = r.mem()?;
+            Instr::Store { mem, src, width }
+        }
+        OP_LEA => Instr::Lea { dst: r.reg()?, mem: r.mem()? },
+        op if (OP_ALU_RR_BASE..OP_ALU_RR_BASE + 8).contains(&op) => {
+            let alu = AluOp::ALL[(op - OP_ALU_RR_BASE) as usize];
+            Instr::Alu { op: alu, dst: r.reg()?, src: Operand::Reg(r.reg()?) }
+        }
+        op if (OP_ALU_RI_BASE..OP_ALU_RI_BASE + 8).contains(&op) => {
+            let alu = AluOp::ALL[(op - OP_ALU_RI_BASE) as usize];
+            Instr::Alu { op: alu, dst: r.reg()?, src: Operand::Imm(r.u32()?) }
+        }
+        OP_CMP_RR => Instr::Cmp { a: r.reg()?, b: Operand::Reg(r.reg()?) },
+        OP_CMP_RI => Instr::Cmp { a: r.reg()?, b: Operand::Imm(r.u32()?) },
+        OP_TEST_RR => Instr::Test { a: r.reg()?, b: Operand::Reg(r.reg()?) },
+        OP_TEST_RI => Instr::Test { a: r.reg()?, b: Operand::Imm(r.u32()?) },
+        OP_JMP => Instr::Jmp { rel: r.i32()? },
+        op if (OP_JCC_BASE..OP_JCC_BASE + 8).contains(&op) => Instr::Jcc {
+            cond: Cond::ALL[(op - OP_JCC_BASE) as usize],
+            rel: r.i32()?,
+        },
+        OP_CALL => Instr::Call { rel: r.i32()? },
+        OP_CALL_REG => Instr::CallReg { target: r.reg()? },
+        OP_JMP_REG => Instr::JmpReg { target: r.reg()? },
+        OP_RET => Instr::Ret,
+        OP_PUSH => Instr::Push { src: r.reg()? },
+        OP_PUSH_IMM => Instr::PushImm { imm: r.u32()? },
+        OP_POP => Instr::Pop { dst: r.reg()? },
+        OP_INT => Instr::Int { vector: r.u8()? },
+        OP_HLT => Instr::Hlt,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((instr, r.pos))
+}
+
+/// Maximum encoded length of any FE32 instruction, in bytes.
+///
+/// `ld4 dst, [base + index*scale + disp]`: opcode + reg + flags + base +
+/// index + disp32 = 9 bytes.
+pub const MAX_INSTR_LEN: usize = 9;
+
+/// Disassembles a byte region into `(address, instruction)` pairs, stopping
+/// at the first undecodable byte. `base` is the virtual address of
+/// `bytes[0]` (used for the reported addresses).
+///
+/// Forensic tools (the malfind-style scanner, analyst report previews) use
+/// this to render injected regions the way Volatility prints a disassembly
+/// listing.
+///
+/// # Examples
+///
+/// ```
+/// use faros_emu::encode::{disassemble, encode};
+/// use faros_emu::isa::{Instr, Reg};
+///
+/// let mut bytes = encode(&Instr::MovRI { dst: Reg::Eax, imm: 7 });
+/// bytes.extend(encode(&Instr::Hlt));
+/// let listing = disassemble(&bytes, 0x1000);
+/// assert_eq!(listing.len(), 2);
+/// assert_eq!(listing[0].0, 0x1000);
+/// assert_eq!(listing[1].1, Instr::Hlt);
+/// ```
+pub fn disassemble(bytes: &[u8], base: u32) -> Vec<(u32, Instr)> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match decode(&bytes[off..]) {
+            Ok((instr, len)) => {
+                out.push((base + off as u32, instr));
+                off += len;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Cond, Mem, Reg};
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Hlt,
+            Instr::Ret,
+            Instr::MovRR { dst: Reg::Eax, src: Reg::Esp },
+            Instr::MovRI { dst: Reg::Edi, imm: 0xffff_ffff },
+            Instr::Lea { dst: Reg::Esi, mem: Mem::table(Reg::Ebx, Reg::Ecx, 8) },
+            Instr::Jmp { rel: -1 },
+            Instr::Call { rel: 0x7fff_ffff },
+            Instr::CallReg { target: Reg::Edx },
+            Instr::JmpReg { target: Reg::Eax },
+            Instr::Push { src: Reg::Ebp },
+            Instr::PushImm { imm: 42 },
+            Instr::Pop { dst: Reg::Ebp },
+            Instr::Int { vector: 0x2e },
+            Instr::Cmp { a: Reg::Eax, b: Operand::Imm(7) },
+            Instr::Cmp { a: Reg::Eax, b: Operand::Reg(Reg::Ebx) },
+            Instr::Test { a: Reg::Ecx, b: Operand::Imm(1) },
+            Instr::Test { a: Reg::Ecx, b: Operand::Reg(Reg::Ecx) },
+        ];
+        for w in [Width::B1, Width::B2, Width::B4] {
+            v.push(Instr::Load { dst: Reg::Eax, mem: Mem::abs(0x8000_0000), width: w });
+            v.push(Instr::Store {
+                mem: Mem::base_disp(Reg::Edi, -16),
+                src: Reg::Ecx,
+                width: w,
+            });
+        }
+        for op in AluOp::ALL {
+            v.push(Instr::Alu { op, dst: Reg::Edx, src: Operand::Reg(Reg::Esi) });
+            v.push(Instr::Alu { op, dst: Reg::Edx, src: Operand::Imm(0x1234) });
+        }
+        for cond in Cond::ALL {
+            v.push(Instr::Jcc { cond, rel: -128 });
+        }
+        v
+    }
+
+    #[test]
+    fn round_trip_all_forms() {
+        for instr in all_sample_instrs() {
+            let bytes = encode(&instr);
+            assert!(bytes.len() <= MAX_INSTR_LEN, "{instr}: {} bytes", bytes.len());
+            let (decoded, len) = decode(&bytes).unwrap_or_else(|e| {
+                panic!("failed to decode {instr}: {e}");
+            });
+            assert_eq!(decoded, instr);
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        for instr in all_sample_instrs() {
+            let bytes = encode(&instr);
+            for cut in 0..bytes.len() {
+                if cut == 0 {
+                    assert_eq!(decode(&bytes[..0]), Err(DecodeError::Truncated));
+                    continue;
+                }
+                // Any strict prefix must either fail or decode to a shorter
+                // valid instruction (prefix coincidences are fine; silently
+                // decoding the *same* instruction from fewer bytes is not).
+                if let Ok((_, len)) = decode(&bytes[..cut]) {
+                    assert!(len <= cut);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_an_error() {
+        assert_eq!(decode(&[0xff]), Err(DecodeError::BadOpcode(0xff)));
+        assert_eq!(decode(&[0x90]), Err(DecodeError::BadOpcode(0x90)));
+    }
+
+    #[test]
+    fn bad_register_is_an_error() {
+        // MOV r, r with register byte 9.
+        assert_eq!(decode(&[OP_MOV_RR, 9, 0]), Err(DecodeError::BadReg(9)));
+    }
+
+    #[test]
+    fn bad_scale_is_an_error() {
+        // Load with index flags and scale log2 = 15.
+        let bytes = [OP_LOAD_B4, 0, 0b10, 0xf0, 0, 0, 0, 0];
+        assert_eq!(decode(&bytes), Err(DecodeError::BadScale(0xf0)));
+    }
+
+    #[test]
+    fn decode_empty_is_truncated() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn mem_operand_round_trip_edge_disps() {
+        for disp in [i32::MIN, -1, 0, 1, i32::MAX] {
+            let instr = Instr::Load {
+                dst: Reg::Eax,
+                mem: Mem { base: Some(Reg::Ebx), index: Some((Reg::Ecx, 2)), disp },
+                width: Width::B4,
+            };
+            let (d, _) = decode(&encode(&instr)).unwrap();
+            assert_eq!(d, instr);
+        }
+    }
+}

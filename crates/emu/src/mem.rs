@@ -1,0 +1,284 @@
+//! Guest physical memory and the frame allocator.
+//!
+//! All guest bytes — kernel images, process code, heaps, stacks — live in one
+//! flat [`PhysMem`]. Shadow (taint) state in the `faros-taint` crate is keyed
+//! by *physical* address, exactly like PANDA's taint2: that is what lets tags
+//! follow bytes across address spaces, which in turn is what makes
+//! cross-process injection visible to FAROS at all.
+
+use std::fmt;
+
+/// Size of a guest page/frame in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Mask selecting the offset-within-page bits of an address.
+pub const PAGE_MASK: u32 = PAGE_SIZE - 1;
+
+/// Returns the page/frame number containing `addr`.
+#[inline]
+pub fn page_number(addr: u32) -> u32 {
+    addr >> 12
+}
+
+/// Returns the byte offset of `addr` within its page.
+#[inline]
+pub fn page_offset(addr: u32) -> u32 {
+    addr & PAGE_MASK
+}
+
+/// Error returned when physical memory is exhausted or an access is out of
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// No free frames remain.
+    OutOfFrames,
+    /// A physical access fell outside the installed memory.
+    OutOfRange {
+        /// The offending physical address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames => write!(f, "physical memory exhausted"),
+            MemError::OutOfRange { addr } => {
+                write!(f, "physical address {addr:#010x} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Flat guest physical memory with a simple frame allocator.
+///
+/// # Examples
+///
+/// ```
+/// use faros_emu::mem::{PhysMem, PAGE_SIZE};
+///
+/// let mut mem = PhysMem::new(16);
+/// let frame = mem.alloc_frame().unwrap();
+/// let base = frame * PAGE_SIZE;
+/// mem.write(base, b"hello").unwrap();
+/// let mut buf = [0u8; 5];
+/// mem.read(base, &mut buf).unwrap();
+/// assert_eq!(&buf, b"hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    data: Vec<u8>,
+    next_frame: u32,
+    free_list: Vec<u32>,
+}
+
+impl PhysMem {
+    /// Creates a physical memory of `frames` pages, zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero or the total size would overflow `u32`.
+    pub fn new(frames: u32) -> PhysMem {
+        assert!(frames > 0, "physical memory must have at least one frame");
+        let bytes = (frames as u64) * (PAGE_SIZE as u64);
+        assert!(bytes <= u32::MAX as u64 + 1, "physical memory too large for a 32-bit guest");
+        PhysMem {
+            data: vec![0u8; bytes as usize],
+            next_frame: 0,
+            free_list: Vec::new(),
+        }
+    }
+
+    /// Total number of frames installed.
+    pub fn total_frames(&self) -> u32 {
+        (self.data.len() as u64 / PAGE_SIZE as u64) as u32
+    }
+
+    /// Number of frames still allocatable.
+    pub fn free_frames(&self) -> u32 {
+        self.total_frames() - self.next_frame + self.free_list.len() as u32
+    }
+
+    /// Allocates a zeroed frame and returns its frame number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] when memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<u32, MemError> {
+        if let Some(pfn) = self.free_list.pop() {
+            let base = (pfn * PAGE_SIZE) as usize;
+            self.data[base..base + PAGE_SIZE as usize].fill(0);
+            return Ok(pfn);
+        }
+        if self.next_frame < self.total_frames() {
+            let pfn = self.next_frame;
+            self.next_frame += 1;
+            Ok(pfn)
+        } else {
+            Err(MemError::OutOfFrames)
+        }
+    }
+
+    /// Returns a frame to the allocator.
+    ///
+    /// The frame's contents are zeroed on the next allocation, not here, so a
+    /// forensic snapshot taken after a free still sees stale bytes — the same
+    /// property malfind-style tools depend on (and transient attacks defeat
+    /// by wiping memory *before* exiting).
+    pub fn free_frame(&mut self, pfn: u32) {
+        debug_assert!(pfn < self.total_frames());
+        self.free_list.push(pfn);
+    }
+
+    /// Reads bytes at a physical address into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range exceeds installed memory.
+    pub fn read(&self, addr: u32, buf: &mut [u8]) -> Result<(), MemError> {
+        let start = addr as usize;
+        let end = start.checked_add(buf.len()).ok_or(MemError::OutOfRange { addr })?;
+        let src = self.data.get(start..end).ok_or(MemError::OutOfRange { addr })?;
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Writes `bytes` at a physical address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range exceeds installed memory.
+    pub fn write(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        let start = addr as usize;
+        let end = start.checked_add(bytes.len()).ok_or(MemError::OutOfRange { addr })?;
+        let dst = self.data.get_mut(start..end).ok_or(MemError::OutOfRange { addr })?;
+        dst.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if `addr` exceeds installed memory.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemError> {
+        self.data
+            .get(addr as usize)
+            .copied()
+            .ok_or(MemError::OutOfRange { addr })
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if `addr` exceeds installed memory.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, val: u8) -> Result<(), MemError> {
+        *self
+            .data
+            .get_mut(addr as usize)
+            .ok_or(MemError::OutOfRange { addr })? = val;
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range exceeds installed memory.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range exceeds installed memory.
+    pub fn write_u32(&mut self, addr: u32, val: u32) -> Result<(), MemError> {
+        self.write(addr, &val.to_le_bytes())
+    }
+
+    /// Borrows a physical byte range (used by snapshot scanners).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range exceeds installed memory.
+    pub fn slice(&self, addr: u32, len: usize) -> Result<&[u8], MemError> {
+        let start = addr as usize;
+        let end = start.checked_add(len).ok_or(MemError::OutOfRange { addr })?;
+        self.data.get(start..end).ok_or(MemError::OutOfRange { addr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhaustion() {
+        let mut mem = PhysMem::new(4);
+        assert_eq!(mem.free_frames(), 4);
+        let frames: Vec<u32> = (0..4).map(|_| mem.alloc_frame().unwrap()).collect();
+        assert_eq!(frames, vec![0, 1, 2, 3]);
+        assert_eq!(mem.alloc_frame(), Err(MemError::OutOfFrames));
+        mem.free_frame(2);
+        assert_eq!(mem.free_frames(), 1);
+        assert_eq!(mem.alloc_frame().unwrap(), 2);
+    }
+
+    #[test]
+    fn freed_frame_is_zeroed_on_realloc_not_on_free() {
+        let mut mem = PhysMem::new(2);
+        let f = mem.alloc_frame().unwrap();
+        let base = f * PAGE_SIZE;
+        mem.write(base, b"secret").unwrap();
+        mem.free_frame(f);
+        // Stale bytes visible post-free (forensics relies on this).
+        assert_eq!(mem.slice(base, 6).unwrap(), b"secret");
+        let f2 = mem.alloc_frame().unwrap();
+        assert_eq!(f2, f);
+        assert_eq!(mem.slice(base, 6).unwrap(), &[0u8; 6]);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = PhysMem::new(2);
+        mem.write_u32(100, 0xdead_beef).unwrap();
+        assert_eq!(mem.read_u32(100).unwrap(), 0xdead_beef);
+        assert_eq!(mem.read_u8(100).unwrap(), 0xef, "little-endian layout");
+        mem.write_u8(103, 0x00).unwrap();
+        assert_eq!(mem.read_u32(100).unwrap(), 0x00ad_beef);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut mem = PhysMem::new(1);
+        assert!(mem.read_u8(PAGE_SIZE).is_err());
+        assert!(mem.write_u8(PAGE_SIZE, 0).is_err());
+        let mut buf = [0u8; 8];
+        assert!(mem.read(PAGE_SIZE - 4, &mut buf).is_err());
+        assert!(mem.write(PAGE_SIZE - 4, &buf).is_err());
+        assert!(mem.read_u32(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        assert_eq!(page_number(0), 0);
+        assert_eq!(page_number(4095), 0);
+        assert_eq!(page_number(4096), 1);
+        assert_eq!(page_offset(4097), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = PhysMem::new(0);
+    }
+}

@@ -1,0 +1,514 @@
+//! A text-syntax assembler on top of [`crate::asm::Asm`].
+//!
+//! The builder API is what the corpus uses programmatically; this module
+//! accepts human-written source, which is how an analyst poking at the
+//! emulator from the CLI (or a test fixture) writes guest code:
+//!
+//! ```text
+//! ; download-and-print skeleton
+//! start:
+//!     mov eax, 0x52          ; NtDisplayString
+//!     mov ebx, msg
+//!     mov ecx, 5
+//!     int 0x2e
+//!     hlt
+//! msg:
+//!     .ascii "hello"
+//! ```
+//!
+//! Supported forms: every FE32 instruction (registers `eax..esp`, memory
+//! operands `[base]`, `[base+disp]`, `[base+index*scale]`,
+//! `[base+index*scale+disp]`, `[abs]`), labels (`name:`), label references
+//! in `mov r, label` / branch targets, and the data directives `.ascii`,
+//! `.u32`, `.byte`.
+
+use crate::asm::{Asm, AsmError};
+use crate::isa::{Mem, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while assembling text source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> TextAsmError {
+    TextAsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    match tok {
+        "eax" => Some(Reg::Eax),
+        "ebx" => Some(Reg::Ebx),
+        "ecx" => Some(Reg::Ecx),
+        "edx" => Some(Reg::Edx),
+        "esi" => Some(Reg::Esi),
+        "edi" => Some(Reg::Edi),
+        "ebp" => Some(Reg::Ebp),
+        "esp" => Some(Reg::Esp),
+        _ => None,
+    }
+}
+
+fn parse_imm(tok: &str) -> Option<u32> {
+    let tok = tok.trim();
+    let (neg, tok) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        tok.parse::<u32>().ok()?
+    };
+    Some(if neg { value.wrapping_neg() } else { value })
+}
+
+/// Parses a memory operand like `[ebx+ecx*4+0x10]`.
+fn parse_mem(tok: &str, line: usize) -> Result<Mem, TextAsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand, got `{tok}`")))?;
+    let mut mem = Mem { base: None, index: None, disp: 0 };
+    // Split on '+' but keep '-disp' working by normalizing "-" to "+-".
+    let normalized = inner.replace('-', "+-");
+    for part in normalized.split('+') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((reg_tok, scale_tok)) = part.split_once('*') {
+            let reg = parse_reg(reg_tok.trim())
+                .ok_or_else(|| err(line, format!("bad index register `{reg_tok}`")))?;
+            let scale: u8 = scale_tok
+                .trim()
+                .parse()
+                .ok()
+                .filter(|s| matches!(s, 1 | 2 | 4 | 8))
+                .ok_or_else(|| err(line, format!("bad scale `{scale_tok}`")))?;
+            if mem.index.is_some() {
+                return Err(err(line, "duplicate index register"));
+            }
+            mem.index = Some((reg, scale));
+        } else if let Some(reg) = parse_reg(part) {
+            if mem.base.is_some() {
+                return Err(err(line, "duplicate base register"));
+            }
+            mem.base = Some(reg);
+        } else if let Some(imm) = parse_imm(part) {
+            mem.disp = mem.disp.wrapping_add(imm as i32);
+        } else {
+            return Err(err(line, format!("bad memory operand component `{part}`")));
+        }
+    }
+    Ok(mem)
+}
+
+/// Splits an operand list on commas at the top level (commas inside `[]`
+/// cannot occur in this syntax, so a plain split suffices).
+fn operands(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        return Vec::new();
+    }
+    rest.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+/// Parses a `.ascii "..."` string literal (supports `\n`, `\"`, `\\`).
+fn parse_string(tok: &str, line: usize) -> Result<Vec<u8>, TextAsmError> {
+    let inner = tok
+        .trim()
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(line, "expected a quoted string"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('"') => out.push(b'"'),
+                Some('\\') => out.push(b'\\'),
+                Some('0') => out.push(0),
+                other => return Err(err(line, format!("bad escape `\\{other:?}`"))),
+            }
+        } else {
+            out.extend(c.to_string().as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Assembles text source for load address `base`, returning the image and
+/// the label table.
+///
+/// # Errors
+///
+/// Returns a [`TextAsmError`] with the offending line for syntax errors,
+/// and maps label errors ([`AsmError`]) to line 0.
+pub fn assemble_text_with_labels(
+    source: &str,
+    base: u32,
+) -> Result<(Vec<u8>, HashMap<String, u32>), TextAsmError> {
+    let mut asm = Asm::new(base);
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments (`;`), but not inside string literals.
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut comment_at = raw_line.len();
+        for (i, c) in raw_line.char_indices() {
+            match c {
+                '\\' if in_string => escaped = !escaped,
+                '"' if !escaped => in_string = !in_string,
+                ';' if !in_string => {
+                    comment_at = i;
+                    break;
+                }
+                _ => escaped = false,
+            }
+        }
+        let code = raw_line[..comment_at].trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Label definition?
+        if let Some(name) = code.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err(line_no, format!("bad label `{name}`")));
+            }
+            asm.label(name);
+            continue;
+        }
+        let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (code, ""),
+        };
+        let ops = operands(rest);
+        let want = |n: usize| -> Result<(), TextAsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line_no, format!("{mnemonic} expects {n} operand(s), got {}", ops.len())))
+            }
+        };
+        match mnemonic {
+            // data directives
+            ".ascii" => {
+                asm.raw(&parse_string(rest, line_no)?);
+            }
+            ".u32" => {
+                want(1)?;
+                let v = parse_imm(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad value `{}`", ops[0])))?;
+                asm.dd(v);
+            }
+            ".byte" => {
+                for op in &ops {
+                    let v = parse_imm(op)
+                        .ok_or_else(|| err(line_no, format!("bad byte `{op}`")))?;
+                    asm.raw(&[v as u8]);
+                }
+            }
+            "mov" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad register `{}`", ops[0])))?;
+                if let Some(src) = parse_reg(&ops[1]) {
+                    asm.mov_rr(dst, src);
+                } else if let Some(imm) = parse_imm(&ops[1]) {
+                    asm.mov_ri(dst, imm);
+                } else {
+                    // Label reference: resolved absolutely at assembly.
+                    asm.mov_label(dst, &ops[1]);
+                }
+            }
+            "ld1" | "ld2" | "ld4" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad register `{}`", ops[0])))?;
+                let mem = parse_mem(&ops[1], line_no)?;
+                match mnemonic {
+                    "ld1" => asm.ld1(dst, mem),
+                    "ld2" => asm.ld2(dst, mem),
+                    _ => asm.ld4(dst, mem),
+                };
+            }
+            "st1" | "st2" | "st4" => {
+                want(2)?;
+                let mem = parse_mem(&ops[0], line_no)?;
+                let src = parse_reg(&ops[1])
+                    .ok_or_else(|| err(line_no, format!("bad register `{}`", ops[1])))?;
+                match mnemonic {
+                    "st1" => asm.st1(mem, src),
+                    "st2" => asm.st2(mem, src),
+                    _ => asm.st4(mem, src),
+                };
+            }
+            "lea" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad register `{}`", ops[0])))?;
+                asm.lea(dst, parse_mem(&ops[1], line_no)?);
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "mul" | "shl" | "shr" | "cmp" | "test" => {
+                want(2)?;
+                let dst = parse_reg(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad register `{}`", ops[0])))?;
+                if let Some(src) = parse_reg(&ops[1]) {
+                    match mnemonic {
+                        "add" => asm.add_rr(dst, src),
+                        "sub" => asm.sub_rr(dst, src),
+                        "and" => asm.and_rr(dst, src),
+                        "or" => asm.or_rr(dst, src),
+                        "xor" => asm.xor_rr(dst, src),
+                        "mul" => asm.mul_rr(dst, src),
+                        "shl" => asm.shl_rr(dst, src),
+                        "shr" => return Err(err(line_no, "shr r, r is not encodable; use an immediate")),
+                        "cmp" => asm.cmp_rr(dst, src),
+                        _ => asm.test_rr(dst, src),
+                    };
+                } else if let Some(imm) = parse_imm(&ops[1]) {
+                    match mnemonic {
+                        "add" => asm.add_ri(dst, imm),
+                        "sub" => asm.sub_ri(dst, imm),
+                        "and" => asm.and_ri(dst, imm),
+                        "or" => asm.or_ri(dst, imm),
+                        "xor" => asm.xor_ri(dst, imm),
+                        "mul" => asm.mul_ri(dst, imm),
+                        "shl" => asm.shl_ri(dst, imm),
+                        "shr" => asm.shr_ri(dst, imm),
+                        "cmp" => asm.cmp_ri(dst, imm),
+                        _ => asm.test_ri(dst, imm),
+                    };
+                } else {
+                    return Err(err(line_no, format!("bad operand `{}`", ops[1])));
+                }
+            }
+            "jmp" => {
+                want(1)?;
+                if let Some(reg) = parse_reg(&ops[0]) {
+                    asm.jmp_reg(reg);
+                } else {
+                    asm.jmp(&ops[0]);
+                }
+            }
+            "jz" | "jnz" | "jl" | "jge" | "jg" | "jle" | "jb" | "jae" => {
+                want(1)?;
+                let target = &ops[0];
+                match mnemonic {
+                    "jz" => asm.jz(target),
+                    "jnz" => asm.jnz(target),
+                    "jl" => asm.jl(target),
+                    "jge" => asm.jge(target),
+                    "jg" => asm.jg(target),
+                    "jle" => asm.jle(target),
+                    "jb" => asm.jb(target),
+                    _ => asm.jae(target),
+                };
+            }
+            "call" => {
+                want(1)?;
+                if let Some(reg) = parse_reg(&ops[0]) {
+                    asm.call_reg(reg);
+                } else {
+                    asm.call(&ops[0]);
+                }
+            }
+            "ret" => {
+                want(0)?;
+                asm.ret();
+            }
+            "push" => {
+                want(1)?;
+                if let Some(reg) = parse_reg(&ops[0]) {
+                    asm.push(reg);
+                } else if let Some(imm) = parse_imm(&ops[0]) {
+                    asm.push_imm(imm);
+                } else {
+                    return Err(err(line_no, format!("bad operand `{}`", ops[0])));
+                }
+            }
+            "pop" => {
+                want(1)?;
+                let dst = parse_reg(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad register `{}`", ops[0])))?;
+                asm.pop(dst);
+            }
+            "int" => {
+                want(1)?;
+                let v = parse_imm(&ops[0])
+                    .ok_or_else(|| err(line_no, format!("bad vector `{}`", ops[0])))?;
+                if v == crate::isa::SYSCALL_VECTOR as u32 {
+                    asm.int_syscall();
+                } else {
+                    return Err(err(
+                        line_no,
+                        format!("only int {:#x} (the syscall gate) is supported", crate::isa::SYSCALL_VECTOR),
+                    ));
+                }
+            }
+            "hlt" => {
+                want(0)?;
+                asm.hlt();
+            }
+            "nop" => {
+                want(0)?;
+                asm.nop();
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    asm.assemble_with_labels().map_err(|e: AsmError| err(0, e.to_string()))
+}
+
+/// Assembles text source for load address `base`, returning just the image.
+///
+/// # Errors
+///
+/// Same as [`assemble_text_with_labels`].
+pub fn assemble_text(source: &str, base: u32) -> Result<Vec<u8>, TextAsmError> {
+    assemble_text_with_labels(source, base).map(|(bytes, _)| bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::{Mem, Reg};
+
+    #[test]
+    fn text_matches_builder_output() {
+        let source = r"
+            ; compute 6*7 into eax, stash it, loop once
+            start:
+                mov eax, 6
+                mul eax, 7
+                st4 [0x2000], eax
+                ld4 ebx, [0x2000]
+                cmp ebx, 42
+                jnz start
+                hlt
+        ";
+        let text = assemble_text(source, 0x1000).unwrap();
+        let mut b = Asm::new(0x1000);
+        b.label("start");
+        b.mov_ri(Reg::Eax, 6);
+        b.mul_ri(Reg::Eax, 7);
+        b.st4(Mem::abs(0x2000), Reg::Eax);
+        b.ld4(Reg::Ebx, Mem::abs(0x2000));
+        b.cmp_ri(Reg::Ebx, 42);
+        b.jnz("start");
+        b.hlt();
+        assert_eq!(text, b.assemble().unwrap());
+    }
+
+    #[test]
+    fn complex_memory_operands_parse() {
+        let text = assemble_text("ld1 eax, [ebx+ecx*4+0x10]", 0).unwrap();
+        let mut b = Asm::new(0);
+        b.ld1(Reg::Eax, Mem { base: Some(Reg::Ebx), index: Some((Reg::Ecx, 4)), disp: 0x10 });
+        assert_eq!(text, b.assemble().unwrap());
+
+        let text = assemble_text("st4 [esi-8], edx", 0).unwrap();
+        let mut b = Asm::new(0);
+        b.st4(Mem::base_disp(Reg::Esi, -8), Reg::Edx);
+        assert_eq!(text, b.assemble().unwrap());
+    }
+
+    #[test]
+    fn data_directives_emit_bytes() {
+        let (bytes, labels) = assemble_text_with_labels(
+            "msg:\n.ascii \"hi\\n\"\n.u32 0xdeadbeef\n.byte 1, 2, 3",
+            0x400,
+        )
+        .unwrap();
+        assert_eq!(labels["msg"], 0x400);
+        assert_eq!(&bytes[..3], b"hi\n");
+        assert_eq!(&bytes[3..7], &0xdead_beefu32.to_le_bytes());
+        assert_eq!(&bytes[7..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn mov_label_resolves() {
+        let (bytes, labels) =
+            assemble_text_with_labels("mov ebx, data\nhlt\ndata:\n.u32 5", 0x1000).unwrap();
+        let (instr, _) = crate::encode::decode(&bytes).unwrap();
+        assert_eq!(
+            instr,
+            crate::isa::Instr::MovRI { dst: Reg::Ebx, imm: labels["data"] }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble_text("nop\nbogus eax\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble_text("mov eax", 0).unwrap_err();
+        assert!(e.message.contains("expects 2"));
+
+        let e = assemble_text("ld4 eax, [zzz]", 0).unwrap_err();
+        assert!(e.message.contains("zzz"));
+
+        let e = assemble_text("jmp nowhere", 0).unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_strings_coexist() {
+        let (bytes, _) =
+            assemble_text_with_labels(".ascii \"a;b\" ; trailing comment", 0).unwrap();
+        assert_eq!(bytes, b"a;b");
+    }
+
+    #[test]
+    fn int_gate_and_guard() {
+        assert!(assemble_text("int 0x2e", 0).is_ok());
+        assert!(assemble_text("int 0x80", 0).is_err());
+    }
+
+    #[test]
+    fn textual_program_runs_on_the_machine() {
+        use crate::cpu::{Cpu, NoHooks, StepEvent};
+        use crate::mem::PhysMem;
+        use crate::mmu::{AddressSpace, Asid, Perms};
+        let bytes = assemble_text(
+            r"
+                mov ecx, 5
+                mov eax, 0
+            loop_top:
+                add eax, ecx
+                sub ecx, 1
+                cmp ecx, 0
+                jnz loop_top
+                hlt
+            ",
+            0x1000,
+        )
+        .unwrap();
+        let mut mem = PhysMem::new(2);
+        let f = mem.alloc_frame().unwrap();
+        mem.write(f * 4096, &bytes).unwrap();
+        let mut aspace = AddressSpace::new(Asid(1));
+        aspace.map(0x1000, f, Perms::RX);
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = 0x1000;
+        while cpu.step(&mut mem, &aspace, &mut NoHooks) != StepEvent::Halt {}
+        assert_eq!(cpu.reg(Reg::Eax), 15);
+    }
+}

@@ -1,0 +1,237 @@
+//! The in-memory guest filesystem.
+//!
+//! Files carry an *access version* counter incremented on every write-open
+//! and write, matching the payload of FAROS file tags ("a version that
+//! indicates how many times a file has been accessed", Fig. 5). The file
+//! *contents* live host-side; provenance transits files through file tags
+//! attached to the guest buffers at the 26 hooked syscalls, exactly as in
+//! the paper (see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error type for filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The path already exists (exclusive create).
+    AlreadyExists(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A file node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileNode {
+    /// Contents.
+    pub data: Vec<u8>,
+    /// Access version (increments on writes).
+    pub version: u32,
+}
+
+/// Metadata returned by `NtQueryInformationFile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileInfo {
+    /// File length in bytes.
+    pub size: u32,
+    /// Current access version.
+    pub version: u32,
+}
+
+/// The in-memory filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use faros_kernel::fs::FileSystem;
+///
+/// let mut fs = FileSystem::new();
+/// fs.create("C:/hello.txt", b"hi".to_vec()).unwrap();
+/// assert_eq!(fs.read("C:/hello.txt", 0, 10).unwrap(), b"hi");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FileSystem {
+    files: BTreeMap<String, FileNode>,
+    deleted: Vec<String>,
+}
+
+impl FileSystem {
+    /// Creates an empty filesystem.
+    pub fn new() -> FileSystem {
+        FileSystem::default()
+    }
+
+    /// Creates a file with initial contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] if the path is taken.
+    pub fn create(&mut self, path: &str, data: Vec<u8>) -> Result<(), FsError> {
+        if self.files.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        self.files.insert(path.to_string(), FileNode { data, version: 1 });
+        Ok(())
+    }
+
+    /// Returns `true` if the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for a missing path.
+    pub fn read(&self, path: &str, offset: u32, len: usize) -> Result<Vec<u8>, FsError> {
+        let node = self.files.get(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let start = (offset as usize).min(node.data.len());
+        let end = start.saturating_add(len).min(node.data.len());
+        Ok(node.data[start..end].to_vec())
+    }
+
+    /// Writes bytes at `offset` (extending the file if needed) and bumps the
+    /// version. Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for a missing path.
+    pub fn write(&mut self, path: &str, offset: u32, bytes: &[u8]) -> Result<u32, FsError> {
+        let node = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let end = offset as usize + bytes.len();
+        if node.data.len() < end {
+            node.data.resize(end, 0);
+        }
+        node.data[offset as usize..end].copy_from_slice(bytes);
+        node.version += 1;
+        Ok(node.version)
+    }
+
+    /// Deletes a file. The deletion is remembered — sandbox analyzers list
+    /// deleted artifacts (in-memory loaders commonly delete themselves,
+    /// paper §II).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for a missing path.
+    pub fn delete(&mut self, path: &str) -> Result<(), FsError> {
+        self.files
+            .remove(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        self.deleted.push(path.to_string());
+        Ok(())
+    }
+
+    /// File metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for a missing path.
+    pub fn info(&self, path: &str) -> Result<FileInfo, FsError> {
+        let node = self.files.get(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        Ok(FileInfo { size: node.data.len() as u32, version: node.version })
+    }
+
+    /// Current version of a file (1 if never written since creation).
+    pub fn version(&self, path: &str) -> Option<u32> {
+        self.files.get(path).map(|n| n.version)
+    }
+
+    /// Lists paths with the given prefix, in order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Paths deleted during the run, in deletion order.
+    pub fn deleted_paths(&self) -> &[String] {
+        &self.deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_write_cycle() {
+        let mut fs = FileSystem::new();
+        fs.create("a", b"hello".to_vec()).unwrap();
+        assert_eq!(fs.read("a", 1, 3).unwrap(), b"ell");
+        let v = fs.write("a", 5, b" world").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(fs.read("a", 0, 64).unwrap(), b"hello world");
+        assert_eq!(fs.info("a").unwrap(), FileInfo { size: 11, version: 2 });
+    }
+
+    #[test]
+    fn exclusive_create() {
+        let mut fs = FileSystem::new();
+        fs.create("a", vec![]).unwrap();
+        assert_eq!(fs.create("a", vec![]), Err(FsError::AlreadyExists("a".into())));
+    }
+
+    #[test]
+    fn read_past_eof_truncates() {
+        let mut fs = FileSystem::new();
+        fs.create("a", b"abc".to_vec()).unwrap();
+        assert_eq!(fs.read("a", 2, 10).unwrap(), b"c");
+        assert_eq!(fs.read("a", 99, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut fs = FileSystem::new();
+        fs.create("a", vec![]).unwrap();
+        fs.write("a", 4, b"x").unwrap();
+        assert_eq!(fs.read("a", 0, 5).unwrap(), vec![0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn delete_is_remembered() {
+        let mut fs = FileSystem::new();
+        fs.create("loader.exe", vec![1]).unwrap();
+        fs.delete("loader.exe").unwrap();
+        assert!(!fs.exists("loader.exe"));
+        assert_eq!(fs.deleted_paths(), &["loader.exe".to_string()]);
+        assert_eq!(fs.delete("loader.exe"), Err(FsError::NotFound("loader.exe".into())));
+    }
+
+    #[test]
+    fn versions_track_write_count() {
+        let mut fs = FileSystem::new();
+        fs.create("a", vec![]).unwrap();
+        assert_eq!(fs.version("a"), Some(1));
+        fs.write("a", 0, b"1").unwrap();
+        fs.write("a", 0, b"2").unwrap();
+        assert_eq!(fs.version("a"), Some(3));
+        assert_eq!(fs.version("missing"), None);
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut fs = FileSystem::new();
+        fs.create("C:/a", vec![]).unwrap();
+        fs.create("C:/b", vec![]).unwrap();
+        fs.create("D:/c", vec![]).unwrap();
+        assert_eq!(fs.list("C:/"), vec!["C:/a".to_string(), "C:/b".to_string()]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-process handle tables.
+
+use crate::nt::{CURRENT_PROCESS, CURRENT_THREAD};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A process identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A thread identifier (unique machine-wide).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tid(pub u32);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid:{}", self.0)
+    }
+}
+
+/// A guest-visible handle value.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Handle(pub u32);
+
+impl Handle {
+    /// The pseudo-handle for the calling process.
+    pub const PROCESS_SELF: Handle = Handle(CURRENT_PROCESS);
+    /// The pseudo-handle for the calling thread.
+    pub const THREAD_SELF: Handle = Handle(CURRENT_THREAD);
+}
+
+impl fmt::Display for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h:{:#x}", self.0)
+    }
+}
+
+/// What a handle refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandleObject {
+    /// An open file: path plus the current seek offset.
+    File {
+        /// Guest filesystem path.
+        path: String,
+        /// Seek position.
+        offset: u32,
+    },
+    /// Another process.
+    Process(Pid),
+    /// A thread.
+    Thread(Pid, Tid),
+    /// A socket, identified by its fabric connection id (or unbound).
+    Socket {
+        /// Connection id within the network fabric, once connected/accepted.
+        conn: Option<u32>,
+        /// Local port, once bound.
+        local_port: Option<u16>,
+    },
+    /// A section object created over a file.
+    Section {
+        /// Backing file path.
+        path: String,
+    },
+}
+
+/// A per-process handle table.
+///
+/// # Examples
+///
+/// ```
+/// use faros_kernel::handle::{HandleObject, HandleTable, Pid};
+///
+/// let mut table = HandleTable::new();
+/// let h = table.insert(HandleObject::Process(Pid(4)));
+/// assert!(matches!(table.get(h), Some(HandleObject::Process(Pid(4)))));
+/// assert!(table.close(h));
+/// assert!(table.get(h).is_none());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HandleTable {
+    entries: BTreeMap<u32, HandleObject>,
+    next: u32,
+}
+
+impl HandleTable {
+    /// Creates an empty table. Handle values start at 4 and step by 4, as on
+    /// NT.
+    pub fn new() -> HandleTable {
+        HandleTable { entries: BTreeMap::new(), next: 4 }
+    }
+
+    /// Inserts an object, returning its new handle.
+    pub fn insert(&mut self, obj: HandleObject) -> Handle {
+        let h = self.next;
+        self.next += 4;
+        self.entries.insert(h, obj);
+        Handle(h)
+    }
+
+    /// Looks up a handle.
+    pub fn get(&self, h: Handle) -> Option<&HandleObject> {
+        self.entries.get(&h.0)
+    }
+
+    /// Looks up a handle mutably.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut HandleObject> {
+        self.entries.get_mut(&h.0)
+    }
+
+    /// Closes a handle. Returns `false` if it was not open.
+    pub fn close(&mut self, h: Handle) -> bool {
+        self.entries.remove(&h.0).is_some()
+    }
+
+    /// Number of open handles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no handles are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(handle, object)` pairs in handle order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &HandleObject)> + '_ {
+        self.entries.iter().map(|(&h, o)| (Handle(h), o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_distinct_and_nt_shaped() {
+        let mut t = HandleTable::new();
+        let a = t.insert(HandleObject::Process(Pid(1)));
+        let b = t.insert(HandleObject::Process(Pid(2)));
+        assert_ne!(a, b);
+        assert_eq!(a.0 % 4, 0);
+        assert_eq!(b.0, a.0 + 4);
+    }
+
+    #[test]
+    fn close_then_get_fails() {
+        let mut t = HandleTable::new();
+        let h = t.insert(HandleObject::File { path: "x".into(), offset: 0 });
+        assert!(t.close(h));
+        assert!(!t.close(h), "double close is reported");
+        assert!(t.get(h).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_mut_allows_seek_updates() {
+        let mut t = HandleTable::new();
+        let h = t.insert(HandleObject::File { path: "x".into(), offset: 0 });
+        if let Some(HandleObject::File { offset, .. }) = t.get_mut(h) {
+            *offset = 42;
+        }
+        assert!(matches!(t.get(h), Some(HandleObject::File { offset: 42, .. })));
+    }
+
+    #[test]
+    fn iter_in_handle_order() {
+        let mut t = HandleTable::new();
+        let a = t.insert(HandleObject::Process(Pid(1)));
+        let b = t.insert(HandleObject::Process(Pid(2)));
+        let order: Vec<Handle> = t.iter().map(|(h, _)| h).collect();
+        assert_eq!(order, vec![a, b]);
+    }
+}

@@ -1,0 +1,79 @@
+//! # faros-kernel — the NT-flavoured paravirtual guest kernel
+//!
+//! The "Windows 7 guest" of the FAROS reproduction, built on the FE32
+//! emulator:
+//!
+//! * [`machine`] — the whole system: CPU, physical memory, scheduler,
+//!   process table, console;
+//! * [`nt`] — syscall numbers (including the paper's 26 file services) and
+//!   NTSTATUS codes;
+//! * [`syscalls`] — the service implementations (injection surface included:
+//!   `NtWriteVirtualMemory`, `NtCreateThreadEx`, `NtUnmapViewOfSection`,
+//!   `NtSetContextThread`);
+//! * [`process`] / [`handle`] — processes, threads, VAD regions, handles;
+//! * [`module`] — the FDL image format and its export tables;
+//! * [`fs`] — the in-memory filesystem;
+//! * [`net`] — the simulated network with scripted remote endpoints and the
+//!   record/replay nondeterminism log;
+//! * [`event`] — the PANDA-style observer callbacks every analysis layer
+//!   attaches through.
+//!
+//! ## Example
+//!
+//! ```
+//! use faros_emu::asm::Asm;
+//! use faros_emu::isa::Reg;
+//! use faros_emu::mmu::Perms;
+//! use faros_kernel::machine::{Machine, MachineConfig, RunExit, IMAGE_BASE};
+//! use faros_kernel::module::{FdlImage, Section};
+//! use faros_kernel::event::NullObserver;
+//! use faros_kernel::nt::Sysno;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A program that prints "hi" and exits.
+//! let mut asm = Asm::new(IMAGE_BASE);
+//! asm.mov_label(Reg::Ebx, "msg");
+//! asm.mov_ri(Reg::Ecx, 2);
+//! asm.mov_ri(Reg::Eax, Sysno::NtDisplayString as u32);
+//! asm.int_syscall();
+//! asm.hlt();
+//! asm.label("msg");
+//! asm.raw(b"hi");
+//! let code = asm.assemble()?;
+//!
+//! let image = FdlImage {
+//!     entry: IMAGE_BASE,
+//!     export_table_va: IMAGE_BASE + 0x2000,
+//!     sections: vec![Section { va: IMAGE_BASE, data: code, perms: Perms::RX }],
+//!     exports: vec![],
+//! };
+//!
+//! let mut machine = Machine::new(MachineConfig::default());
+//! machine.install_program("C:/hi.exe", &image)?;
+//! machine.spawn_process("C:/hi.exe", false, None, &mut NullObserver)?;
+//! assert_eq!(machine.run(1_000_000, &mut NullObserver), RunExit::AllExited);
+//! assert_eq!(machine.console()[0].1, "hi");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod fs;
+pub mod handle;
+pub mod machine;
+pub mod module;
+pub mod net;
+pub mod nt;
+pub mod process;
+pub mod syscalls;
+
+pub use event::{ByteRange, CopyRun, KernelEvents, NullObserver, Observer};
+pub use handle::{Handle, Pid, Tid};
+pub use machine::{Machine, MachineConfig, MachineError, RunExit};
+pub use module::{Export, FdlImage, ModuleInfo};
+pub use net::{FlowTuple, NetLog, NetworkFabric, RemoteEndpoint};
+pub use nt::{NtStatus, Sysno};
+pub use process::{Process, ProcessInfo, ThreadState, VadRegion};

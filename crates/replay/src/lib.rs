@@ -1,0 +1,27 @@
+//! # faros-replay — record/replay and the plugin architecture
+//!
+//! The PANDA equivalent of the reproduction:
+//!
+//! * [`plugin`] — the [`plugin::Plugin`] trait and the fan-out
+//!   [`plugin::PluginManager`] (FAROS attaches here, exactly as the paper's
+//!   plugin attaches to PANDA);
+//! * [`scenario`] — deterministic machine setups;
+//! * [`driver`] — [`driver::record`] captures nondeterminism into a
+//!   serializable [`driver::Recording`]; [`driver::replay`] re-executes it
+//!   bit-identically under an arbitrary plugin stack.
+//!
+//! Table V's measurement is `replay` wall-clock with an empty plugin stack
+//! vs. with FAROS registered.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod plugin;
+pub mod scenario;
+pub mod trace;
+
+pub use driver::{record, record_and_replay, replay, Recording, ReplayError, RunOutcome, DEFAULT_BUDGET};
+pub use plugin::{Plugin, PluginManager};
+pub use trace::{TraceEvent, TracePlugin};
+pub use scenario::{Scenario, DEFAULT_GUEST_IP};

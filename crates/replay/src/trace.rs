@@ -1,0 +1,239 @@
+//! A stock trace plugin — the `syscalls2` + OSI event log PANDA ships with.
+//!
+//! [`TracePlugin`] records a compact, serializable event timeline (process
+//! lifecycle, syscalls, modules, network and file activity). Analysis
+//! layers that want raw events without writing a plugin (the CLI's `trace`
+//! view, tests asserting on event order) attach this next to FAROS in the
+//! [`PluginManager`](crate::PluginManager).
+
+use crate::plugin::Plugin;
+use faros_emu::cpu::CpuHooks;
+use faros_kernel::event::{ByteRange, CopyRun, KernelEvents};
+use faros_kernel::module::ModuleInfo;
+use faros_kernel::net::FlowTuple;
+use faros_kernel::nt::{NtStatus, Sysno};
+use faros_kernel::process::ProcessInfo;
+use faros_kernel::{Pid, Tid};
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A process was created.
+    ProcessCreated {
+        /// Process id.
+        pid: Pid,
+        /// Image name.
+        name: String,
+        /// CR3 value.
+        cr3: u32,
+        /// Parent, if any.
+        parent: Option<Pid>,
+    },
+    /// A process exited.
+    ProcessExited {
+        /// Process id.
+        pid: Pid,
+        /// Image name.
+        name: String,
+    },
+    /// A thread was created.
+    ThreadCreated {
+        /// Owning process.
+        pid: Pid,
+        /// Thread id.
+        tid: Tid,
+    },
+    /// A syscall completed.
+    Syscall {
+        /// Calling process.
+        pid: Pid,
+        /// Service.
+        sysno: Sysno,
+        /// Status.
+        status: NtStatus,
+    },
+    /// A module was loaded.
+    ModuleLoaded {
+        /// Loading process (`None` = kernel/boot).
+        pid: Option<Pid>,
+        /// Module name.
+        name: String,
+        /// Base address.
+        base: u32,
+    },
+    /// Network bytes arrived.
+    NetRx {
+        /// Receiving process.
+        pid: Pid,
+        /// Flow description (`ip:port -> ip:port`).
+        flow: String,
+        /// Byte count.
+        bytes: u32,
+    },
+    /// A file was written.
+    FileWrite {
+        /// Writing process.
+        pid: Pid,
+        /// Path.
+        path: String,
+        /// Byte count.
+        bytes: u32,
+    },
+    /// A kernel-mediated cross-address-space copy occurred.
+    CrossProcessCopy {
+        /// Source process.
+        src: Pid,
+        /// Destination process.
+        dst: Pid,
+        /// Byte count.
+        bytes: u32,
+    },
+    /// Console output.
+    Console {
+        /// Printing process.
+        pid: Pid,
+        /// Text.
+        text: String,
+    },
+}
+
+/// The stock event-trace plugin.
+#[derive(Debug, Default)]
+pub struct TracePlugin {
+    events: Vec<TraceEvent>,
+}
+
+impl TracePlugin {
+    /// Creates an empty trace.
+    pub fn new() -> TracePlugin {
+        TracePlugin::default()
+    }
+
+    /// The events recorded so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the plugin, returning the timeline.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Renders the timeline as one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&format!("{i:>5}  {e:?}\n"));
+        }
+        out
+    }
+}
+
+impl CpuHooks for TracePlugin {}
+
+impl KernelEvents for TracePlugin {
+    fn process_created(&mut self, info: &ProcessInfo) {
+        self.events.push(TraceEvent::ProcessCreated {
+            pid: info.pid,
+            name: info.name.clone(),
+            cr3: info.cr3,
+            parent: info.parent,
+        });
+    }
+
+    fn process_exited(&mut self, pid: Pid, name: &str) {
+        self.events.push(TraceEvent::ProcessExited { pid, name: name.to_string() });
+    }
+
+    fn thread_created(&mut self, pid: Pid, tid: Tid) {
+        self.events.push(TraceEvent::ThreadCreated { pid, tid });
+    }
+
+    fn syscall_exit(&mut self, pid: Pid, _tid: Tid, sysno: Sysno, status: NtStatus) {
+        self.events.push(TraceEvent::Syscall { pid, sysno, status });
+    }
+
+    fn module_loaded(&mut self, pid: Option<Pid>, module: &ModuleInfo, _table: &[ByteRange]) {
+        self.events.push(TraceEvent::ModuleLoaded {
+            pid,
+            name: module.name.clone(),
+            base: module.base,
+        });
+    }
+
+    fn net_rx(&mut self, pid: Pid, flow: &FlowTuple, dst: &[ByteRange]) {
+        self.events.push(TraceEvent::NetRx {
+            pid,
+            flow: flow.to_string(),
+            bytes: dst.iter().map(|r| r.len).sum(),
+        });
+    }
+
+    fn file_write(&mut self, pid: Pid, path: &str, _version: u32, src: &[ByteRange]) {
+        self.events.push(TraceEvent::FileWrite {
+            pid,
+            path: path.to_string(),
+            bytes: src.iter().map(|r| r.len).sum(),
+        });
+    }
+
+    fn guest_copy(&mut self, src_pid: Pid, dst_pid: Pid, runs: &[CopyRun]) {
+        if src_pid != dst_pid {
+            self.events.push(TraceEvent::CrossProcessCopy {
+                src: src_pid,
+                dst: dst_pid,
+                bytes: runs.iter().map(|r| r.len).sum(),
+            });
+        }
+    }
+
+    fn console_output(&mut self, pid: Pid, text: &str) {
+        self.events.push(TraceEvent::Console { pid, text: text.to_string() });
+    }
+}
+
+impl Plugin for TracePlugin {
+    fn name(&self) -> &str {
+        "trace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TracePlugin::new();
+        t.process_created(&ProcessInfo {
+            pid: Pid(1),
+            cr3: 0x2000,
+            name: "a.exe".into(),
+            parent: None,
+        });
+        t.syscall_exit(Pid(1), Tid(1), Sysno::NtClose, NtStatus::Success);
+        t.process_exited(Pid(1), "a.exe");
+        let events = t.into_events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], TraceEvent::ProcessCreated { .. }));
+        assert!(matches!(events[2], TraceEvent::ProcessExited { .. }));
+    }
+
+    #[test]
+    fn same_process_copies_are_not_cross_process() {
+        let mut t = TracePlugin::new();
+        t.guest_copy(Pid(1), Pid(1), &[CopyRun { dst_phys: 0, src_phys: 4, len: 4 }]);
+        assert!(t.events().is_empty());
+        t.guest_copy(Pid(1), Pid(2), &[CopyRun { dst_phys: 0, src_phys: 4, len: 4 }]);
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = TracePlugin::new();
+        t.console_output(Pid(1), "x");
+        t.console_output(Pid(1), "y");
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,540 @@
+//! The DIFT engine: Table-I propagation over shadow state, with
+//! per-security-policy handling of indirect flows.
+//!
+//! The engine implements exactly the three propagation rules of the paper's
+//! Table I — `copy`, `union`, `delete` — at byte granularity, plus two
+//! *optional* indirect-flow modes:
+//!
+//! * **address dependencies** ([`PropagationMode::address_deps`]): the
+//!   provenance of registers used in an address computation flows into the
+//!   loaded/stored value (the Fig. 1 lookup-table case);
+//! * **control dependencies** ([`PropagationMode::control_deps`]): the
+//!   provenance of the last tainted comparison flows into everything written
+//!   under its branch scope (a Fenton/RIFLE-style conservative rule,
+//!   illustrating the overtainting horn of the dilemma in §IV).
+//!
+//! FAROS itself runs with both disabled and regains the lost accuracy
+//! through tag-type confluence (§IV); the modes exist so the benches can
+//! demonstrate the undertainting/overtainting trade-off the paper argues
+//! against.
+
+use crate::provlist::{ListId, ProvInterner};
+use crate::shadow::{ShadowAddr, ShadowState};
+use crate::tables::TagTables;
+use crate::tag::{ProvTag, TagKind};
+use serde::{Deserialize, Serialize};
+
+/// Which indirect flows the engine propagates. The FAROS configuration is
+/// `PropagationMode::default()` (neither).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PropagationMode {
+    /// Propagate address dependencies (index/base registers into the value).
+    pub address_deps: bool,
+    /// Propagate control dependencies (tainted flags into branch-scoped
+    /// writes).
+    pub control_deps: bool,
+}
+
+impl PropagationMode {
+    /// The FAROS configuration: direct flows only.
+    pub fn direct_only() -> PropagationMode {
+        PropagationMode::default()
+    }
+
+    /// Direct flows plus address dependencies.
+    pub fn with_address_deps() -> PropagationMode {
+        PropagationMode { address_deps: true, control_deps: false }
+    }
+
+    /// Everything — the maximally conservative (overtainting) configuration.
+    pub fn conservative() -> PropagationMode {
+        PropagationMode { address_deps: true, control_deps: true }
+    }
+}
+
+/// Counters describing the propagation work performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintStats {
+    /// Byte copies processed.
+    pub copies: u64,
+    /// Union operations processed.
+    pub unions: u64,
+    /// Byte deletions processed.
+    pub deletes: u64,
+    /// Labeling operations (taint sources).
+    pub labels: u64,
+    /// Address-dependency events observed (propagated or not).
+    pub addr_deps: u64,
+}
+
+/// One contiguous run of guest physical bytes sharing the same provenance
+/// list — the unit of the analyst-facing *taint map*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintedRegion {
+    /// First physical address of the run.
+    pub phys: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// The shared provenance list.
+    pub list: ListId,
+}
+
+/// The provenance-DIFT engine.
+///
+/// # Examples
+///
+/// ```
+/// use faros_taint::engine::{PropagationMode, TaintEngine};
+/// use faros_taint::shadow::ShadowAddr;
+/// use faros_taint::tag::NetflowTag;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut engine = TaintEngine::new(PropagationMode::direct_only());
+/// let nf = engine.tables_mut().intern_netflow(NetflowTag {
+///     src_ip: [10, 0, 0, 1], src_port: 4444,
+///     dst_ip: [10, 0, 0, 2], dst_port: 80,
+/// })?;
+/// engine.label_fresh(ShadowAddr::Mem(0x100), nf);
+/// engine.copy(ShadowAddr::Mem(0x200), ShadowAddr::Mem(0x100), 1);
+/// assert!(engine.prov_tags(ShadowAddr::Mem(0x200)).contains(&nf));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TaintEngine {
+    tables: TagTables,
+    interner: ProvInterner,
+    shadow: ShadowState,
+    mode: PropagationMode,
+    flags_prov: ListId,
+    control_ctx: ListId,
+    stats: TaintStats,
+}
+
+impl TaintEngine {
+    /// Creates an engine with the given propagation mode.
+    pub fn new(mode: PropagationMode) -> TaintEngine {
+        TaintEngine {
+            tables: TagTables::new(),
+            interner: ProvInterner::new(),
+            shadow: ShadowState::new(),
+            mode,
+            flags_prov: ListId::EMPTY,
+            control_ctx: ListId::EMPTY,
+            stats: TaintStats::default(),
+        }
+    }
+
+    /// The propagation mode in effect.
+    pub fn mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// The tag payload tables.
+    pub fn tables(&self) -> &TagTables {
+        &self.tables
+    }
+
+    /// Mutable access to the tag payload tables (for interning new tags).
+    pub fn tables_mut(&mut self) -> &mut TagTables {
+        &mut self.tables
+    }
+
+    /// The provenance-list interner.
+    pub fn interner(&self) -> &ProvInterner {
+        &self.interner
+    }
+
+    /// The raw shadow state.
+    pub fn shadow(&self) -> &ShadowState {
+        &self.shadow
+    }
+
+    /// Mutable access to the raw shadow state (context-switch register
+    /// save/restore).
+    pub fn shadow_mut(&mut self) -> &mut ShadowState {
+        &mut self.shadow
+    }
+
+    /// Propagation statistics so far.
+    pub fn stats(&self) -> TaintStats {
+        self.stats
+    }
+
+    // --- taint sources ---
+
+    /// Labels one shadow byte with a fresh single-tag list, replacing any
+    /// existing provenance (a taint *source*, e.g. a network DMA byte).
+    pub fn label_fresh(&mut self, addr: ShadowAddr, tag: ProvTag) {
+        self.stats.labels += 1;
+        let id = self.interner.append(ListId::EMPTY, tag);
+        self.shadow.set(addr, id);
+    }
+
+    /// Labels `len` consecutive physical bytes with a fresh single-tag list.
+    pub fn label_range_fresh(&mut self, phys: u32, len: usize, tag: ProvTag) {
+        let id = self.interner.append(ListId::EMPTY, tag);
+        for i in 0..len {
+            self.stats.labels += 1;
+            self.shadow.set(ShadowAddr::Mem(phys.wrapping_add(i as u32)), id);
+        }
+    }
+
+    /// Appends `tag` at the head of one byte's provenance list (e.g. the
+    /// FAROS rule "if a process accesses a byte in memory, add a process tag
+    /// into the head of that byte's provenance list").
+    pub fn append_tag(&mut self, addr: ShadowAddr, tag: ProvTag) {
+        self.stats.labels += 1;
+        let cur = self.shadow.get(addr);
+        let new = self.interner.append(cur, tag);
+        self.shadow.set(addr, new);
+    }
+
+    /// Appends `tag` to `len` consecutive physical bytes.
+    pub fn append_tag_range(&mut self, phys: u32, len: usize, tag: ProvTag) {
+        for i in 0..len {
+            self.append_tag(ShadowAddr::Mem(phys.wrapping_add(i as u32)), tag);
+        }
+    }
+
+    // --- queries ---
+
+    /// The provenance list id of a shadow byte.
+    #[inline]
+    pub fn prov_id(&self, addr: ShadowAddr) -> ListId {
+        self.shadow.get(addr)
+    }
+
+    /// The provenance tags of a shadow byte, oldest first.
+    pub fn prov_tags(&self, addr: ShadowAddr) -> &[ProvTag] {
+        self.interner.tags(self.shadow.get(addr))
+    }
+
+    /// Returns `true` if the byte carries any tag of `kind`.
+    pub fn has_kind(&self, addr: ShadowAddr, kind: TagKind) -> bool {
+        self.interner.contains_kind(self.shadow.get(addr), kind)
+    }
+
+    /// Unions two interned lists without touching shadow state (used by
+    /// detectors aggregating provenance across an instruction's code bytes).
+    pub fn union_lists(&mut self, a: ListId, b: ListId) -> ListId {
+        self.interner.union(a, b)
+    }
+
+    /// Renders a provenance list in the paper's Table II style:
+    /// `NetFlow: {...} ->Process: a.exe ->Process: b.exe`.
+    pub fn display_list(&self, id: ListId) -> String {
+        let tags = self.interner.tags(id);
+        if tags.is_empty() {
+            return "<untainted>".to_string();
+        }
+        tags.iter()
+            .map(|&t| self.tables.display_tag(t))
+            .collect::<Vec<_>>()
+            .join(" ->")
+    }
+
+    // --- Table I propagation rules ---
+
+    fn control_adjust(&mut self, id: ListId) -> ListId {
+        if self.mode.control_deps && !self.control_ctx.is_empty() {
+            self.interner.union(id, self.control_ctx)
+        } else {
+            id
+        }
+    }
+
+    /// `copy(a, b)`: `prov(a) <- prov(b)`, byte-wise for `len` bytes.
+    pub fn copy(&mut self, dst: ShadowAddr, src: ShadowAddr, len: u8) {
+        for i in 0..len {
+            self.stats.copies += 1;
+            let id = self.shadow.get(src.offset(i));
+            let id = self.control_adjust(id);
+            self.shadow.set(dst.offset(i), id);
+        }
+    }
+
+    /// `union(a, b, c)`: every destination byte receives the union of all
+    /// source bytes' lists (unioned with its own if `keep_dst`).
+    pub fn union_into(
+        &mut self,
+        dst: ShadowAddr,
+        dst_len: u8,
+        srcs: &[(ShadowAddr, u8)],
+        keep_dst: bool,
+    ) {
+        self.stats.unions += 1;
+        let mut acc = ListId::EMPTY;
+        for &(src, len) in srcs {
+            for i in 0..len {
+                let id = self.shadow.get(src.offset(i));
+                acc = self.interner.union(acc, id);
+            }
+        }
+        for i in 0..dst_len {
+            let byte_dst = dst.offset(i);
+            let merged = if keep_dst {
+                let cur = self.shadow.get(byte_dst);
+                self.interner.union(cur, acc)
+            } else {
+                acc
+            };
+            let merged = self.control_adjust(merged);
+            self.shadow.set(byte_dst, merged);
+        }
+    }
+
+    /// `delete(a)`: `prov(a) <- ∅` for `len` bytes (immediates, `xor r, r`).
+    ///
+    /// Under the conservative control-dependency mode a "delete" inside a
+    /// tainted branch still leaks the branch condition, so the control
+    /// context is written instead of the empty list — this is precisely the
+    /// bit-copy channel of the paper's Fig. 2.
+    pub fn delete(&mut self, dst: ShadowAddr, len: u8) {
+        for i in 0..len {
+            self.stats.deletes += 1;
+            let id = self.control_adjust(ListId::EMPTY);
+            self.shadow.set(dst.offset(i), id);
+        }
+    }
+
+    /// An address dependency observed: a value at `dst` was accessed through
+    /// an address computed from `srcs`. Propagated only when
+    /// [`PropagationMode::address_deps`] is set.
+    pub fn addr_dep(&mut self, dst: ShadowAddr, dst_len: u8, srcs: &[(ShadowAddr, u8)]) {
+        self.stats.addr_deps += 1;
+        if self.mode.address_deps {
+            self.union_into(dst, dst_len, srcs, true);
+        }
+    }
+
+    // --- control-dependency scaffolding ---
+
+    /// Records the provenance feeding the flags register (called at `cmp` /
+    /// `test` when control-dependency tracking is on).
+    pub fn note_flags(&mut self, srcs: &[(ShadowAddr, u8)]) {
+        if !self.mode.control_deps {
+            return;
+        }
+        let mut acc = ListId::EMPTY;
+        for &(src, len) in srcs {
+            for i in 0..len {
+                let id = self.shadow.get(src.offset(i));
+                acc = self.interner.union(acc, id);
+            }
+        }
+        self.flags_prov = acc;
+    }
+
+    /// Builds the taint map: every tainted physical byte, coalesced into
+    /// runs of identical provenance, in address order. This is the
+    /// "visibility into how information flows in a live system" view an
+    /// analyst browses after a replay.
+    pub fn tainted_regions(&self) -> Vec<TaintedRegion> {
+        let mut bytes: Vec<(u32, ListId)> = self.shadow.iter_mem().collect();
+        bytes.sort_unstable_by_key(|&(a, _)| a);
+        let mut out: Vec<TaintedRegion> = Vec::new();
+        for (addr, list) in bytes {
+            match out.last_mut() {
+                Some(last) if last.phys + last.len == addr && last.list == list => {
+                    last.len += 1;
+                }
+                _ => out.push(TaintedRegion { phys: addr, len: 1, list }),
+            }
+        }
+        out
+    }
+
+    /// Opens a branch scope: subsequent writes are unioned with the taint of
+    /// the comparison that decided the branch.
+    pub fn enter_branch_scope(&mut self) {
+        if self.mode.control_deps {
+            self.control_ctx = self.flags_prov;
+        }
+    }
+
+    /// Closes the current branch scope.
+    pub fn exit_branch_scope(&mut self) {
+        self.control_ctx = ListId::EMPTY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::NetflowTag;
+
+    fn engine_with_nf(mode: PropagationMode) -> (TaintEngine, ProvTag) {
+        let mut e = TaintEngine::new(mode);
+        let nf = e
+            .tables_mut()
+            .intern_netflow(NetflowTag {
+                src_ip: [1, 1, 1, 1],
+                src_port: 1,
+                dst_ip: [2, 2, 2, 2],
+                dst_port: 2,
+            })
+            .unwrap();
+        (e, nf)
+    }
+
+    #[test]
+    fn copy_rule() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.copy(ShadowAddr::Mem(100), ShadowAddr::Mem(0), 1);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(100)), &[nf]);
+        // Copying an untainted byte clears the destination.
+        e.copy(ShadowAddr::Mem(100), ShadowAddr::Mem(50), 1);
+        assert!(e.prov_tags(ShadowAddr::Mem(100)).is_empty());
+    }
+
+    #[test]
+    fn union_rule_merges_sources() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let file = e.tables_mut().intern_file("x.bin", 1).unwrap();
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.label_fresh(ShadowAddr::Mem(1), file);
+        e.union_into(
+            ShadowAddr::Mem(10),
+            1,
+            &[(ShadowAddr::Mem(0), 1), (ShadowAddr::Mem(1), 1)],
+            false,
+        );
+        let tags = e.prov_tags(ShadowAddr::Mem(10));
+        assert!(tags.contains(&nf) && tags.contains(&file));
+    }
+
+    #[test]
+    fn union_keep_dst_preserves_existing() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let file = e.tables_mut().intern_file("x.bin", 1).unwrap();
+        e.label_fresh(ShadowAddr::Mem(10), file);
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.union_into(ShadowAddr::Mem(10), 1, &[(ShadowAddr::Mem(0), 1)], true);
+        let tags = e.prov_tags(ShadowAddr::Mem(10));
+        assert_eq!(tags, &[file, nf], "dst chronology first, then source");
+    }
+
+    #[test]
+    fn delete_rule() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.delete(ShadowAddr::Mem(0), 1);
+        assert!(e.prov_tags(ShadowAddr::Mem(0)).is_empty());
+        assert_eq!(e.shadow().tainted_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn address_deps_off_by_default() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_fresh(ShadowAddr::Reg { index: 2, off: 0 }, nf);
+        e.addr_dep(ShadowAddr::Mem(10), 1, &[(ShadowAddr::Reg { index: 2, off: 0 }, 4)]);
+        assert!(e.prov_tags(ShadowAddr::Mem(10)).is_empty());
+        assert_eq!(e.stats().addr_deps, 1);
+    }
+
+    #[test]
+    fn address_deps_propagate_when_enabled() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::with_address_deps());
+        e.label_fresh(ShadowAddr::Reg { index: 2, off: 0 }, nf);
+        e.addr_dep(ShadowAddr::Mem(10), 1, &[(ShadowAddr::Reg { index: 2, off: 0 }, 4)]);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(10)), &[nf]);
+    }
+
+    #[test]
+    fn control_deps_taint_branch_scoped_writes() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::conservative());
+        e.label_fresh(ShadowAddr::Reg { index: 0, off: 0 }, nf);
+        // cmp eax, 1 — flags now carry eax's provenance.
+        e.note_flags(&[(ShadowAddr::Reg { index: 0, off: 0 }, 4)]);
+        e.enter_branch_scope();
+        // A constant write inside the branch still picks up the taint
+        // (paper Fig. 2: the bit-copy loop).
+        e.delete(ShadowAddr::Mem(50), 1);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(50)), &[nf]);
+        e.exit_branch_scope();
+        e.delete(ShadowAddr::Mem(50), 1);
+        assert!(e.prov_tags(ShadowAddr::Mem(50)).is_empty());
+    }
+
+    #[test]
+    fn control_deps_ignored_when_disabled() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_fresh(ShadowAddr::Reg { index: 0, off: 0 }, nf);
+        e.note_flags(&[(ShadowAddr::Reg { index: 0, off: 0 }, 4)]);
+        e.enter_branch_scope();
+        e.delete(ShadowAddr::Mem(50), 1);
+        assert!(
+            e.prov_tags(ShadowAddr::Mem(50)).is_empty(),
+            "FAROS does not propagate control dependencies"
+        );
+    }
+
+    #[test]
+    fn append_tag_builds_chronology() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let p1 = e.tables_mut().intern_process(0x1000, "a.exe").unwrap();
+        let p2 = e.tables_mut().intern_process(0x2000, "b.exe").unwrap();
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.append_tag(ShadowAddr::Mem(0), p1);
+        e.append_tag(ShadowAddr::Mem(0), p1); // duplicate head: no-op
+        e.append_tag(ShadowAddr::Mem(0), p2);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(0)), &[nf, p1, p2]);
+    }
+
+    #[test]
+    fn display_list_matches_paper_format() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let p1 = e.tables_mut().intern_process(0x1000, "inject_client.exe").unwrap();
+        let p2 = e.tables_mut().intern_process(0x2000, "notepad.exe").unwrap();
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.append_tag(ShadowAddr::Mem(0), p1);
+        e.append_tag(ShadowAddr::Mem(0), p2);
+        let s = e.display_list(e.prov_id(ShadowAddr::Mem(0)));
+        assert_eq!(
+            s,
+            "NetFlow: {src ip,port: 1.1.1.1:1, dest ip,port: 2.2.2.2:2} \
+             ->Process: inject_client.exe ->Process: notepad.exe"
+        );
+        assert_eq!(e.display_list(ListId::EMPTY), "<untainted>");
+    }
+
+    #[test]
+    fn label_range_and_stats() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_range_fresh(0x100, 16, nf);
+        assert_eq!(e.shadow().tainted_mem_bytes(), 16);
+        assert_eq!(e.stats().labels, 16);
+        for i in 0..16 {
+            assert!(e.has_kind(ShadowAddr::Mem(0x100 + i), TagKind::Netflow));
+        }
+    }
+
+    #[test]
+    fn tainted_regions_coalesce_by_provenance() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let file = e.tables_mut().intern_file("f", 1).unwrap();
+        e.label_range_fresh(0x100, 8, nf);
+        e.label_range_fresh(0x108, 4, file); // adjacent, different list
+        e.label_fresh(ShadowAddr::Mem(0x200), nf); // gap
+        let regions = e.tainted_regions();
+        assert_eq!(regions.len(), 3);
+        assert_eq!((regions[0].phys, regions[0].len), (0x100, 8));
+        assert_eq!((regions[1].phys, regions[1].len), (0x108, 4));
+        assert_eq!((regions[2].phys, regions[2].len), (0x200, 1));
+        assert_eq!(regions[0].list, regions[2].list, "same single-tag list interned once");
+        assert_ne!(regions[0].list, regions[1].list);
+    }
+
+    #[test]
+    fn multi_byte_copy_is_bytewise() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let file = e.tables_mut().intern_file("f", 1).unwrap();
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        e.label_fresh(ShadowAddr::Mem(1), file);
+        e.copy(ShadowAddr::Mem(100), ShadowAddr::Mem(0), 2);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(100)), &[nf]);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(101)), &[file]);
+    }
+}

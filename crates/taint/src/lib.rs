@@ -1,0 +1,64 @@
+//! # faros-taint — provenance-based DIFT engine
+//!
+//! The dynamic information flow tracking core of the FAROS reproduction:
+//!
+//! * [`tag`] — the four provenance tag types (netflow / process / file /
+//!   export-table) in the paper's compact three-byte `prov_tag` format;
+//! * [`tables`] — the three per-type payload hash maps (paper Fig. 5);
+//! * [`provlist`] — interned chronological provenance lists (paper Fig. 4);
+//! * [`shadow`] — shadow memory (keyed by guest *physical* address) and the
+//!   shadow register bank;
+//! * [`engine`] — the propagation rules of the paper's Table I
+//!   (`copy`/`union`/`delete`) plus per-policy optional address- and
+//!   control-dependency propagation.
+//!
+//! The crate is emulator-agnostic: it consumes byte-granular
+//! [`shadow::ShadowAddr`] operations that any instruction-level frontend can
+//! emit (the `faros-core` crate glues it to the FE32 CPU's hook surface).
+//!
+//! ## Example: the Fig. 4 lifecycle
+//!
+//! ```
+//! use faros_taint::engine::{PropagationMode, TaintEngine};
+//! use faros_taint::shadow::ShadowAddr;
+//! use faros_taint::tag::NetflowTag;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dift = TaintEngine::new(PropagationMode::direct_only());
+//!
+//! // A byte comes in from the network...
+//! let nf = dift.tables_mut().intern_netflow(NetflowTag {
+//!     src_ip: [169, 254, 26, 161], src_port: 4444,
+//!     dst_ip: [169, 254, 57, 168], dst_port: 49162,
+//! })?;
+//! dift.label_fresh(ShadowAddr::Mem(0x1000), nf);
+//!
+//! // ... goes to Process 1, then Process 2, then into File 1.
+//! let p1 = dift.tables_mut().intern_process(0x3000, "client.exe")?;
+//! let p2 = dift.tables_mut().intern_process(0x4000, "helper.exe")?;
+//! let f1 = dift.tables_mut().intern_file("C:/tmp/drop.bin", 1)?;
+//! dift.append_tag(ShadowAddr::Mem(0x1000), p1);
+//! dift.append_tag(ShadowAddr::Mem(0x1000), p2);
+//! dift.append_tag(ShadowAddr::Mem(0x1000), f1);
+//!
+//! let rendered = dift.display_list(dift.prov_id(ShadowAddr::Mem(0x1000)));
+//! assert!(rendered.starts_with("NetFlow:"));
+//! assert!(rendered.ends_with("File: C:/tmp/drop.bin (v1)"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod provlist;
+pub mod shadow;
+pub mod tables;
+pub mod tag;
+
+pub use engine::{PropagationMode, TaintEngine, TaintStats, TaintedRegion};
+pub use provlist::{ListId, ProvInterner};
+pub use shadow::{ShadowAddr, ShadowState};
+pub use tables::TagTables;
+pub use tag::{FileTag, NetflowTag, ProcessTag, ProvTag, TagKind};

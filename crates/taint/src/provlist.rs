@@ -1,0 +1,311 @@
+//! Interned provenance lists.
+//!
+//! A provenance list is the chronological record of everything that happened
+//! to a byte (paper Fig. 4): oldest activity first, most recent last (the
+//! paper's "head"). Because whole-system DIFT attaches a list to *every*
+//! tainted byte, lists are interned: a byte's shadow cell holds a small
+//! [`ListId`] and identical lists are stored exactly once. `copy` then costs
+//! one integer move and `union`/`append` are memoized — this is what keeps
+//! whole-system provenance tracking tractable (DESIGN.md, decision 3).
+
+use crate::tag::{ProvTag, TagKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned provenance list. `ListId::EMPTY` is the empty
+/// list (an untainted byte).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ListId(u32);
+
+impl ListId {
+    /// The empty provenance list.
+    pub const EMPTY: ListId = ListId(0);
+
+    /// Returns `true` for the empty list.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self == ListId::EMPTY
+    }
+
+    /// Crate-internal constructor for tests that need opaque ids.
+    #[cfg(test)]
+    pub(crate) fn from_raw(raw: u32) -> ListId {
+        ListId(raw)
+    }
+}
+
+impl fmt::Display for ListId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prov[{}]", self.0)
+    }
+}
+
+/// The provenance-list intern table.
+///
+/// # Examples
+///
+/// ```
+/// use faros_taint::provlist::{ListId, ProvInterner};
+/// use faros_taint::tag::{ProvTag, TagKind};
+///
+/// let mut interner = ProvInterner::new();
+/// let nf = ProvTag::new(TagKind::Netflow, 0);
+/// let p1 = ProvTag::new(TagKind::Process, 0);
+///
+/// let a = interner.append(ListId::EMPTY, nf);
+/// let b = interner.append(a, p1);
+/// assert_eq!(interner.tags(b), &[nf, p1]);
+/// // Re-deriving the same history yields the same id.
+/// let a2 = interner.append(ListId::EMPTY, nf);
+/// assert_eq!(interner.append(a2, p1), b);
+/// ```
+#[derive(Debug)]
+pub struct ProvInterner {
+    lists: Vec<Box<[ProvTag]>>,
+    by_content: HashMap<Box<[ProvTag]>, u32>,
+    append_memo: HashMap<(u32, ProvTag), u32>,
+    union_memo: HashMap<(u32, u32), u32>,
+}
+
+impl Default for ProvInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProvInterner {
+    /// Creates an interner containing only the empty list.
+    pub fn new() -> ProvInterner {
+        let empty: Box<[ProvTag]> = Box::from([]);
+        let mut by_content = HashMap::new();
+        by_content.insert(empty.clone(), 0u32);
+        ProvInterner {
+            lists: vec![empty],
+            by_content,
+            append_memo: HashMap::new(),
+            union_memo: HashMap::new(),
+        }
+    }
+
+    /// The tags of a list, oldest first (the paper's display order:
+    /// `NetFlow -> Process: a.exe -> Process: b.exe`).
+    #[inline]
+    pub fn tags(&self, id: ListId) -> &[ProvTag] {
+        &self.lists[id.0 as usize]
+    }
+
+    /// The most recent tag (the list "head" in the paper's wording).
+    pub fn head(&self, id: ListId) -> Option<ProvTag> {
+        self.tags(id).last().copied()
+    }
+
+    /// Number of distinct lists interned (including the empty list).
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Returns `true` if only the empty list exists.
+    pub fn is_empty(&self) -> bool {
+        self.lists.len() == 1
+    }
+
+    fn intern(&mut self, content: Vec<ProvTag>) -> ListId {
+        if let Some(&id) = self.by_content.get(content.as_slice()) {
+            return ListId(id);
+        }
+        let id = self.lists.len() as u32;
+        let boxed: Box<[ProvTag]> = content.into_boxed_slice();
+        self.by_content.insert(boxed.clone(), id);
+        self.lists.push(boxed);
+        ListId(id)
+    }
+
+    /// Appends `tag` at the head (most-recent end) of `id`, returning the
+    /// resulting list.
+    ///
+    /// Appending a tag equal to the current head is a no-op — this is how
+    /// FAROS avoids unbounded list growth when a process repeatedly touches
+    /// its own tainted bytes.
+    pub fn append(&mut self, id: ListId, tag: ProvTag) -> ListId {
+        if self.head(id) == Some(tag) {
+            return id;
+        }
+        if let Some(&memo) = self.append_memo.get(&(id.0, tag)) {
+            return ListId(memo);
+        }
+        let mut content = self.tags(id).to_vec();
+        content.push(tag);
+        let out = self.intern(content);
+        self.append_memo.insert((id.0, tag), out.0);
+        out
+    }
+
+    /// The union of two lists (the paper's `union(a, b)` rule for
+    /// computation dependencies): `a`'s chronology followed by the tags of
+    /// `b` not already present, preserving order.
+    pub fn union(&mut self, a: ListId, b: ListId) -> ListId {
+        if a == b || b.is_empty() {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        if let Some(&memo) = self.union_memo.get(&(a.0, b.0)) {
+            return ListId(memo);
+        }
+        let mut content = self.tags(a).to_vec();
+        for &tag in self.tags(b) {
+            if !content.contains(&tag) {
+                content.push(tag);
+            }
+        }
+        let out = self.intern(content);
+        self.union_memo.insert((a.0, b.0), out.0);
+        out
+    }
+
+    /// Returns `true` if the list contains any tag of `kind`.
+    pub fn contains_kind(&self, id: ListId, kind: TagKind) -> bool {
+        self.tags(id).iter().any(|t| t.kind() == kind)
+    }
+
+    /// Returns `true` if the list contains `tag`.
+    pub fn contains(&self, id: ListId, tag: ProvTag) -> bool {
+        self.tags(id).contains(&tag)
+    }
+
+    /// Iterates over the tags of `kind` in the list, oldest first.
+    pub fn tags_of_kind(&self, id: ListId, kind: TagKind) -> impl Iterator<Item = ProvTag> + '_ {
+        self.tags(id).iter().copied().filter(move |t| t.kind() == kind)
+    }
+
+    /// Counts *distinct* tags of `kind` in the list — e.g. how many distinct
+    /// processes appear in a byte's history, which the FAROS policy uses to
+    /// recognize cross-process flows.
+    pub fn count_distinct_of_kind(&self, id: ListId, kind: TagKind) -> usize {
+        let tags = self.tags(id);
+        tags.iter()
+            .enumerate()
+            .filter(|(i, t)| t.kind() == kind && !tags[..*i].contains(t))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nf(i: u16) -> ProvTag {
+        ProvTag::new(TagKind::Netflow, i)
+    }
+    fn proc(i: u16) -> ProvTag {
+        ProvTag::new(TagKind::Process, i)
+    }
+
+    #[test]
+    fn empty_list_properties() {
+        let interner = ProvInterner::new();
+        assert!(ListId::EMPTY.is_empty());
+        assert_eq!(interner.tags(ListId::EMPTY), &[]);
+        assert_eq!(interner.head(ListId::EMPTY), None);
+        assert!(interner.is_empty());
+    }
+
+    #[test]
+    fn append_preserves_chronology() {
+        let mut i = ProvInterner::new();
+        let l = i.append(ListId::EMPTY, nf(0));
+        let l = i.append(l, proc(1));
+        let l = i.append(l, proc(2));
+        assert_eq!(i.tags(l), &[nf(0), proc(1), proc(2)]);
+        assert_eq!(i.head(l), Some(proc(2)));
+    }
+
+    #[test]
+    fn append_same_head_is_noop() {
+        let mut i = ProvInterner::new();
+        let l = i.append(ListId::EMPTY, proc(1));
+        let l2 = i.append(l, proc(1));
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn append_allows_nonconsecutive_repeats() {
+        // P1 -> P2 -> P1 is legitimate chronology (byte bounced between
+        // processes) and must be representable.
+        let mut i = ProvInterner::new();
+        let l = i.append(ListId::EMPTY, proc(1));
+        let l = i.append(l, proc(2));
+        let l = i.append(l, proc(1));
+        assert_eq!(i.tags(l), &[proc(1), proc(2), proc(1)]);
+    }
+
+    #[test]
+    fn structural_sharing() {
+        let mut i = ProvInterner::new();
+        let a = i.append(ListId::EMPTY, nf(0));
+        let b = i.append(a, proc(1));
+        let c = i.append(a, proc(1));
+        assert_eq!(b, c, "identical histories intern to the same id");
+    }
+
+    #[test]
+    fn union_identities() {
+        let mut i = ProvInterner::new();
+        let a = i.append(ListId::EMPTY, nf(0));
+        assert_eq!(i.union(a, ListId::EMPTY), a);
+        assert_eq!(i.union(ListId::EMPTY, a), a);
+        assert_eq!(i.union(a, a), a);
+    }
+
+    #[test]
+    fn union_dedups_preserving_order() {
+        let mut i = ProvInterner::new();
+        let a0 = i.append(ListId::EMPTY, nf(0));
+        let a = i.append(a0, proc(1));
+        let b0 = i.append(ListId::EMPTY, proc(1));
+        let b = i.append(b0, proc(2));
+        let u = i.union(a, b);
+        assert_eq!(i.tags(u), &[nf(0), proc(1), proc(2)]);
+    }
+
+    #[test]
+    fn union_is_memoized() {
+        let mut i = ProvInterner::new();
+        let a = i.append(ListId::EMPTY, nf(0));
+        let b = i.append(ListId::EMPTY, proc(1));
+        let u1 = i.union(a, b);
+        let lists_after_first = i.len();
+        let u2 = i.union(a, b);
+        assert_eq!(u1, u2);
+        assert_eq!(i.len(), lists_after_first);
+    }
+
+    #[test]
+    fn kind_queries() {
+        let mut i = ProvInterner::new();
+        let l = i.append(ListId::EMPTY, nf(0));
+        let l = i.append(l, proc(1));
+        let l = i.append(l, proc(2));
+        let l = i.append(l, ProvTag::EXPORT_TABLE);
+        assert!(i.contains_kind(l, TagKind::Netflow));
+        assert!(i.contains_kind(l, TagKind::ExportTable));
+        assert!(!i.contains_kind(l, TagKind::File));
+        assert_eq!(i.count_distinct_of_kind(l, TagKind::Process), 2);
+        assert_eq!(i.tags_of_kind(l, TagKind::Process).count(), 2);
+        assert!(i.contains(l, proc(1)));
+        assert!(!i.contains(l, proc(9)));
+    }
+
+    #[test]
+    fn count_distinct_ignores_repeats() {
+        let mut i = ProvInterner::new();
+        let l = i.append(ListId::EMPTY, proc(1));
+        let l = i.append(l, proc(2));
+        let l = i.append(l, proc(1)); // repeat
+        assert_eq!(i.count_distinct_of_kind(l, TagKind::Process), 2);
+    }
+}

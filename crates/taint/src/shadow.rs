@@ -1,0 +1,199 @@
+//! Shadow memory and the shadow register bank (paper §V-A).
+//!
+//! Every guest *physical* byte and every CPU register byte has a shadow cell
+//! holding a [`ListId`] — the interned provenance list of that byte. Keying
+//! by physical address (rather than virtual) is what lets a tag follow a
+//! byte when it is written into another process's address space.
+
+use crate::provlist::ListId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of register slots shadowed (generous upper bound; FE32 uses 8).
+pub const SHADOW_REGS: usize = 16;
+
+/// A byte-granular shadow address: one guest physical memory byte or one
+/// register byte.
+///
+/// This mirrors `faros_emu::ShadowLoc`; the two are kept separate so the
+/// taint engine stays independent of any particular emulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShadowAddr {
+    /// A guest physical memory byte.
+    Mem(u32),
+    /// Byte `off` (0..4) of register `index`.
+    Reg {
+        /// Register-file index.
+        index: u8,
+        /// Byte offset within the register.
+        off: u8,
+    },
+}
+
+impl ShadowAddr {
+    /// The shadow address `n` bytes after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a register address is advanced past byte 3.
+    #[inline]
+    pub fn offset(self, n: u8) -> ShadowAddr {
+        match self {
+            ShadowAddr::Mem(a) => ShadowAddr::Mem(a.wrapping_add(n as u32)),
+            ShadowAddr::Reg { index, off } => {
+                debug_assert!(off + n < 4, "register shadow overflow");
+                ShadowAddr::Reg { index, off: off + n }
+            }
+        }
+    }
+}
+
+/// The shadow state: a sparse map for memory plus a dense register bank.
+///
+/// # Examples
+///
+/// ```
+/// use faros_taint::provlist::ListId;
+/// use faros_taint::shadow::{ShadowAddr, ShadowState};
+///
+/// let mut shadow = ShadowState::new();
+/// assert_eq!(shadow.get(ShadowAddr::Mem(0x1000)), ListId::EMPTY);
+/// ```
+#[derive(Debug, Default)]
+pub struct ShadowState {
+    mem: HashMap<u32, ListId>,
+    regs: [[ListId; 4]; SHADOW_REGS],
+}
+
+impl ShadowState {
+    /// Creates an all-untainted shadow state.
+    pub fn new() -> ShadowState {
+        ShadowState::default()
+    }
+
+    /// Reads the provenance list id of a shadow byte.
+    #[inline]
+    pub fn get(&self, addr: ShadowAddr) -> ListId {
+        match addr {
+            ShadowAddr::Mem(a) => self.mem.get(&a).copied().unwrap_or(ListId::EMPTY),
+            ShadowAddr::Reg { index, off } => self.regs[index as usize][off as usize],
+        }
+    }
+
+    /// Writes the provenance list id of a shadow byte. Writing
+    /// [`ListId::EMPTY`] removes any existing memory entry, keeping the map
+    /// sparse.
+    #[inline]
+    pub fn set(&mut self, addr: ShadowAddr, id: ListId) {
+        match addr {
+            ShadowAddr::Mem(a) => {
+                if id.is_empty() {
+                    self.mem.remove(&a);
+                } else {
+                    self.mem.insert(a, id);
+                }
+            }
+            ShadowAddr::Reg { index, off } => {
+                self.regs[index as usize][off as usize] = id;
+            }
+        }
+    }
+
+    /// Number of tainted memory bytes.
+    pub fn tainted_mem_bytes(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Iterates over tainted memory bytes as `(phys_addr, list)` pairs in
+    /// unspecified order.
+    pub fn iter_mem(&self) -> impl Iterator<Item = (u32, ListId)> + '_ {
+        self.mem.iter().map(|(&a, &l)| (a, l))
+    }
+
+    /// Clears all register shadows (e.g. on a context switch if per-thread
+    /// register shadows are not preserved — our kernel *does* preserve them
+    /// per thread, so this is only used by tests and resets).
+    pub fn clear_regs(&mut self) {
+        self.regs = [[ListId::EMPTY; 4]; SHADOW_REGS];
+    }
+
+    /// Takes a snapshot of the register shadow bank.
+    pub fn save_regs(&self) -> [[ListId; 4]; SHADOW_REGS] {
+        self.regs
+    }
+
+    /// Restores a register shadow bank snapshot.
+    ///
+    /// The kernel calls `save_regs`/`restore_regs` around context switches so
+    /// each thread keeps its own register taint, mirroring how a real
+    /// whole-system DIFT sees register state move to/from the KTRAP frame.
+    pub fn restore_regs(&mut self, regs: [[ListId; 4]; SHADOW_REGS]) {
+        self.regs = regs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(n: u32) -> ListId {
+        ListId::from_raw(n)
+    }
+
+    #[test]
+    fn default_is_untainted() {
+        let s = ShadowState::new();
+        assert_eq!(s.get(ShadowAddr::Mem(123)), ListId::EMPTY);
+        assert_eq!(s.get(ShadowAddr::Reg { index: 3, off: 2 }), ListId::EMPTY);
+        assert_eq!(s.tainted_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut s = ShadowState::new();
+        s.set(ShadowAddr::Mem(0x40), lid(5));
+        s.set(ShadowAddr::Reg { index: 0, off: 1 }, lid(7));
+        assert_eq!(s.get(ShadowAddr::Mem(0x40)), lid(5));
+        assert_eq!(s.get(ShadowAddr::Reg { index: 0, off: 1 }), lid(7));
+        assert_eq!(s.get(ShadowAddr::Reg { index: 0, off: 0 }), ListId::EMPTY);
+        assert_eq!(s.tainted_mem_bytes(), 1);
+    }
+
+    #[test]
+    fn setting_empty_removes_entry() {
+        let mut s = ShadowState::new();
+        s.set(ShadowAddr::Mem(0x40), lid(5));
+        s.set(ShadowAddr::Mem(0x40), ListId::EMPTY);
+        assert_eq!(s.tainted_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn offset_addressing() {
+        assert_eq!(ShadowAddr::Mem(10).offset(3), ShadowAddr::Mem(13));
+        assert_eq!(
+            ShadowAddr::Reg { index: 2, off: 0 }.offset(2),
+            ShadowAddr::Reg { index: 2, off: 2 }
+        );
+    }
+
+    #[test]
+    fn reg_bank_save_restore() {
+        let mut s = ShadowState::new();
+        s.set(ShadowAddr::Reg { index: 1, off: 0 }, lid(9));
+        let saved = s.save_regs();
+        s.clear_regs();
+        assert_eq!(s.get(ShadowAddr::Reg { index: 1, off: 0 }), ListId::EMPTY);
+        s.restore_regs(saved);
+        assert_eq!(s.get(ShadowAddr::Reg { index: 1, off: 0 }), lid(9));
+    }
+
+    #[test]
+    fn iter_mem_sees_all_entries() {
+        let mut s = ShadowState::new();
+        s.set(ShadowAddr::Mem(1), lid(1));
+        s.set(ShadowAddr::Mem(2), lid(2));
+        let mut got: Vec<(u32, ListId)> = s.iter_mem().collect();
+        got.sort_by_key(|&(a, _)| a);
+        assert_eq!(got, vec![(1, lid(1)), (2, lid(2))]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Provenance tags — the `prov_tag` of FAROS §V-A.
+//!
+//! FAROS distinguishes four tag *types* (netflow, process, file,
+//! export-table) and represents a tag as three bytes: one type byte plus a
+//! 16-bit index into the per-type hash map (paper Fig. 6). This module
+//! defines that compact tag plus the rich per-type payloads the indexes
+//! refer to (paper Fig. 5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four provenance tag types of FAROS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum TagKind {
+    /// The byte came from a particular network flow.
+    Netflow = 0,
+    /// A process touched the byte (tag payload is the CR3 value).
+    Process = 1,
+    /// The byte was read from / written to a file.
+    File = 2,
+    /// The byte belongs to the kernel region holding module export tables,
+    /// where linking and loading operations occur.
+    ExportTable = 3,
+}
+
+impl TagKind {
+    /// All tag kinds.
+    pub const ALL: [TagKind; 4] =
+        [TagKind::Netflow, TagKind::Process, TagKind::File, TagKind::ExportTable];
+
+    /// Decodes a kind from its type byte.
+    pub fn from_byte(b: u8) -> Option<TagKind> {
+        TagKind::ALL.get(b as usize).copied()
+    }
+}
+
+impl fmt::Display for TagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TagKind::Netflow => "netflow",
+            TagKind::Process => "process",
+            TagKind::File => "file",
+            TagKind::ExportTable => "export-table",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compact three-byte provenance tag: type byte + index into the
+/// corresponding tag table (paper Fig. 6).
+///
+/// # Examples
+///
+/// ```
+/// use faros_taint::tag::{ProvTag, TagKind};
+///
+/// let tag = ProvTag::new(TagKind::Netflow, 7);
+/// let bytes = tag.to_bytes();
+/// assert_eq!(ProvTag::from_bytes(bytes), Some(tag));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProvTag {
+    kind: TagKind,
+    index: u16,
+}
+
+impl ProvTag {
+    /// Creates a tag of `kind` referring to table slot `index`.
+    pub fn new(kind: TagKind, index: u16) -> ProvTag {
+        ProvTag { kind, index }
+    }
+
+    /// The export-table tag. It carries no payload (FAROS keeps no hash map
+    /// for it, §V-A), so a single canonical value suffices.
+    pub const EXPORT_TABLE: ProvTag = ProvTag { kind: TagKind::ExportTable, index: 0 };
+
+    /// The tag's type.
+    pub fn kind(self) -> TagKind {
+        self.kind
+    }
+
+    /// The tag's index into its type's table.
+    pub fn index(self) -> u16 {
+        self.index
+    }
+
+    /// Serializes to the paper's three-byte wire format.
+    pub fn to_bytes(self) -> [u8; 3] {
+        let idx = self.index.to_le_bytes();
+        [self.kind as u8, idx[0], idx[1]]
+    }
+
+    /// Deserializes from the three-byte wire format.
+    ///
+    /// Returns `None` if the type byte is invalid.
+    pub fn from_bytes(bytes: [u8; 3]) -> Option<ProvTag> {
+        Some(ProvTag {
+            kind: TagKind::from_byte(bytes[0])?,
+            index: u16::from_le_bytes([bytes[1], bytes[2]]),
+        })
+    }
+}
+
+impl fmt::Display for ProvTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.kind, self.index)
+    }
+}
+
+/// Payload of a netflow tag: the flow 4-tuple (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetflowTag {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Source port.
+    pub src_port: u16,
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl fmt::Display for NetflowTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{src ip,port: {}.{}.{}.{}:{}, dest ip,port: {}.{}.{}.{}:{}}}",
+            self.src_ip[0],
+            self.src_ip[1],
+            self.src_ip[2],
+            self.src_ip[3],
+            self.src_port,
+            self.dst_ip[0],
+            self.dst_ip[1],
+            self.dst_ip[2],
+            self.dst_ip[3],
+            self.dst_port,
+        )
+    }
+}
+
+/// Payload of a process tag: the CR3 value that uniquely identifies the
+/// process at the architecture level, plus the image name for reports.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessTag {
+    /// The CR3 (page-table root / address-space id) value.
+    pub cr3: u32,
+    /// Image name, e.g. `inject_client.exe` (for analyst-facing output; the
+    /// CR3 value alone is the identity).
+    pub name: String,
+}
+
+impl fmt::Display for ProcessTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Payload of a file tag: name plus an access-version counter (paper Fig. 5:
+/// "a version that indicates how many times a file has been accessed").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FileTag {
+    /// File path within the guest filesystem.
+    pub name: String,
+    /// Access version.
+    pub version: u32,
+}
+
+impl fmt::Display for FileTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (v{})", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_wire_round_trip() {
+        for kind in TagKind::ALL {
+            for index in [0u16, 1, 255, 256, u16::MAX] {
+                let t = ProvTag::new(kind, index);
+                assert_eq!(ProvTag::from_bytes(t.to_bytes()), Some(t));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_type_byte_rejected() {
+        assert_eq!(ProvTag::from_bytes([4, 0, 0]), None);
+        assert_eq!(ProvTag::from_bytes([255, 1, 2]), None);
+    }
+
+    #[test]
+    fn wire_format_is_three_bytes_type_first() {
+        let t = ProvTag::new(TagKind::File, 0x1234);
+        assert_eq!(t.to_bytes(), [2, 0x34, 0x12]);
+    }
+
+    #[test]
+    fn netflow_display_matches_paper_table2_style() {
+        let nf = NetflowTag {
+            src_ip: [169, 254, 26, 161],
+            src_port: 4444,
+            dst_ip: [169, 254, 57, 168],
+            dst_port: 49162,
+        };
+        assert_eq!(
+            nf.to_string(),
+            "{src ip,port: 169.254.26.161:4444, dest ip,port: 169.254.57.168:49162}"
+        );
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TagKind::ExportTable.to_string(), "export-table");
+        assert_eq!(TagKind::Netflow.to_string(), "netflow");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the provenance-list interner and the Table-I
+//! propagation semantics — the invariants whole-system DIFT correctness
+//! rests on.
+
+use faros_taint::engine::{PropagationMode, TaintEngine};
+use faros_taint::provlist::{ListId, ProvInterner};
+use faros_taint::shadow::ShadowAddr;
+use faros_taint::tag::{ProvTag, TagKind};
+use proptest::prelude::*;
+
+fn tag_strategy() -> impl Strategy<Value = ProvTag> {
+    (prop::sample::select(TagKind::ALL.to_vec()), 0u16..16)
+        .prop_map(|(kind, idx)| ProvTag::new(kind, idx))
+}
+
+fn build_list(interner: &mut ProvInterner, tags: &[ProvTag]) -> ListId {
+    tags.iter().fold(ListId::EMPTY, |acc, &t| interner.append(acc, t))
+}
+
+proptest! {
+    #[test]
+    fn append_preserves_order_and_collapses_consecutive_dups(
+        tags in prop::collection::vec(tag_strategy(), 0..24)
+    ) {
+        let mut interner = ProvInterner::new();
+        let id = build_list(&mut interner, &tags);
+        // Expected: the input with consecutive duplicates collapsed.
+        let mut expected: Vec<ProvTag> = Vec::new();
+        for &t in &tags {
+            if expected.last() != Some(&t) {
+                expected.push(t);
+            }
+        }
+        prop_assert_eq!(interner.tags(id), expected.as_slice());
+    }
+
+    #[test]
+    fn interning_is_canonical(
+        tags in prop::collection::vec(tag_strategy(), 0..16)
+    ) {
+        // Building the same history twice yields the same id (structural
+        // sharing), even through an unrelated interleaved build.
+        let mut interner = ProvInterner::new();
+        let a = build_list(&mut interner, &tags);
+        let _noise = build_list(&mut interner, &[ProvTag::EXPORT_TABLE]);
+        let b = build_list(&mut interner, &tags);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_empty_is_identity(
+        tags_a in prop::collection::vec(tag_strategy(), 0..12),
+        tags_b in prop::collection::vec(tag_strategy(), 0..12),
+    ) {
+        let mut interner = ProvInterner::new();
+        let a = build_list(&mut interner, &tags_a);
+        let b = build_list(&mut interner, &tags_b);
+        prop_assert_eq!(interner.union(a, a), a);
+        prop_assert_eq!(interner.union(a, ListId::EMPTY), a);
+        prop_assert_eq!(interner.union(ListId::EMPTY, b), b);
+        // Union is associative-in-content for the tag *set*.
+        let ab = interner.union(a, b);
+        let ab_again = interner.union(ab, b);
+        prop_assert_eq!(ab, ab_again, "absorbing: (a ∪ b) ∪ b == a ∪ b");
+    }
+
+    #[test]
+    fn union_contains_all_source_tags(
+        tags_a in prop::collection::vec(tag_strategy(), 0..12),
+        tags_b in prop::collection::vec(tag_strategy(), 0..12),
+    ) {
+        let mut interner = ProvInterner::new();
+        let a = build_list(&mut interner, &tags_a);
+        let b = build_list(&mut interner, &tags_b);
+        let u = interner.union(a, b);
+        for &t in tags_a.iter().chain(tags_b.iter()) {
+            prop_assert!(interner.contains(u, t));
+        }
+        // And nothing else.
+        for &t in interner.tags(u) {
+            prop_assert!(tags_a.contains(&t) || tags_b.contains(&t));
+        }
+    }
+
+    #[test]
+    fn copy_moves_shadow_exactly(
+        tags in prop::collection::vec(tag_strategy(), 1..8),
+        src in 0u32..1000,
+        dst in 1000u32..2000,
+    ) {
+        let mut engine = TaintEngine::new(PropagationMode::direct_only());
+        for (i, &t) in tags.iter().enumerate() {
+            engine.append_tag(ShadowAddr::Mem(src + i as u32), t);
+        }
+        let n = tags.len() as u8;
+        engine.copy(ShadowAddr::Mem(dst), ShadowAddr::Mem(src), n);
+        for i in 0..n {
+            prop_assert_eq!(
+                engine.prov_id(ShadowAddr::Mem(dst + i as u32)),
+                engine.prov_id(ShadowAddr::Mem(src + i as u32)),
+            );
+        }
+    }
+
+    #[test]
+    fn delete_always_clears(
+        tags in prop::collection::vec(tag_strategy(), 0..8),
+        addr in 0u32..10_000,
+    ) {
+        let mut engine = TaintEngine::new(PropagationMode::direct_only());
+        for &t in &tags {
+            engine.append_tag(ShadowAddr::Mem(addr), t);
+        }
+        engine.delete(ShadowAddr::Mem(addr), 1);
+        prop_assert!(engine.prov_id(ShadowAddr::Mem(addr)).is_empty());
+        prop_assert_eq!(engine.shadow().tainted_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn count_distinct_matches_set_semantics(
+        tags in prop::collection::vec(tag_strategy(), 0..24)
+    ) {
+        let mut interner = ProvInterner::new();
+        let id = build_list(&mut interner, &tags);
+        for kind in TagKind::ALL {
+            let expected: std::collections::HashSet<ProvTag> = interner
+                .tags(id)
+                .iter()
+                .copied()
+                .filter(|t| t.kind() == kind)
+                .collect();
+            prop_assert_eq!(interner.count_distinct_of_kind(id, kind), expected.len());
+        }
+    }
+
+    #[test]
+    fn tag_wire_format_round_trips(tag in tag_strategy()) {
+        prop_assert_eq!(ProvTag::from_bytes(tag.to_bytes()), Some(tag));
+    }
+}
+
+/// §VI-D discusses exhausting FAROS' memory with "a great amount of tagged
+/// data". Interning bounds the damage: a workload that moves the same few
+/// tags around millions of times creates only a handful of distinct lists.
+#[test]
+fn interning_bounds_memory_under_repetitive_propagation() {
+    use faros_taint::tag::NetflowTag;
+    let mut engine = TaintEngine::new(PropagationMode::direct_only());
+    let nf = engine
+        .tables_mut()
+        .intern_netflow(NetflowTag {
+            src_ip: [1, 1, 1, 1],
+            src_port: 1,
+            dst_ip: [2, 2, 2, 2],
+            dst_port: 2,
+        })
+        .unwrap();
+    let p1 = engine.tables_mut().intern_process(0x2000, "a.exe").unwrap();
+    let p2 = engine.tables_mut().intern_process(0x3000, "b.exe").unwrap();
+    engine.label_range_fresh(0, 4096, nf);
+    // 100k propagation steps shuffling the same provenance shapes around.
+    for round in 0..25u32 {
+        for i in 0..4096u32 {
+            let src = ShadowAddr::Mem(i);
+            let dst = ShadowAddr::Mem(0x10_0000 + i);
+            engine.copy(dst, src, 1);
+            engine.append_tag(dst, if round % 2 == 0 { p1 } else { p2 });
+        }
+    }
+    assert!(
+        engine.interner().len() < 64,
+        "interner must stay bounded: {} lists",
+        engine.interner().len()
+    );
+    assert_eq!(engine.shadow().tainted_mem_bytes(), 2 * 4096);
+}

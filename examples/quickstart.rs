@@ -1,0 +1,53 @@
+//! Quickstart: the paper's §V-C analyst workflow on the meterpreter-style
+//! reflective DLL injection.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! 1. Record the malware run in the live "VM" (scripted attacker attached).
+//! 2. Replay the capture deterministically with the FAROS plugin loaded.
+//! 3. Print the Table II-style provenance report.
+
+use faros_repro::corpus::attacks;
+use faros_repro::faros::{Faros, Policy};
+use faros_repro::replay::{record, replay};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sample = attacks::reflective_dll_inject();
+    println!("[*] scenario: {}", sample.name());
+
+    // --- 1. record ---
+    let (recording, live) = record(&sample.scenario, 20_000_000)?;
+    println!(
+        "[*] recorded {} virtual ticks, {} network events, exit = {:?}",
+        live.instructions,
+        recording.net_log.events.len(),
+        live.exit,
+    );
+    println!("[*] guest console during recording:");
+    for (pid, line) in live.machine.console() {
+        println!("      {pid}: {line}");
+    }
+
+    // --- 2. replay with FAROS attached ---
+    let mut faros = Faros::new(Policy::paper());
+    let outcome = replay(&sample.scenario, &recording, 20_000_000, &mut faros)?;
+    println!(
+        "\n[*] replayed {} virtual ticks under FAROS ({} instructions observed)",
+        outcome.instructions,
+        faros.stats().instructions,
+    );
+
+    // --- 3. the analyst report ---
+    let report = faros.report();
+    println!("\n[*] FAROS report (paper Table II format):\n");
+    print!("{report}");
+    if report.attack_flagged() {
+        println!(
+            "\n[!] in-memory injection attack flagged in: {}",
+            report.flagged_processes().join(", ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # faros-repro — reproduction of FAROS (DSN 2018)
+//!
+//! *FAROS: Illuminating In-Memory Injection Attacks via Provenance-Based
+//! Whole-System Dynamic Information Flow Tracking.*
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`emu`] — the FE32 whole-system emulator (the QEMU substitute);
+//! * [`kernel`] — the NT-flavoured paravirtual guest kernel;
+//! * [`replay`] — PANDA-style record/replay and the plugin architecture;
+//! * [`taint`] — the provenance DIFT engine (tags, shadow state, Table-I
+//!   propagation);
+//! * [`faros`] — the FAROS plugin itself (tag insertion, confluence
+//!   policies, provenance reports);
+//! * [`corpus`] — the attack / false-positive / JIT workload corpus;
+//! * [`baselines`] — CuckooBox- and malfind-style comparison analyzers.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
+//! substitution statement, and `EXPERIMENTS.md` for paper-vs-measured
+//! results. The `examples/` directory contains five runnable walkthroughs,
+//! starting with `examples/quickstart.rs`.
+
+#![warn(missing_docs)]
+
+pub use faros_baselines as baselines;
+pub use ::faros;
+pub use faros_corpus as corpus;
+pub use faros_emu as emu;
+pub use faros_kernel as kernel;
+pub use faros_replay as replay;
+pub use faros_taint as taint;

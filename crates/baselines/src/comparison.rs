@@ -9,11 +9,10 @@ use crate::cuckoo::CuckooSandbox;
 use crate::malfind;
 use faros_corpus::Sample;
 use faros_replay::{record, replay};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison outcome for one sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
     /// Sample name.
     pub sample: String,

@@ -19,11 +19,10 @@ use faros_kernel::nt::{NtStatus, Sysno};
 use faros_kernel::process::ProcessInfo;
 use faros_kernel::{Pid, Tid};
 use faros_replay::Plugin;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One syscall trace entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyscallEntry {
     /// Calling process.
     pub pid: Pid,
@@ -35,7 +34,7 @@ pub struct SyscallEntry {
 
 /// The sandbox report: the information a Cuckoo-class tool hands the
 /// analyst.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CuckooReport {
     /// Full syscall trace, in order.
     pub syscalls: Vec<SyscallEntry>,

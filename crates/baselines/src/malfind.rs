@@ -16,10 +16,9 @@ use faros_emu::mem::{PAGE_SIZE, PAGE_MASK};
 use faros_kernel::machine::Machine;
 use faros_kernel::process::RegionKind;
 use faros_kernel::Pid;
-use serde::{Deserialize, Serialize};
 
 /// One suspicious region found in the snapshot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MalfindHit {
     /// Owning process.
     pub pid: Pid,
@@ -42,7 +41,7 @@ pub struct MalfindHit {
 }
 
 /// The scanner's report for one snapshot.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MalfindReport {
     /// All hits, in (pid, base) order.
     pub hits: Vec<MalfindHit>,

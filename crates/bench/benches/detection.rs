@@ -1,13 +1,17 @@
 //! End-to-end detection cost: full record+replay+FAROS analysis per attack
 //! class (the analyst-facing turnaround time).
+//!
+//! Runs on the in-tree harness (`faros_support::bench`); set
+//! `FAROS_BENCH_WRITE=<dir>` to emit `BENCH_detection_end_to_end.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use faros::Policy;
 use faros_bench::experiments::run_faros;
 use faros_corpus::{attacks, families};
+use faros_support::bench::BenchGroup;
+use faros_support::bench_main;
 
-fn bench_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection_end_to_end");
+fn bench_detection() {
+    let mut group = BenchGroup::new("detection_end_to_end");
     group.sample_size(10);
 
     group.bench_function("reflective_dll_inject", |b| {
@@ -38,5 +42,4 @@ fn bench_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);
+bench_main!(bench_detection);

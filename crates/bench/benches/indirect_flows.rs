@@ -2,8 +2,12 @@
 //! and taint spread under the three policies — direct-only (FAROS),
 //! +address dependencies (Suh/Minos style), and fully conservative
 //! (+control dependencies, RIFLE style).
+//!
+//! Runs on the in-tree harness (`faros_support::bench`); set
+//! `FAROS_BENCH_WRITE=<dir>` to emit `BENCH_indirect_flows.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use faros_support::bench::BenchGroup;
+use faros_support::bench_main;
 use faros_taint::engine::{PropagationMode, TaintEngine};
 use faros_taint::shadow::ShadowAddr;
 use faros_taint::tag::NetflowTag;
@@ -24,8 +28,8 @@ fn lookup_table_copy(engine: &mut TaintEngine, len: u32) {
     }
 }
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("indirect_flows");
+fn bench_modes() {
+    let mut group = BenchGroup::new("indirect_flows");
     let modes = [
         ("direct_only", PropagationMode::direct_only()),
         ("address_deps", PropagationMode::with_address_deps()),
@@ -53,5 +57,4 @@ fn bench_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);
+bench_main!(bench_modes);

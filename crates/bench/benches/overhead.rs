@@ -1,14 +1,18 @@
-//! Table V as a Criterion benchmark: replay each performance workload with
-//! an empty plugin stack (plain PANDA replay) vs. with FAROS attached.
+//! Table V as a micro-benchmark: replay each performance workload with an
+//! empty plugin stack (plain PANDA replay) vs. with FAROS attached.
+//!
+//! Runs on the in-tree harness (`faros_support::bench`); set
+//! `FAROS_BENCH_WRITE=<dir>` to emit `BENCH_table5_replay.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use faros::{Faros, Policy};
 use faros_bench::experiments::BUDGET;
 use faros_corpus::perf;
 use faros_replay::{record, replay, PluginManager};
+use faros_support::bench::BenchGroup;
+use faros_support::bench_main;
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table5_replay");
+fn bench_overhead() {
+    let mut group = BenchGroup::new("table5_replay");
     group.sample_size(10);
     for workload in perf::perf_workloads() {
         let (recording, _) = record(&workload.sample.scenario, BUDGET).expect("record");
@@ -33,5 +37,4 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);
+bench_main!(bench_overhead);

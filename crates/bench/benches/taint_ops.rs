@@ -1,7 +1,11 @@
 //! Microbenchmarks of the DIFT engine's Table-I operations: the costs that
 //! dominate FAROS' 14x replay slowdown.
+//!
+//! Runs on the in-tree harness (`faros_support::bench`); set
+//! `FAROS_BENCH_WRITE=<dir>` to emit `BENCH_taint_ops.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use faros_support::bench::BenchGroup;
+use faros_support::bench_main;
 use faros_taint::engine::{PropagationMode, TaintEngine};
 use faros_taint::shadow::ShadowAddr;
 use faros_taint::tag::{NetflowTag, ProvTag, TagKind};
@@ -21,8 +25,8 @@ fn engine_with_labels(n: usize) -> TaintEngine {
     e
 }
 
-fn bench_taint_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("taint_ops");
+fn bench_taint_ops() {
+    let mut group = BenchGroup::new("taint_ops");
 
     group.bench_function("copy_tainted_4k", |b| {
         let mut e = engine_with_labels(4096);
@@ -77,5 +81,4 @@ fn bench_taint_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_taint_ops);
-criterion_main!(benches);
+bench_main!(bench_taint_ops);

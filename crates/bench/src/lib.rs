@@ -2,7 +2,7 @@
 //!
 //! One runner per table/figure of the paper's evaluation (§VI). The
 //! [`experiments`] module produces the analyst-facing text artifacts; the
-//! `tables` binary prints them, and the Criterion benches time the
+//! `tables` binary prints them, and the in-tree benches time the
 //! underlying runs. See EXPERIMENTS.md for the paper-vs-reproduction
 //! record.
 

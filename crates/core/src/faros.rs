@@ -15,7 +15,6 @@ use faros_taint::engine::{PropagationMode, TaintEngine};
 use faros_taint::provlist::ListId;
 use faros_taint::shadow::{ShadowAddr, SHADOW_REGS};
 use faros_taint::tag::{NetflowTag, ProvTag, TagKind};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Converts the emulator's shadow location into the taint engine's.
@@ -38,7 +37,7 @@ fn netflow_of(flow: &FlowTuple) -> NetflowTag {
 }
 
 /// Summary counters for a FAROS run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FarosStats {
     /// Instructions observed.
     pub instructions: u64,

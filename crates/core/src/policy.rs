@@ -18,10 +18,9 @@
 //! hollowing; cross-process-only misses in-process JIT-style loads (and
 //! therefore has no JIT false positives).
 
-use serde::{Deserialize, Serialize};
 
 /// The flagging policy (see module docs).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Policy {
     /// Foreign if the instruction's code bytes carry a netflow tag.
     pub trigger_netflow: bool,
@@ -36,7 +35,6 @@ pub struct Policy {
     /// netflow-tainted bytes. This is the Minos-style control-data policy
     /// (§VII) expressed in FAROS' framework; off by default (the paper's
     /// FAROS does not implement it).
-    #[serde(default)]
     pub minos_tainted_pc: bool,
 }
 

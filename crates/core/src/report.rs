@@ -5,11 +5,11 @@
 //! ("where did this code come from?") so the analyst does not have to
 //! reconstruct it by hand (§V-B).
 
-use serde::{Deserialize, Serialize};
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 
 /// What kind of confluence fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DetectionKind {
     /// Foreign code reading export-table-tagged memory — the paper's
     /// in-memory-injection invariant.
@@ -30,7 +30,7 @@ impl fmt::Display for DetectionKind {
 }
 
 /// One flagged in-memory-injection read.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Detection {
     /// Virtual address of the flagged instruction (the `mov` that read the
     /// export table) — the "Memory Address" column of Table II.
@@ -55,12 +55,11 @@ pub struct Detection {
     /// Which policy triggers fired: cross-process code origin.
     pub via_cross_process: bool,
     /// What kind of confluence fired.
-    #[serde(default)]
     pub kind: DetectionKind,
 }
 
 /// The FAROS output for one analyzed replay.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FarosReport {
     /// All detections, in discovery order (one per flagged instruction
     /// address).
@@ -137,14 +136,15 @@ impl FarosReport {
         out
     }
 
-    /// Serializes the report to JSON for downstream tooling.
+    /// Serializes the report to pretty-printed JSON for downstream
+    /// tooling. The rendering is byte-stable: the same report always
+    /// produces the same bytes (the golden-fixture tests rely on it).
     ///
     /// # Errors
     ///
-    /// Returns a serialization error (practically impossible for this
-    /// plain-data structure).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Infallible in practice; the `Result` is kept for API stability.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_value().to_pretty())
     }
 
     /// Deserializes a report from JSON.
@@ -152,8 +152,85 @@ impl FarosReport {
     /// # Errors
     ///
     /// Returns a parse error for malformed input.
-    pub fn from_json(json: &str) -> Result<FarosReport, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<FarosReport, JsonError> {
+        FarosReport::from_json_value(&JsonValue::parse(json)?)
+    }
+}
+
+impl ToJson for DetectionKind {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(
+            match self {
+                DetectionKind::ExportTableRead => "ExportTableRead",
+                DetectionKind::TaintedControlTransfer => "TaintedControlTransfer",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for DetectionKind {
+    fn from_json_value(v: &JsonValue) -> Result<DetectionKind, JsonError> {
+        match v.as_str() {
+            Some("ExportTableRead") => Ok(DetectionKind::ExportTableRead),
+            Some("TaintedControlTransfer") => Ok(DetectionKind::TaintedControlTransfer),
+            _ => Err(JsonError::decode("unknown DetectionKind")),
+        }
+    }
+}
+
+impl ToJson for Detection {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("insn_vaddr", self.insn_vaddr.to_json_value()),
+            ("insn", self.insn.to_json_value()),
+            ("read_vaddr", self.read_vaddr.to_json_value()),
+            ("process", self.process.to_json_value()),
+            ("cr3", self.cr3.to_json_value()),
+            ("code_provenance", self.code_provenance.to_json_value()),
+            ("target_provenance", self.target_provenance.to_json_value()),
+            ("tick", self.tick.to_json_value()),
+            ("via_netflow", self.via_netflow.to_json_value()),
+            ("via_cross_process", self.via_cross_process.to_json_value()),
+            ("kind", self.kind.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Detection {
+    fn from_json_value(v: &JsonValue) -> Result<Detection, JsonError> {
+        Ok(Detection {
+            insn_vaddr: json::field(v, "insn_vaddr")?,
+            insn: json::field(v, "insn")?,
+            read_vaddr: json::field(v, "read_vaddr")?,
+            process: json::field(v, "process")?,
+            cr3: json::field(v, "cr3")?,
+            code_provenance: json::field(v, "code_provenance")?,
+            target_provenance: json::field(v, "target_provenance")?,
+            tick: json::field(v, "tick")?,
+            via_netflow: json::field(v, "via_netflow")?,
+            via_cross_process: json::field(v, "via_cross_process")?,
+            // Added after the first release; older reports omit it.
+            kind: json::field_or_default(v, "kind")?,
+        })
+    }
+}
+
+impl ToJson for FarosReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("detections", self.detections.to_json_value()),
+            ("whitelisted", self.whitelisted.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for FarosReport {
+    fn from_json_value(v: &JsonValue) -> Result<FarosReport, JsonError> {
+        Ok(FarosReport {
+            detections: json::field(v, "detections")?,
+            whitelisted: json::field(v, "whitelisted")?,
+        })
     }
 }
 

@@ -10,11 +10,10 @@ use faros_kernel::machine::{Machine, MachineConfig, MachineError};
 use faros_kernel::module::FdlImage;
 use faros_kernel::net::NetworkFabric;
 use faros_replay::Scenario;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which in-memory injection technique a sample implements (§II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InjectionKind {
     /// Reflective DLL injection.
     ReflectiveDll,
@@ -36,7 +35,7 @@ impl fmt::Display for InjectionKind {
 }
 
 /// Ground-truth category of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// In-memory-injecting malware (FAROS must flag it).
     Injecting(InjectionKind),
@@ -56,7 +55,7 @@ impl Category {
 }
 
 /// The Table IV behaviour columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Behavior {
     /// Sits idle (sleep loop).
     Idle,

@@ -3,16 +3,20 @@
 //! Whatever the guest does — illegal instructions, wild pointers, random
 //! syscall numbers with garbage arguments — the *host* stack (kernel,
 //! taint engine, detector) must never panic and the run must terminate.
+//!
+//! Runs on the in-tree deterministic harness (`faros_support::prop`) with
+//! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
 
 use faros::{Faros, Policy};
 use faros_corpus::{Sample, SampleScenario};
 use faros_emu::encode::encode;
-use faros_emu::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width};
+use faros_emu::isa::{Instr, Reg};
 use faros_emu::mmu::Perms;
 use faros_kernel::machine::IMAGE_BASE;
 use faros_kernel::module::{FdlImage, Section};
 use faros_replay::record_and_replay;
-use proptest::prelude::*;
+use faros_support::arb;
+use faros_support::prop::{check, Config};
 
 fn wrap_bytes(code: Vec<u8>) -> Sample {
     let mut data = code;
@@ -42,88 +46,73 @@ fn run_under_faros(sample: &Sample) {
     let _ = faros.report();
 }
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    prop::sample::select(Reg::ALL.to_vec())
+#[test]
+fn random_byte_soup_never_panics_the_host() {
+    check(
+        "random_byte_soup_never_panics_the_host",
+        Config::with_cases(24),
+        |rng| rng.vec_of(0, 512, |r| r.next_u8()),
+        |bytes| {
+            run_under_faros(&wrap_bytes(bytes.clone()));
+            Ok(())
+        },
+    );
 }
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    // Weighted toward memory traffic and syscalls — the host-facing surface.
-    prop_oneof![
-        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::MovRI { dst, imm }),
-        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Instr::MovRR { dst, src }),
-        (reg_strategy(), reg_strategy(), any::<i16>()).prop_map(|(dst, base, disp)| {
-            Instr::Load {
-                dst,
-                mem: Mem::base_disp(base, disp as i32),
-                width: Width::B4,
+#[test]
+fn random_instruction_streams_never_panic_the_host() {
+    check(
+        "random_instruction_streams_never_panic_the_host",
+        Config::with_cases(24),
+        |rng| rng.vec_of(1, 64, arb::guest_instr),
+        |instrs| {
+            let mut code = Vec::new();
+            for i in instrs {
+                code.extend(encode(i));
             }
-        }),
-        (reg_strategy(), reg_strategy(), any::<i16>()).prop_map(|(src, base, disp)| {
-            Instr::Store {
-                mem: Mem::base_disp(base, disp as i32),
-                src,
-                width: Width::B1,
-            }
-        }),
-        (prop::sample::select(AluOp::ALL.to_vec()), reg_strategy(), any::<u32>())
-            .prop_map(|(op, dst, imm)| Instr::Alu { op, dst, src: Operand::Imm(imm) }),
-        (reg_strategy(), any::<u32>())
-            .prop_map(|(a, imm)| Instr::Cmp { a, b: Operand::Imm(imm) }),
-        (prop::sample::select(Cond::ALL.to_vec()), -64i32..64)
-            .prop_map(|(cond, rel)| Instr::Jcc { cond, rel }),
-        reg_strategy().prop_map(|src| Instr::Push { src }),
-        reg_strategy().prop_map(|dst| Instr::Pop { dst }),
-        Just(Instr::Int { vector: 0x2e }),
-        Just(Instr::Ret),
-        Just(Instr::Hlt),
-    ]
+            run_under_faros(&wrap_bytes(code));
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_byte_soup_never_panics_the_host(
-        bytes in prop::collection::vec(any::<u8>(), 0..512)
-    ) {
-        run_under_faros(&wrap_bytes(bytes));
-    }
-
-    #[test]
-    fn random_instruction_streams_never_panic_the_host(
-        instrs in prop::collection::vec(instr_strategy(), 1..64)
-    ) {
-        let mut code = Vec::new();
-        for i in &instrs {
-            code.extend(encode(i));
-        }
-        run_under_faros(&wrap_bytes(code));
-    }
-
-    #[test]
-    fn random_syscall_arguments_never_panic_the_kernel(
-        calls in prop::collection::vec(
-            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), 0u32..0x60),
-            1..24
-        )
-    ) {
-        // A program that makes syscalls with entirely attacker-chosen
-        // registers, then exits.
-        let mut code = Vec::new();
-        for (b, c, d, si, di, sysno) in &calls {
-            for (reg, val) in [
-                (Reg::Ebx, *b),
-                (Reg::Ecx, *c),
-                (Reg::Edx, *d),
-                (Reg::Esi, *si),
-                (Reg::Edi, *di),
-                (Reg::Eax, *sysno),
-            ] {
-                code.extend(encode(&Instr::MovRI { dst: reg, imm: val }));
+#[test]
+fn random_syscall_arguments_never_panic_the_kernel() {
+    check(
+        "random_syscall_arguments_never_panic_the_kernel",
+        Config::with_cases(24),
+        |rng| {
+            rng.vec_of(1, 24, |r| {
+                (
+                    r.next_u32(),
+                    r.next_u32(),
+                    r.next_u32(),
+                    r.next_u32(),
+                    r.next_u32(),
+                    r.range_u32(0, 0x60),
+                )
+            })
+        },
+        |calls| {
+            // A program that makes syscalls with entirely attacker-chosen
+            // registers, then exits.
+            let mut code = Vec::new();
+            for (b, c, d, si, di, sysno) in calls {
+                for (reg, val) in [
+                    (Reg::Ebx, *b),
+                    (Reg::Ecx, *c),
+                    (Reg::Edx, *d),
+                    (Reg::Esi, *si),
+                    (Reg::Edi, *di),
+                    (Reg::Eax, *sysno),
+                ] {
+                    code.extend(encode(&Instr::MovRI { dst: reg, imm: val }));
+                }
+                code.extend(encode(&Instr::Int { vector: 0x2e }));
             }
-            code.extend(encode(&Instr::Int { vector: 0x2e }));
-        }
-        code.extend(encode(&Instr::Hlt));
-        run_under_faros(&wrap_bytes(code));
-    }
+            code.extend(encode(&Instr::Hlt));
+            run_under_faros(&wrap_bytes(code));
+            Ok(())
+        },
+    );
 }

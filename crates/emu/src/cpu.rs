@@ -23,13 +23,12 @@ use crate::encode::{decode, DecodeError, MAX_INSTR_LEN};
 use crate::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width, NUM_REGS, SYSCALL_VECTOR};
 use crate::mem::PhysMem;
 use crate::mmu::{Access, AddressSpace, Asid, Fault};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte-granular shadow location: a physical memory byte or a register
 /// byte. These are the operands of the propagation rules (paper Table I,
 /// "an address can be a byte in memory or a register").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShadowLoc {
     /// A byte of guest physical memory.
     Mem(u32),
@@ -62,7 +61,7 @@ impl ShadowLoc {
 }
 
 /// CPU condition flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Flags {
     /// Zero flag.
     pub zf: bool,
@@ -244,7 +243,7 @@ impl fmt::Display for StepEvent {
 /// `NtGetContextThread` / `NtSetContextThread` expose to guests — the
 /// process-hollowing attack depends on being able to redirect a suspended
 /// thread's `eip` through this structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CpuContext {
     /// General-purpose registers, indexed by [`Reg::index`].
     pub regs: [u32; NUM_REGS],

@@ -18,7 +18,6 @@
 //! copies (`MOV`, `LD`, `ST`), computations (`ADD`, `OR`, `MUL`, ...),
 //! taint-deleting forms (`MOVI`, `XOR r, r`), and control flow.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A general-purpose register.
@@ -33,7 +32,7 @@ use std::fmt;
 /// assert_eq!(Reg::Eax.index(), 0);
 /// assert_eq!(Reg::from_index(7), Some(Reg::Esp));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Reg {
     /// Accumulator; also carries the syscall number at an `INT` gate.
@@ -119,7 +118,7 @@ impl fmt::Display for Reg {
 /// let t = Mem::table(Reg::Ebx, Reg::Ecx, 4);
 /// assert_eq!(t.index, Some((Reg::Ecx, 4)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mem {
     /// Optional base register.
     pub base: Option<Reg>,
@@ -190,7 +189,7 @@ impl fmt::Display for Mem {
 }
 
 /// Second operand of an ALU instruction: either a register or an immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// A register operand.
     Reg(Reg),
@@ -211,7 +210,7 @@ impl fmt::Display for Operand {
 ///
 /// Each of these is a *computation dependency* in the paper's taxonomy
 /// (§III): the destination's provenance becomes the union of both operands'.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum AluOp {
     /// Wrapping addition.
@@ -275,7 +274,7 @@ impl AluOp {
 }
 
 /// Condition code for conditional jumps, derived from `EFLAGS`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Cond {
     /// Zero flag set (`==` after `CMP`).
@@ -324,7 +323,7 @@ impl Cond {
 }
 
 /// Access width of a load or store, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Width {
     /// One byte.
@@ -354,7 +353,7 @@ impl Width {
 /// * `MovRI`, `PushImm` — **delete** (immediate) forms;
 /// * `Load`/`Store` with an index register — **address** dependencies;
 /// * `Jcc` — **control** dependencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `mov dst, src` — register-to-register copy.
     MovRR {

@@ -13,7 +13,6 @@
 //! `0x83B07019`) come from.
 
 use crate::mem::page_number;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -30,7 +29,7 @@ pub const KERNEL_BASE: u32 = 0x8000_0000;
 /// assert_eq!(format!("{cr3}"), "cr3:0x00003000");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Asid(pub u32);
 
@@ -44,7 +43,7 @@ impl fmt::Display for Asid {
 ///
 /// A set-of-flags type in the C-BITFLAG spirit, implemented in-house to keep
 /// the dependency footprint at the approved list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Perms(u8);
 
 impl Perms {
@@ -95,7 +94,7 @@ impl fmt::Display for Perms {
 }
 
 /// The kind of access being attempted, for permission checks and faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// Data read.
     Read,
@@ -116,7 +115,7 @@ impl Access {
 }
 
 /// A translation fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Fault {
     /// The page containing `vaddr` is not mapped.
     NotMapped {
@@ -146,7 +145,7 @@ impl fmt::Display for Fault {
 impl std::error::Error for Fault {}
 
 /// One page-table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageEntry {
     /// Physical frame number backing the page.
     pub pfn: u32,
@@ -170,7 +169,7 @@ pub struct PageEntry {
 /// assert_eq!(phys, 7 * 4096 + 0x10);
 /// assert!(aspace.translate(0x0040_0010, Access::Write).is_err());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     asid: Asid,
     table: BTreeMap<u32, PageEntry>,

@@ -3,109 +3,76 @@
 //! hold for *every* representable instruction, and `decode` must be total
 //! (never panic) on arbitrary byte soup — injected "code" is attacker
 //! controlled.
+//!
+//! Runs on the in-tree deterministic harness (`faros_support::prop`) with
+//! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
 
 use faros_emu::encode::{decode, encode, MAX_INSTR_LEN};
-use faros_emu::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width};
-use proptest::prelude::*;
+use faros_support::arb;
+use faros_support::prop::{check, Config};
+use faros_support::{prop_assert, prop_assert_eq};
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    prop::sample::select(Reg::ALL.to_vec())
-}
-
-fn mem_strategy() -> impl Strategy<Value = Mem> {
-    (
-        prop::option::of(reg_strategy()),
-        prop::option::of((reg_strategy(), prop::sample::select(vec![1u8, 2, 4, 8]))),
-        any::<i32>(),
-    )
-        .prop_map(|(base, index, disp)| Mem { base, index, disp })
-}
-
-fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg_strategy().prop_map(Operand::Reg),
-        any::<u32>().prop_map(Operand::Imm),
-    ]
-}
-
-fn width_strategy() -> impl Strategy<Value = Width> {
-    prop::sample::select(vec![Width::B1, Width::B2, Width::B4])
-}
-
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Hlt),
-        Just(Instr::Ret),
-        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Instr::MovRR { dst, src }),
-        (reg_strategy(), any::<u32>()).prop_map(|(dst, imm)| Instr::MovRI { dst, imm }),
-        (reg_strategy(), mem_strategy(), width_strategy())
-            .prop_map(|(dst, mem, width)| Instr::Load { dst, mem, width }),
-        (mem_strategy(), reg_strategy(), width_strategy())
-            .prop_map(|(mem, src, width)| Instr::Store { mem, src, width }),
-        (reg_strategy(), mem_strategy()).prop_map(|(dst, mem)| Instr::Lea { dst, mem }),
-        (
-            prop::sample::select(AluOp::ALL.to_vec()),
-            reg_strategy(),
-            operand_strategy()
-        )
-            .prop_map(|(op, dst, src)| Instr::Alu { op, dst, src }),
-        (reg_strategy(), operand_strategy()).prop_map(|(a, b)| Instr::Cmp { a, b }),
-        (reg_strategy(), operand_strategy()).prop_map(|(a, b)| Instr::Test { a, b }),
-        any::<i32>().prop_map(|rel| Instr::Jmp { rel }),
-        (prop::sample::select(Cond::ALL.to_vec()), any::<i32>())
-            .prop_map(|(cond, rel)| Instr::Jcc { cond, rel }),
-        any::<i32>().prop_map(|rel| Instr::Call { rel }),
-        reg_strategy().prop_map(|target| Instr::CallReg { target }),
-        reg_strategy().prop_map(|target| Instr::JmpReg { target }),
-        reg_strategy().prop_map(|src| Instr::Push { src }),
-        any::<u32>().prop_map(|imm| Instr::PushImm { imm }),
-        reg_strategy().prop_map(|dst| Instr::Pop { dst }),
-        any::<u8>().prop_map(|vector| Instr::Int { vector }),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_round_trip(instr in instr_strategy()) {
-        let bytes = encode(&instr);
+#[test]
+fn encode_decode_round_trip() {
+    check("encode_decode_round_trip", Config::default(), arb::instr, |instr| {
+        let bytes = encode(instr);
         prop_assert!(bytes.len() <= MAX_INSTR_LEN);
-        let (decoded, len) = decode(&bytes).expect("own encoding decodes");
-        prop_assert_eq!(decoded, instr);
+        let (decoded, len) =
+            decode(&bytes).map_err(|e| format!("own encoding must decode: {e:?}"))?;
+        prop_assert_eq!(decoded, *instr);
         prop_assert_eq!(len, bytes.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decode_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
-        // Must never panic; on success the reported length is in range.
-        if let Ok((_, len)) = decode(&bytes) {
-            prop_assert!((1..=MAX_INSTR_LEN).contains(&len));
-            prop_assert!(len <= bytes.len());
-        }
-    }
+#[test]
+fn decode_is_total_on_arbitrary_bytes() {
+    check(
+        "decode_is_total_on_arbitrary_bytes",
+        Config::default(),
+        |rng| rng.vec_of(0, 32, |r| r.next_u8()),
+        |bytes| {
+            // Must never panic; on success the reported length is in range.
+            if let Ok((_, len)) = decode(bytes) {
+                prop_assert!((1..=MAX_INSTR_LEN).contains(&len));
+                prop_assert!(len <= bytes.len());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn instruction_streams_decode_sequentially(
-        instrs in prop::collection::vec(instr_strategy(), 1..32)
-    ) {
-        // Concatenated encodings decode back to the same sequence — the
-        // CPU's fetch loop depends on self-synchronizing streams.
-        let mut stream = Vec::new();
-        for i in &instrs {
-            stream.extend_from_slice(&encode(i));
-        }
-        let mut off = 0;
-        let mut decoded = Vec::new();
-        while off < stream.len() {
-            let (i, len) = decode(&stream[off..]).expect("stream decodes");
-            decoded.push(i);
-            off += len;
-        }
-        prop_assert_eq!(decoded, instrs);
-    }
+#[test]
+fn instruction_streams_decode_sequentially() {
+    check(
+        "instruction_streams_decode_sequentially",
+        Config::default(),
+        |rng| rng.vec_of(1, 32, arb::instr),
+        |instrs| {
+            // Concatenated encodings decode back to the same sequence — the
+            // CPU's fetch loop depends on self-synchronizing streams.
+            let mut stream = Vec::new();
+            for i in instrs {
+                stream.extend_from_slice(&encode(i));
+            }
+            let mut off = 0;
+            let mut decoded = Vec::new();
+            while off < stream.len() {
+                let (i, len) =
+                    decode(&stream[off..]).map_err(|e| format!("stream must decode: {e:?}"))?;
+                decoded.push(i);
+                off += len;
+            }
+            prop_assert_eq!(&decoded, instrs);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn display_is_nonempty(instr in instr_strategy()) {
+#[test]
+fn display_is_nonempty() {
+    check("display_is_nonempty", Config::default(), arb::instr, |instr| {
         prop_assert!(!instr.to_string().is_empty());
-    }
+        Ok(())
+    });
 }

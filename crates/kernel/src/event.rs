@@ -26,10 +26,9 @@ use crate::net::FlowTuple;
 use crate::nt::{NtStatus, Sysno};
 use crate::process::ProcessInfo;
 use faros_emu::cpu::CpuHooks;
-use serde::{Deserialize, Serialize};
 
 /// A contiguous run of guest physical bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ByteRange {
     /// First physical address.
     pub phys: u32,
@@ -38,7 +37,7 @@ pub struct ByteRange {
 }
 
 /// One contiguous piece of a kernel-mediated guest-to-guest copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopyRun {
     /// Destination physical address.
     pub dst_phys: u32,

@@ -7,7 +7,6 @@
 //! attached to the guest buffers at the 26 hooked syscalls, exactly as in
 //! the paper (see DESIGN.md).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -32,7 +31,7 @@ impl fmt::Display for FsError {
 impl std::error::Error for FsError {}
 
 /// A file node.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FileNode {
     /// Contents.
     pub data: Vec<u8>,
@@ -41,7 +40,7 @@ pub struct FileNode {
 }
 
 /// Metadata returned by `NtQueryInformationFile`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileInfo {
     /// File length in bytes.
     pub size: u32,
@@ -60,7 +59,7 @@ pub struct FileInfo {
 /// fs.create("C:/hello.txt", b"hi".to_vec()).unwrap();
 /// assert_eq!(fs.read("C:/hello.txt", 0, 10).unwrap(), b"hi");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FileSystem {
     files: BTreeMap<String, FileNode>,
     deleted: Vec<String>,

@@ -1,13 +1,12 @@
 //! Per-process handle tables.
 
 use crate::nt::{CURRENT_PROCESS, CURRENT_THREAD};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A process identifier.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Pid(pub u32);
 
@@ -19,7 +18,7 @@ impl fmt::Display for Pid {
 
 /// A thread identifier (unique machine-wide).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Tid(pub u32);
 
@@ -31,7 +30,7 @@ impl fmt::Display for Tid {
 
 /// A guest-visible handle value.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Handle(pub u32);
 
@@ -49,7 +48,7 @@ impl fmt::Display for Handle {
 }
 
 /// What a handle refers to.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HandleObject {
     /// An open file: path plus the current seek offset.
     File {
@@ -89,7 +88,7 @@ pub enum HandleObject {
 /// assert!(table.close(h));
 /// assert!(table.get(h).is_none());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HandleTable {
     entries: BTreeMap<u32, HandleObject>,
     next: u32,

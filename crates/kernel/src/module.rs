@@ -14,7 +14,6 @@
 //! FAROS invariant fires on.
 
 use faros_emu::mmu::Perms;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Magic bytes at the start of every FDL image.
@@ -44,7 +43,7 @@ pub fn hash_name(name: &str) -> u32 {
 }
 
 /// One exported symbol.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Export {
     /// Symbol name (≤ 24 bytes).
     pub name: String,
@@ -60,7 +59,7 @@ impl Export {
 }
 
 /// One loadable section.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Section {
     /// Virtual address the section maps at.
     pub va: u32,
@@ -108,7 +107,7 @@ impl std::error::Error for FdlError {}
 /// let parsed = FdlImage::parse(&bytes).unwrap();
 /// assert_eq!(parsed, image);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FdlImage {
     /// Entry-point virtual address.
     pub entry: u32,
@@ -244,7 +243,7 @@ impl FdlImage {
 }
 
 /// A module as registered with the kernel after loading.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleInfo {
     /// Module name (file name, or `ntdll.fdl` for the kernel module).
     pub name: String,

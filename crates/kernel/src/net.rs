@@ -12,14 +12,14 @@
 //! and deliveries come verbatim from the log, gated on the same virtual
 //! tick, which is what makes a replay bit-identical to its recording.
 
-use serde::{Deserialize, Serialize};
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// A TCP-like flow 4-tuple. `src` is the *remote* end and `dst` the guest
 /// end, matching the orientation of the paper's netflow tags (the attacker
 /// at `169.254.26.161:4444` appears as the source).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowTuple {
     /// Remote IPv4 address.
     pub src_ip: [u8; 4],
@@ -70,7 +70,7 @@ impl fmt::Debug for dyn RemoteEndpoint {
 }
 
 /// One guest-visible network event, as captured in the recording.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetEvent {
     /// A connect attempt resolved.
     Connect {
@@ -108,10 +108,116 @@ pub enum NetEvent {
 }
 
 /// The ordered log of guest-visible network nondeterminism.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetLog {
     /// Events in delivery order.
     pub events: Vec<NetEvent>,
+}
+
+impl ToJson for FlowTuple {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("src_ip", self.src_ip.to_json_value()),
+            ("src_port", self.src_port.to_json_value()),
+            ("dst_ip", self.dst_ip.to_json_value()),
+            ("dst_port", self.dst_port.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for FlowTuple {
+    fn from_json_value(v: &JsonValue) -> Result<FlowTuple, JsonError> {
+        Ok(FlowTuple {
+            src_ip: json::field(v, "src_ip")?,
+            src_port: json::field(v, "src_port")?,
+            dst_ip: json::field(v, "dst_ip")?,
+            dst_port: json::field(v, "dst_port")?,
+        })
+    }
+}
+
+impl ToJson for NetEvent {
+    fn to_json_value(&self) -> JsonValue {
+        // Externally tagged, matching the classic derive output so pre-
+        // migration recordings stay loadable.
+        let (tag, body) = match self {
+            NetEvent::Connect { flow, ok, at_tick } => (
+                "Connect",
+                JsonValue::object(vec![
+                    ("flow", flow.to_json_value()),
+                    ("ok", ok.to_json_value()),
+                    ("at_tick", at_tick.to_json_value()),
+                ]),
+            ),
+            NetEvent::Rx { flow, data, at_tick } => (
+                "Rx",
+                JsonValue::object(vec![
+                    ("flow", flow.to_json_value()),
+                    ("data", data.to_json_value()),
+                    ("at_tick", at_tick.to_json_value()),
+                ]),
+            ),
+            NetEvent::Accept { flow, at_tick } => (
+                "Accept",
+                JsonValue::object(vec![
+                    ("flow", flow.to_json_value()),
+                    ("at_tick", at_tick.to_json_value()),
+                ]),
+            ),
+            NetEvent::Close { flow, at_tick } => (
+                "Close",
+                JsonValue::object(vec![
+                    ("flow", flow.to_json_value()),
+                    ("at_tick", at_tick.to_json_value()),
+                ]),
+            ),
+        };
+        JsonValue::object(vec![(tag, body)])
+    }
+}
+
+impl FromJson for NetEvent {
+    fn from_json_value(v: &JsonValue) -> Result<NetEvent, JsonError> {
+        let JsonValue::Object(fields) = v else {
+            return Err(JsonError::decode("expected externally-tagged NetEvent object"));
+        };
+        let [(tag, body)] = fields.as_slice() else {
+            return Err(JsonError::decode("NetEvent object must have exactly one key"));
+        };
+        match tag.as_str() {
+            "Connect" => Ok(NetEvent::Connect {
+                flow: json::field(body, "flow")?,
+                ok: json::field(body, "ok")?,
+                at_tick: json::field(body, "at_tick")?,
+            }),
+            "Rx" => Ok(NetEvent::Rx {
+                flow: json::field(body, "flow")?,
+                data: json::field(body, "data")?,
+                at_tick: json::field(body, "at_tick")?,
+            }),
+            "Accept" => Ok(NetEvent::Accept {
+                flow: json::field(body, "flow")?,
+                at_tick: json::field(body, "at_tick")?,
+            }),
+            "Close" => Ok(NetEvent::Close {
+                flow: json::field(body, "flow")?,
+                at_tick: json::field(body, "at_tick")?,
+            }),
+            other => Err(JsonError::decode(format!("unknown NetEvent variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for NetLog {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![("events", self.events.to_json_value())])
+    }
+}
+
+impl FromJson for NetLog {
+    fn from_json_value(v: &JsonValue) -> Result<NetLog, JsonError> {
+        Ok(NetLog { events: json::field(v, "events")? })
+    }
 }
 
 /// Result of a guest receive attempt.

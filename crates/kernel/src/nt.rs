@@ -9,11 +9,10 @@
 //! FAROS hooks for file-tag insertion (paper §V-A: "FAROS leverages 26
 //! filesystem-related system calls").
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// NTSTATUS values returned by syscalls (in `EAX`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u32)]
 pub enum NtStatus {
     /// The operation completed successfully.
@@ -66,7 +65,7 @@ impl fmt::Display for NtStatus {
 /// Grouped exactly as FAROS hooks them: the 26 file-system services first
 /// (tag-insertion surface), then process/memory/thread services (the
 /// injection surface), then sockets and miscellanea.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u32)]
 #[allow(missing_docs)] // Names mirror the NT services they model.
 pub enum Sysno {

@@ -5,12 +5,11 @@ use crate::module::ModuleInfo;
 use crate::nt::Sysno;
 use faros_emu::cpu::CpuContext;
 use faros_emu::mmu::{AddressSpace, Asid, Perms};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why a thread is blocked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockReason {
     /// Waiting for bytes on a socket connection.
     NetRecv {
@@ -30,7 +29,7 @@ pub enum BlockReason {
 }
 
 /// Thread scheduling state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Runnable.
     Ready,
@@ -46,7 +45,7 @@ pub enum ThreadState {
 /// A syscall that returned `Pending` and must be retried when the thread
 /// unblocks (the gate instruction has already retired, so the kernel re-runs
 /// the *service*, not the instruction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingSyscall {
     /// The service to retry.
     pub sysno: Sysno,
@@ -55,7 +54,7 @@ pub struct PendingSyscall {
 }
 
 /// A guest thread.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Thread {
     /// Thread id (machine-wide unique).
     pub tid: Tid,
@@ -81,7 +80,7 @@ impl Thread {
 
 /// What a memory region is backed by — the VAD information
 /// `NtQueryVirtualMemory` reports and malfind-style scanners inspect.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegionKind {
     /// Part of a loaded module image.
     Image {
@@ -100,7 +99,7 @@ pub enum RegionKind {
 }
 
 /// One VAD-style virtual memory region.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VadRegion {
     /// Base virtual address (page aligned).
     pub base: u32,
@@ -120,7 +119,7 @@ impl VadRegion {
 }
 
 /// Summary of a process for plugin callbacks (the OSI view).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessInfo {
     /// Process id.
     pub pid: Pid,

@@ -1,6 +1,9 @@
 //! Property tests for kernel substrates: the filesystem, handle tables,
 //! and a differential test of guest ALU execution against a host-side
 //! model.
+//!
+//! Runs on the in-tree deterministic harness (`faros_support::prop`) with
+//! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
 
 use faros_emu::asm::Asm;
 use faros_emu::cpu::{Cpu, NoHooks, StepEvent};
@@ -9,124 +12,175 @@ use faros_emu::mem::PhysMem;
 use faros_emu::mmu::{AddressSpace, Asid, Perms};
 use faros_kernel::fs::FileSystem;
 use faros_kernel::handle::{HandleObject, HandleTable, Pid};
-use proptest::prelude::*;
+use faros_support::arb;
+use faros_support::prop::{check, Config};
+use faros_support::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #[test]
-    fn fs_write_read_round_trip(
-        chunks in prop::collection::vec((0u32..256, prop::collection::vec(any::<u8>(), 1..32)), 1..12)
-    ) {
-        // Apply a series of writes; a host-side Vec<u8> is the model.
-        let mut fs = FileSystem::new();
-        fs.create("f", Vec::new()).unwrap();
-        let mut model: Vec<u8> = Vec::new();
-        for (offset, bytes) in &chunks {
-            fs.write("f", *offset, bytes).unwrap();
-            let end = *offset as usize + bytes.len();
-            if model.len() < end {
-                model.resize(end, 0);
+#[test]
+fn fs_write_read_round_trip() {
+    check(
+        "fs_write_read_round_trip",
+        Config::default(),
+        |rng| {
+            rng.vec_of(1, 12, |r| {
+                (r.range_u32(0, 256), r.vec_of(1, 32, |r2| r2.next_u8()))
+            })
+        },
+        |chunks| {
+            // Apply a series of writes; a host-side Vec<u8> is the model.
+            let mut fs = FileSystem::new();
+            fs.create("f", Vec::new()).unwrap();
+            let mut model: Vec<u8> = Vec::new();
+            for (offset, bytes) in chunks {
+                fs.write("f", *offset, bytes).unwrap();
+                let end = *offset as usize + bytes.len();
+                if model.len() < end {
+                    model.resize(end, 0);
+                }
+                model[*offset as usize..end].copy_from_slice(bytes);
             }
-            model[*offset as usize..end].copy_from_slice(bytes);
-        }
-        prop_assert_eq!(fs.read("f", 0, model.len() + 16).unwrap(), model);
-        prop_assert_eq!(fs.version("f"), Some(1 + chunks.len() as u32));
-    }
+            prop_assert_eq!(fs.read("f", 0, model.len() + 16).unwrap(), model);
+            prop_assert_eq!(fs.version("f"), Some(1 + chunks.len() as u32));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn handle_table_is_a_map(ops in prop::collection::vec(any::<bool>(), 1..64)) {
-        // Interleave inserts and closes; handles must stay unique and live
-        // entries must stay resolvable.
-        let mut table = HandleTable::new();
-        let mut live: Vec<faros_kernel::Handle> = Vec::new();
-        let mut inserted = 0u32;
-        for &insert in &ops {
-            if insert || live.is_empty() {
-                let h = table.insert(HandleObject::Process(Pid(inserted)));
-                prop_assert!(!live.contains(&h), "handles never repeat while open");
-                live.push(h);
-                inserted += 1;
-            } else {
-                let h = live.remove(live.len() / 2);
-                prop_assert!(table.close(h));
-                prop_assert!(table.get(h).is_none());
+#[test]
+fn handle_table_is_a_map() {
+    check(
+        "handle_table_is_a_map",
+        Config::default(),
+        |rng| rng.vec_of(1, 64, |r| r.next_bool()),
+        |ops| {
+            // Interleave inserts and closes; handles must stay unique and
+            // live entries must stay resolvable.
+            let mut table = HandleTable::new();
+            let mut live: Vec<faros_kernel::Handle> = Vec::new();
+            let mut inserted = 0u32;
+            for &insert in ops {
+                if insert || live.is_empty() {
+                    let h = table.insert(HandleObject::Process(Pid(inserted)));
+                    prop_assert!(!live.contains(&h), "handles never repeat while open");
+                    live.push(h);
+                    inserted += 1;
+                } else {
+                    let h = live.remove(live.len() / 2);
+                    prop_assert!(table.close(h));
+                    prop_assert!(table.get(h).is_none());
+                }
             }
-        }
-        prop_assert_eq!(table.len(), live.len());
-        for h in live {
-            prop_assert!(table.get(h).is_some());
-        }
-    }
-
-    #[test]
-    fn guest_alu_matches_host_model(
-        seed in any::<u32>(),
-        ops in prop::collection::vec(
-            (prop::sample::select(AluOp::ALL.to_vec()), any::<u32>()),
-            1..24
-        )
-    ) {
-        // Run `eax = seed; eax op= imm; ...` in the guest and compare with
-        // the host-side AluOp::apply model.
-        let mut asm = Asm::new(0x1000);
-        asm.mov_ri(Reg::Eax, seed);
-        let mut expected = seed;
-        for (op, imm) in &ops {
-            // Emit `op eax, imm` via the matching helper.
-            match op {
-                AluOp::Add => { asm.add_ri(Reg::Eax, *imm); }
-                AluOp::Sub => { asm.sub_ri(Reg::Eax, *imm); }
-                AluOp::And => { asm.and_ri(Reg::Eax, *imm); }
-                AluOp::Or => { asm.or_ri(Reg::Eax, *imm); }
-                AluOp::Xor => { asm.xor_ri(Reg::Eax, *imm); }
-                AluOp::Mul => { asm.mul_ri(Reg::Eax, *imm); }
-                AluOp::Shl => { asm.shl_ri(Reg::Eax, *imm); }
-                AluOp::Shr => { asm.shr_ri(Reg::Eax, *imm); }
+            prop_assert_eq!(table.len(), live.len());
+            for h in live {
+                prop_assert!(table.get(h).is_some());
             }
-            expected = op.apply(expected, *imm);
-        }
-        asm.hlt();
-        let code = asm.assemble().unwrap();
+            Ok(())
+        },
+    );
+}
 
-        let mut mem = PhysMem::new(4);
-        let frame = mem.alloc_frame().unwrap();
-        prop_assume!(code.len() <= 4096);
-        mem.write(frame * 4096, &code).unwrap();
-        let mut aspace = AddressSpace::new(Asid(1));
-        aspace.map(0x1000, frame, Perms::RX);
-        let mut cpu = Cpu::new();
-        cpu.context_mut().eip = 0x1000;
-        let mut steps = 0;
-        loop {
-            match cpu.step(&mut mem, &aspace, &mut NoHooks) {
-                StepEvent::Halt => break,
-                StepEvent::Normal | StepEvent::Branch => {}
-                other => prop_assert!(false, "unexpected event {other:?}"),
+#[test]
+fn guest_alu_matches_host_model() {
+    check(
+        "guest_alu_matches_host_model",
+        Config::default(),
+        |rng| {
+            (
+                rng.next_u32(),
+                rng.vec_of(1, 24, |r| (arb::alu_op(r), r.next_u32())),
+            )
+        },
+        |(seed, ops)| {
+            // Run `eax = seed; eax op= imm; ...` in the guest and compare
+            // with the host-side AluOp::apply model.
+            let mut asm = Asm::new(0x1000);
+            asm.mov_ri(Reg::Eax, *seed);
+            let mut expected = *seed;
+            for (op, imm) in ops {
+                // Emit `op eax, imm` via the matching helper.
+                match op {
+                    AluOp::Add => {
+                        asm.add_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::Sub => {
+                        asm.sub_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::And => {
+                        asm.and_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::Or => {
+                        asm.or_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::Xor => {
+                        asm.xor_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::Mul => {
+                        asm.mul_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::Shl => {
+                        asm.shl_ri(Reg::Eax, *imm);
+                    }
+                    AluOp::Shr => {
+                        asm.shr_ri(Reg::Eax, *imm);
+                    }
+                }
+                expected = op.apply(expected, *imm);
             }
-            steps += 1;
-            prop_assert!(steps < 10_000);
-        }
-        prop_assert_eq!(cpu.reg(Reg::Eax), expected);
-    }
+            asm.hlt();
+            let code = asm.assemble().unwrap();
+            prop_assert!(code.len() <= 4096, "program must fit one page");
 
-    #[test]
-    fn page_round_trip_through_translation(
-        offsets in prop::collection::vec(0u32..4096, 1..32),
-    ) {
-        // Bytes written through one mapping must be readable through a
-        // second mapping of the same frame (aliasing is how cross-process
-        // visibility works).
-        let mut mem = PhysMem::new(4);
-        let frame = mem.alloc_frame().unwrap();
-        let mut a = AddressSpace::new(Asid(1));
-        let mut b = AddressSpace::new(Asid(2));
-        a.map(0x10_000, frame, Perms::RW);
-        b.map(0x90_000, frame, Perms::R);
-        for (i, off) in offsets.iter().enumerate() {
-            let pa = a.translate(0x10_000 + off, faros_emu::mmu::Access::Write).unwrap();
-            mem.write_u8(pa, i as u8).unwrap();
-            let pb = b.translate(0x90_000 + off, faros_emu::mmu::Access::Read).unwrap();
-            prop_assert_eq!(pa, pb, "same frame, same offset");
-            prop_assert_eq!(mem.read_u8(pb).unwrap(), i as u8);
-        }
-    }
+            let mut mem = PhysMem::new(4);
+            let frame = mem.alloc_frame().unwrap();
+            mem.write(frame * 4096, &code).unwrap();
+            let mut aspace = AddressSpace::new(Asid(1));
+            aspace.map(0x1000, frame, Perms::RX);
+            let mut cpu = Cpu::new();
+            cpu.context_mut().eip = 0x1000;
+            let mut steps = 0;
+            loop {
+                match cpu.step(&mut mem, &aspace, &mut NoHooks) {
+                    StepEvent::Halt => break,
+                    StepEvent::Normal | StepEvent::Branch => {}
+                    other => prop_assert!(false, "unexpected event {other:?}"),
+                }
+                steps += 1;
+                prop_assert!(steps < 10_000);
+            }
+            prop_assert_eq!(cpu.reg(Reg::Eax), expected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn page_round_trip_through_translation() {
+    check(
+        "page_round_trip_through_translation",
+        Config::default(),
+        |rng| rng.vec_of(1, 32, |r| r.range_u32(0, 4096)),
+        |offsets| {
+            // Bytes written through one mapping must be readable through a
+            // second mapping of the same frame (aliasing is how
+            // cross-process visibility works).
+            let mut mem = PhysMem::new(4);
+            let frame = mem.alloc_frame().unwrap();
+            let mut a = AddressSpace::new(Asid(1));
+            let mut b = AddressSpace::new(Asid(2));
+            a.map(0x10_000, frame, Perms::RW);
+            b.map(0x90_000, frame, Perms::R);
+            for (i, off) in offsets.iter().enumerate() {
+                let pa = a
+                    .translate(0x10_000 + off, faros_emu::mmu::Access::Write)
+                    .unwrap();
+                mem.write_u8(pa, i as u8).unwrap();
+                let pb = b
+                    .translate(0x90_000 + off, faros_emu::mmu::Access::Read)
+                    .unwrap();
+                prop_assert_eq!(pa, pb, "same frame, same offset");
+                prop_assert_eq!(mem.read_u8(pb).unwrap(), i as u8);
+            }
+            Ok(())
+        },
+    );
 }

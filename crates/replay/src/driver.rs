@@ -18,13 +18,13 @@ use crate::scenario::Scenario;
 use faros_kernel::event::{NullObserver, Observer};
 use faros_kernel::machine::{Machine, RunExit};
 use faros_kernel::net::{NetLog, NetworkFabric};
-use serde::{Deserialize, Serialize};
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Captured nondeterminism plus run metadata — everything needed to
 /// re-execute a scenario deterministically.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recording {
     /// Scenario name it was recorded from.
     pub scenario: String,
@@ -36,16 +36,38 @@ pub struct Recording {
     pub clean_exit: bool,
 }
 
+impl ToJson for Recording {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("scenario", self.scenario.to_json_value()),
+            ("net_log", self.net_log.to_json_value()),
+            ("instructions", self.instructions.to_json_value()),
+            ("clean_exit", self.clean_exit.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Recording {
+    fn from_json_value(v: &JsonValue) -> Result<Recording, JsonError> {
+        Ok(Recording {
+            scenario: json::field(v, "scenario")?,
+            net_log: json::field(v, "net_log")?,
+            instructions: json::field(v, "instructions")?,
+            clean_exit: json::field(v, "clean_exit")?,
+        })
+    }
+}
+
 impl Recording {
     /// Serializes the recording to JSON (PANDA recordings are files the
-    /// analyst stores and replays later).
+    /// analyst stores and replays later). The rendering is compact and
+    /// byte-stable: the same recording always produces the same bytes.
     ///
     /// # Errors
     ///
-    /// Returns a serialization error (practically impossible for this
-    /// plain-data structure).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Infallible in practice; the `Result` is kept for API stability.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_value().to_compact())
     }
 
     /// Deserializes a recording from JSON.
@@ -53,8 +75,8 @@ impl Recording {
     /// # Errors
     ///
     /// Returns a parse error for malformed input.
-    pub fn from_json(json: &str) -> Result<Recording, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Recording, JsonError> {
+        Recording::from_json_value(&JsonValue::parse(json)?)
     }
 
     /// Writes the recording to a file.

@@ -14,10 +14,9 @@ use faros_kernel::net::FlowTuple;
 use faros_kernel::nt::{NtStatus, Sysno};
 use faros_kernel::process::ProcessInfo;
 use faros_kernel::{Pid, Tid};
-use serde::{Deserialize, Serialize};
 
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A process was created.
     ProcessCreated {

@@ -1,0 +1,176 @@
+//! `Arbitrary`-style generators for the FE32 ISA and guest-program domains,
+//! shared by the workspace's property suites (the analogue of the
+//! per-suite `proptest` strategy functions, hoisted here so every suite
+//! draws from the same distributions).
+
+use crate::prop::{Rng, Shrink};
+use faros_emu::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width};
+use faros_taint::tag::{ProvTag, TagKind};
+
+/// A provenance tag drawn uniformly from all four kinds with a small index
+/// domain (small enough that generated histories repeat tags, which is
+/// what exercises interning).
+pub fn prov_tag(rng: &mut Rng) -> ProvTag {
+    ProvTag::new(*rng.pick(&TagKind::ALL), rng.range_u32(0, 16) as u16)
+}
+
+// A tag is atomic; shrinking happens at the tag-list level (Vec<ProvTag>).
+impl Shrink for ProvTag {}
+
+// Enum-like ISA atoms: no meaningful "smaller" value; shrinking happens at
+// the containing tuple/vector level.
+impl Shrink for AluOp {}
+impl Shrink for Cond {}
+impl Shrink for Reg {}
+impl Shrink for Width {}
+
+/// A uniformly-chosen register.
+pub fn reg(rng: &mut Rng) -> Reg {
+    *rng.pick(&Reg::ALL)
+}
+
+/// A uniformly-chosen access width.
+pub fn width(rng: &mut Rng) -> Width {
+    *rng.pick(&[Width::B1, Width::B2, Width::B4])
+}
+
+/// A uniformly-chosen condition code.
+pub fn cond(rng: &mut Rng) -> Cond {
+    *rng.pick(&Cond::ALL)
+}
+
+/// A uniformly-chosen ALU operation.
+pub fn alu_op(rng: &mut Rng) -> AluOp {
+    *rng.pick(&AluOp::ALL)
+}
+
+/// An arbitrary addressing-mode operand: optional base, optional scaled
+/// index, full-range displacement.
+pub fn mem(rng: &mut Rng) -> Mem {
+    Mem {
+        base: if rng.next_bool() { Some(reg(rng)) } else { None },
+        index: if rng.next_bool() {
+            Some((reg(rng), *rng.pick(&[1u8, 2, 4, 8])))
+        } else {
+            None
+        },
+        disp: rng.next_u32() as i32,
+    }
+}
+
+/// A register-or-immediate operand.
+pub fn operand(rng: &mut Rng) -> Operand {
+    if rng.next_bool() {
+        Operand::Reg(reg(rng))
+    } else {
+        Operand::Imm(rng.next_u32())
+    }
+}
+
+/// Any representable FE32 instruction, all variants equally likely — the
+/// domain of the encoder round-trip property.
+pub fn instr(rng: &mut Rng) -> Instr {
+    match rng.below(20) {
+        0 => Instr::Nop,
+        1 => Instr::Hlt,
+        2 => Instr::Ret,
+        3 => Instr::MovRR { dst: reg(rng), src: reg(rng) },
+        4 => Instr::MovRI { dst: reg(rng), imm: rng.next_u32() },
+        5 => Instr::Load { dst: reg(rng), mem: mem(rng), width: width(rng) },
+        6 => Instr::Store { mem: mem(rng), src: reg(rng), width: width(rng) },
+        7 => Instr::Lea { dst: reg(rng), mem: mem(rng) },
+        8 => Instr::Alu { op: alu_op(rng), dst: reg(rng), src: operand(rng) },
+        9 => Instr::Cmp { a: reg(rng), b: operand(rng) },
+        10 => Instr::Test { a: reg(rng), b: operand(rng) },
+        11 => Instr::Jmp { rel: rng.next_u32() as i32 },
+        12 => Instr::Jcc { cond: cond(rng), rel: rng.next_u32() as i32 },
+        13 => Instr::Call { rel: rng.next_u32() as i32 },
+        14 => Instr::CallReg { target: reg(rng) },
+        15 => Instr::JmpReg { target: reg(rng) },
+        16 => Instr::Push { src: reg(rng) },
+        17 => Instr::PushImm { imm: rng.next_u32() },
+        18 => Instr::Pop { dst: reg(rng) },
+        _ => Instr::Int { vector: rng.next_u8() },
+    }
+}
+
+/// A guest-program instruction, weighted toward memory traffic, syscalls,
+/// and short branches — the host-facing attack surface the whole-system
+/// fuzz suite exercises.
+pub fn guest_instr(rng: &mut Rng) -> Instr {
+    match rng.below(12) {
+        0 => Instr::MovRI { dst: reg(rng), imm: rng.next_u32() },
+        1 => Instr::MovRR { dst: reg(rng), src: reg(rng) },
+        2 => Instr::Load {
+            dst: reg(rng),
+            mem: Mem::base_disp(reg(rng), i32::from(rng.next_u32() as i16)),
+            width: Width::B4,
+        },
+        3 => Instr::Store {
+            mem: Mem::base_disp(reg(rng), i32::from(rng.next_u32() as i16)),
+            src: reg(rng),
+            width: Width::B1,
+        },
+        4 => Instr::Alu { op: alu_op(rng), dst: reg(rng), src: Operand::Imm(rng.next_u32()) },
+        5 => Instr::Cmp { a: reg(rng), b: Operand::Imm(rng.next_u32()) },
+        6 => Instr::Jcc { cond: cond(rng), rel: rng.range_i32(-64, 64) },
+        7 => Instr::Push { src: reg(rng) },
+        8 => Instr::Pop { dst: reg(rng) },
+        9 => Instr::Int { vector: 0x2e },
+        10 => Instr::Ret,
+        _ => Instr::Hlt,
+    }
+}
+
+impl Shrink for Instr {
+    fn shrink(&self) -> Vec<Instr> {
+        // Structural minimum first, then immediate-field simplification.
+        let mut out = Vec::new();
+        if *self != Instr::Nop {
+            out.push(Instr::Nop);
+        }
+        match *self {
+            Instr::MovRI { dst, imm } if imm != 0 => {
+                out.push(Instr::MovRI { dst, imm: 0 });
+                out.push(Instr::MovRI { dst, imm: imm / 2 });
+            }
+            Instr::Jmp { rel } if rel != 0 => out.push(Instr::Jmp { rel: 0 }),
+            Instr::Jcc { cond, rel } if rel != 0 => out.push(Instr::Jcc { cond, rel: 0 }),
+            Instr::Call { rel } if rel != 0 => out.push(Instr::Call { rel: 0 }),
+            Instr::Int { vector } if vector != 0 => out.push(Instr::Int { vector: 0 }),
+            _ => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn instr_generator_covers_every_variant() {
+        let mut rng = Rng::new(99);
+        let mut discriminants: HashSet<std::mem::Discriminant<Instr>> = HashSet::new();
+        for _ in 0..2000 {
+            discriminants.insert(std::mem::discriminant(&instr(&mut rng)));
+        }
+        assert_eq!(discriminants.len(), 20, "all 20 Instr variants reachable");
+    }
+
+    #[test]
+    fn guest_instr_emits_syscalls_and_halts() {
+        let mut rng = Rng::new(5);
+        let stream: Vec<Instr> = (0..500).map(|_| guest_instr(&mut rng)).collect();
+        assert!(stream.contains(&Instr::Int { vector: 0x2e }));
+        assert!(stream.contains(&Instr::Hlt));
+    }
+
+    #[test]
+    fn instr_shrinks_toward_nop() {
+        let i = Instr::MovRI { dst: Reg::Eax, imm: 77 };
+        assert!(i.shrink().contains(&Instr::Nop));
+        assert!(Instr::Nop.shrink().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! A wall-clock micro-bench harness — the workspace's substitute for
+//! `criterion`.
+//!
+//! Each `[[bench]]` target (built with `harness = false`) constructs a
+//! [`BenchGroup`], registers functions with
+//! [`BenchGroup::bench_function`], and calls [`BenchGroup::finish`], which
+//! prints a human table plus a machine-readable JSON document
+//! (`BENCH_<group>.json` schema: group name and per-benchmark
+//! iterations/median/p95/mean/min in nanoseconds).
+//!
+//! Environment knobs:
+//!
+//! * `FAROS_BENCH_WRITE=dir` — also write `BENCH_<group>.json` into `dir`;
+//! * `FAROS_BENCH_FAST=1` — one sample, one iteration (smoke mode, used by
+//!   CI to prove the benches still run without paying measurement time).
+
+use crate::json::{JsonValue, ToJson};
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times per sample. The closure's return
+    /// value is passed through [`black_box`] so the work is not optimized
+    /// away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile per-iteration time, nanoseconds.
+    pub p95_ns: u64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: u64,
+    /// Minimum per-iteration time, nanoseconds.
+    pub min_ns: u64,
+}
+
+impl ToJson for BenchResult {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", self.name.to_json_value()),
+            ("iters", self.iters.to_json_value()),
+            ("samples", self.samples.to_json_value()),
+            ("median_ns", self.median_ns.to_json_value()),
+            ("p95_ns", self.p95_ns.to_json_value()),
+            ("mean_ns", self.mean_ns.to_json_value()),
+            ("min_ns", self.min_ns.to_json_value()),
+        ])
+    }
+}
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    sample_count: usize,
+    warmup: Duration,
+    results: Vec<BenchResult>,
+}
+
+fn fast_mode() -> bool {
+    std::env::var("FAROS_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+impl BenchGroup {
+    /// Creates a group with default settings (20 samples, 300 ms warmup).
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_string(),
+            sample_count: 20,
+            warmup: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchGroup {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let (samples, warmup) = if fast_mode() {
+            (1, Duration::ZERO)
+        } else {
+            (self.sample_count, self.warmup)
+        };
+
+        // Warmup: run the closure until the warmup budget elapses (at least
+        // once), letting caches/allocators settle.
+        let mut b = Bencher { iters: 1, samples: Vec::new() };
+        let warm_start = Instant::now();
+        loop {
+            b.samples.clear();
+            f(&mut b);
+            if warm_start.elapsed() >= warmup {
+                break;
+            }
+        }
+        // Calibrate iterations so one sample takes roughly 5 ms, using the
+        // last warmup sample as the estimate.
+        let per_iter = b.samples.last().copied().unwrap_or(Duration::from_micros(1));
+        let iters = if fast_mode() {
+            1
+        } else {
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000)
+                as u64
+        };
+
+        let mut bench = Bencher { iters, samples: Vec::with_capacity(samples) };
+        for _ in 0..samples {
+            f(&mut bench);
+        }
+
+        // Per-iteration nanoseconds, sorted for the order statistics.
+        let mut per_iter_ns: Vec<u64> = bench
+            .samples
+            .iter()
+            .map(|d| (d.as_nanos() / u128::from(iters.max(1))) as u64)
+            .collect();
+        per_iter_ns.sort_unstable();
+        let n = per_iter_ns.len().max(1);
+        let median_ns = per_iter_ns[n / 2];
+        let p95_ns = per_iter_ns[((n * 95) / 100).min(n - 1)];
+        let mean_ns = (per_iter_ns.iter().map(|&x| u128::from(x)).sum::<u128>() / n as u128) as u64;
+        let min_ns = per_iter_ns.first().copied().unwrap_or(0);
+
+        let result = BenchResult {
+            name,
+            iters,
+            samples: per_iter_ns.len(),
+            median_ns,
+            p95_ns,
+            mean_ns,
+            min_ns,
+        };
+        println!(
+            "{}/{:<40} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
+            self.name,
+            result.name,
+            format_ns(result.median_ns),
+            format_ns(result.p95_ns),
+            result.samples,
+            result.iters,
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the JSON document and optionally writes `BENCH_<group>.json`.
+    pub fn finish(self) {
+        let doc = JsonValue::object(vec![
+            ("group", self.name.to_json_value()),
+            ("benchmarks", self.results.to_json_value()),
+        ]);
+        println!("{}", doc.to_pretty());
+        if let Ok(dir) = std::env::var("FAROS_BENCH_WRITE") {
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+            if let Err(e) = std::fs::write(&path, doc.to_pretty() + "\n") {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares the `main` for a `harness = false` bench target, mirroring
+/// `criterion_main!`: each argument is a `fn()` that builds, runs, and
+/// finishes its own [`BenchGroup`].
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` executes bench binaries with
+            // `--test`/`--bench` flags expecting a libtest harness; run in
+            // smoke mode there so the target doubles as a compile+run check.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                std::env::set_var("FAROS_BENCH_FAST", "1");
+            }
+            $( $func(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mode_produces_results_quickly() {
+        std::env::set_var("FAROS_BENCH_FAST", "1");
+        let mut group = BenchGroup::new("unit");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(group.results.len(), 1);
+        assert!(calls > 0);
+        let r = &group.results[0];
+        assert_eq!(r.iters, 1);
+        assert!(r.median_ns <= r.p95_ns);
+        group.finish();
+        std::env::remove_var("FAROS_BENCH_FAST");
+    }
+
+    #[test]
+    fn results_serialize_to_bench_json_schema() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 10,
+            samples: 5,
+            median_ns: 100,
+            p95_ns: 200,
+            mean_ns: 120,
+            min_ns: 90,
+        };
+        let json = r.to_json_value().to_compact();
+        assert_eq!(
+            json,
+            r#"{"name":"x","iters":10,"samples":5,"median_ns":100,"p95_ns":200,"mean_ns":120,"min_ns":90}"#
+        );
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.500 us");
+        assert_eq!(format_ns(2_000_000), "2.000 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,688 @@
+//! A minimal JSON tree, parser, and printer — the workspace's substitute
+//! for `serde`/`serde_json`.
+//!
+//! Design points that matter to the rest of the workspace:
+//!
+//! * **Object fields keep insertion order**, so a value printed twice is
+//!   byte-identical — the golden-fixture tests depend on this;
+//! * **Integers are kept exact** ([`JsonValue::Int`] is `i128`, wide enough
+//!   for every `u64` tick counter in a recording); floats only appear when
+//!   the text contains `.`/`e` notation;
+//! * The printers mirror `serde_json`'s formatting (compact: no spaces;
+//!   pretty: two-space indent) so pre-migration fixtures stay readable.
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no `.` or exponent). `i128` covers the full
+    /// `u64` and `i64` ranges without loss.
+    Int(i128),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in insertion order (not sorted, never deduplicated).
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Error raised by parsing or by [`FromJson`] decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input where parsing failed (0 for decode errors).
+    pub offset: usize,
+}
+
+impl JsonError {
+    /// A decoding (shape-mismatch) error.
+    pub fn decode(msg: impl Into<String>) -> JsonError {
+        JsonError { msg: msg.into(), offset: 0 }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "json error: {}", self.msg)
+        } else {
+            write!(f, "json error at byte {}: {}", self.offset, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialize a value into a [`JsonValue`] tree.
+pub trait ToJson {
+    /// Builds the JSON tree for `self`.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Reconstruct a value from a [`JsonValue`] tree.
+pub trait FromJson: Sized {
+    /// Decodes `self` from the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the tree has the wrong shape.
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError>;
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(fields: Vec<(K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when `self` is not an object or lacks `key`.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::decode(format!("missing field `{key}`")))
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the whole input must be one value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Compact rendering (`{"a":1}`).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering: two-space indent, one field/element per line.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    let s = x.to_string();
+                    out.push_str(&s);
+                    // Keep floats floats on reparse.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; match serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError { msg: msg.into(), offset: self.pos.max(1) }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this is safe
+                    // to do bytewise up to the next scalar boundary).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("expected digit"));
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number slice is ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(JsonValue::Int)
+                .map_err(|_| self.err(format!("integer out of range `{text}`")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ToJson / FromJson for the primitives the workspace serializes.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Int(*self as i128)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+                let i = v.as_int().ok_or_else(|| {
+                    JsonError::decode(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    JsonError::decode(format!(
+                        "{} out of range for {}", i, stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(JsonError::decode("expected boolean")),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::decode("expected string"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::decode("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson + Copy + Default, const N: usize> FromJson for [T; N] {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| JsonError::decode("expected array"))?;
+        if items.len() != N {
+            return Err(JsonError::decode(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_json_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes a required field of an object.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the field is missing or malformed.
+pub fn field<T: FromJson>(obj: &JsonValue, key: &str) -> Result<T, JsonError> {
+    T::from_json_value(obj.field(key)?)
+        .map_err(|e| JsonError::decode(format!("field `{key}`: {}", e.msg)))
+}
+
+/// Decodes an optional field, substituting `T::default()` when absent —
+/// the equivalent of `#[serde(default)]` (old documents stay readable
+/// after a field is added).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the field is present but malformed.
+pub fn field_or_default<T: FromJson + Default>(
+    obj: &JsonValue,
+    key: &str,
+) -> Result<T, JsonError> {
+    match obj.get(key) {
+        Some(v) => T::from_json_value(v)
+            .map_err(|e| JsonError::decode(format!("field `{key}`: {}", e.msg))),
+        None => Ok(T::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse(" -42 ").unwrap(), JsonValue::Int(-42));
+        assert_eq!(JsonValue::parse("1.5").unwrap(), JsonValue::Float(1.5));
+        assert_eq!(
+            JsonValue::parse(r#""a\nb\u0041\ud83d\ude00""#).unwrap(),
+            JsonValue::Str("a\nbA😀".into())
+        );
+    }
+
+    #[test]
+    fn u64_max_round_trips_exactly() {
+        let v = JsonValue::Int(i128::from(u64::MAX));
+        let text = v.to_compact();
+        assert_eq!(text, u64::MAX.to_string());
+        assert_eq!(u64::from_json_value(&JsonValue::parse(&text).unwrap()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":"x","c":[]}],"d":{},"e":false}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.to_compact(), text);
+        // Pretty output reparses to the same tree.
+        assert_eq!(JsonValue::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = JsonValue::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"\\q\"",
+            "\"unterminated", "1 2", "[1] trailing", "{\"a\":1,}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_bombs() {
+        let bomb = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(JsonValue::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn control_characters_escape_and_reparse() {
+        let v = JsonValue::Str("tab\there\x01\x1f \"quoted\" \\".into());
+        let text = v.to_compact();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn field_helpers_match_serde_default_semantics() {
+        let v = JsonValue::parse(r#"{"x":3}"#).unwrap();
+        assert_eq!(field::<u32>(&v, "x").unwrap(), 3);
+        assert!(field::<u32>(&v, "y").is_err());
+        assert_eq!(field_or_default::<u32>(&v, "y").unwrap(), 0);
+        assert!(field::<u8>(&JsonValue::parse(r#"{"x":300}"#).unwrap(), "x").is_err());
+    }
+}

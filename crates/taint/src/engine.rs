@@ -22,11 +22,10 @@ use crate::provlist::{ListId, ProvInterner};
 use crate::shadow::{ShadowAddr, ShadowState};
 use crate::tables::TagTables;
 use crate::tag::{ProvTag, TagKind};
-use serde::{Deserialize, Serialize};
 
 /// Which indirect flows the engine propagates. The FAROS configuration is
 /// `PropagationMode::default()` (neither).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PropagationMode {
     /// Propagate address dependencies (index/base registers into the value).
     pub address_deps: bool,
@@ -53,7 +52,7 @@ impl PropagationMode {
 }
 
 /// Counters describing the propagation work performed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaintStats {
     /// Byte copies processed.
     pub copies: u64,
@@ -69,7 +68,7 @@ pub struct TaintStats {
 
 /// One contiguous run of guest physical bytes sharing the same provenance
 /// list — the unit of the analyst-facing *taint map*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaintedRegion {
     /// First physical address of the run.
     pub phys: u32,

@@ -9,14 +9,13 @@
 //! whole-system provenance tracking tractable (DESIGN.md, decision 3).
 
 use crate::tag::{ProvTag, TagKind};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an interned provenance list. `ListId::EMPTY` is the empty
 /// list (an untainted byte).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ListId(u32);
 

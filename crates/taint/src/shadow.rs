@@ -6,7 +6,6 @@
 //! byte when it is written into another process's address space.
 
 use crate::provlist::ListId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Number of register slots shadowed (generous upper bound; FE32 uses 8).
@@ -17,7 +16,7 @@ pub const SHADOW_REGS: usize = 16;
 ///
 /// This mirrors `faros_emu::ShadowLoc`; the two are kept separate so the
 /// taint engine stays independent of any particular emulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShadowAddr {
     /// A guest physical memory byte.
     Mem(u32),

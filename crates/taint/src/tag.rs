@@ -6,11 +6,10 @@
 //! defines that compact tag plus the rich per-type payloads the indexes
 //! refer to (paper Fig. 5).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four provenance tag types of FAROS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum TagKind {
     /// The byte came from a particular network flow.
@@ -59,7 +58,7 @@ impl fmt::Display for TagKind {
 /// let bytes = tag.to_bytes();
 /// assert_eq!(ProvTag::from_bytes(bytes), Some(tag));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProvTag {
     kind: TagKind,
     index: u16,
@@ -109,7 +108,7 @@ impl fmt::Display for ProvTag {
 }
 
 /// Payload of a netflow tag: the flow 4-tuple (paper Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NetflowTag {
     /// Source IPv4 address.
     pub src_ip: [u8; 4],
@@ -142,7 +141,7 @@ impl fmt::Display for NetflowTag {
 
 /// Payload of a process tag: the CR3 value that uniquely identifies the
 /// process at the architecture level, plus the image name for reports.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcessTag {
     /// The CR3 (page-table root / address-space id) value.
     pub cr3: u32,
@@ -159,7 +158,7 @@ impl fmt::Display for ProcessTag {
 
 /// Payload of a file tag: name plus an access-version counter (paper Fig. 5:
 /// "a version that indicates how many times a file has been accessed").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FileTag {
     /// File path within the guest filesystem.
     pub name: String,

@@ -1,142 +1,190 @@
 //! Property tests for the provenance-list interner and the Table-I
 //! propagation semantics — the invariants whole-system DIFT correctness
 //! rests on.
+//!
+//! Runs on the in-tree deterministic harness (`faros_support::prop`) with
+//! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
 
+use faros_support::arb::prov_tag as tag;
+use faros_support::prop::{check, Config, Rng};
+use faros_support::{prop_assert, prop_assert_eq};
 use faros_taint::engine::{PropagationMode, TaintEngine};
 use faros_taint::provlist::{ListId, ProvInterner};
 use faros_taint::shadow::ShadowAddr;
 use faros_taint::tag::{ProvTag, TagKind};
-use proptest::prelude::*;
 
-fn tag_strategy() -> impl Strategy<Value = ProvTag> {
-    (prop::sample::select(TagKind::ALL.to_vec()), 0u16..16)
-        .prop_map(|(kind, idx)| ProvTag::new(kind, idx))
+fn tag_vec(rng: &mut Rng, max: usize) -> Vec<ProvTag> {
+    rng.vec_of(0, max, tag)
 }
 
 fn build_list(interner: &mut ProvInterner, tags: &[ProvTag]) -> ListId {
     tags.iter().fold(ListId::EMPTY, |acc, &t| interner.append(acc, t))
 }
 
-proptest! {
-    #[test]
-    fn append_preserves_order_and_collapses_consecutive_dups(
-        tags in prop::collection::vec(tag_strategy(), 0..24)
-    ) {
-        let mut interner = ProvInterner::new();
-        let id = build_list(&mut interner, &tags);
-        // Expected: the input with consecutive duplicates collapsed.
-        let mut expected: Vec<ProvTag> = Vec::new();
-        for &t in &tags {
-            if expected.last() != Some(&t) {
-                expected.push(t);
+#[test]
+fn append_preserves_order_and_collapses_consecutive_dups() {
+    check(
+        "append_preserves_order_and_collapses_consecutive_dups",
+        Config::default(),
+        |rng| tag_vec(rng, 24),
+        |tags| {
+            let mut interner = ProvInterner::new();
+            let id = build_list(&mut interner, tags);
+            // Expected: the input with consecutive duplicates collapsed.
+            let mut expected: Vec<ProvTag> = Vec::new();
+            for &t in tags {
+                if expected.last() != Some(&t) {
+                    expected.push(t);
+                }
             }
-        }
-        prop_assert_eq!(interner.tags(id), expected.as_slice());
-    }
+            prop_assert_eq!(interner.tags(id), expected.as_slice());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn interning_is_canonical(
-        tags in prop::collection::vec(tag_strategy(), 0..16)
-    ) {
-        // Building the same history twice yields the same id (structural
-        // sharing), even through an unrelated interleaved build.
-        let mut interner = ProvInterner::new();
-        let a = build_list(&mut interner, &tags);
-        let _noise = build_list(&mut interner, &[ProvTag::EXPORT_TABLE]);
-        let b = build_list(&mut interner, &tags);
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn interning_is_canonical() {
+    check(
+        "interning_is_canonical",
+        Config::default(),
+        |rng| tag_vec(rng, 16),
+        |tags| {
+            // Building the same history twice yields the same id (structural
+            // sharing), even through an unrelated interleaved build.
+            let mut interner = ProvInterner::new();
+            let a = build_list(&mut interner, tags);
+            let _noise = build_list(&mut interner, &[ProvTag::EXPORT_TABLE]);
+            let b = build_list(&mut interner, tags);
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn union_is_idempotent_and_empty_is_identity(
-        tags_a in prop::collection::vec(tag_strategy(), 0..12),
-        tags_b in prop::collection::vec(tag_strategy(), 0..12),
-    ) {
-        let mut interner = ProvInterner::new();
-        let a = build_list(&mut interner, &tags_a);
-        let b = build_list(&mut interner, &tags_b);
-        prop_assert_eq!(interner.union(a, a), a);
-        prop_assert_eq!(interner.union(a, ListId::EMPTY), a);
-        prop_assert_eq!(interner.union(ListId::EMPTY, b), b);
-        // Union is associative-in-content for the tag *set*.
-        let ab = interner.union(a, b);
-        let ab_again = interner.union(ab, b);
-        prop_assert_eq!(ab, ab_again, "absorbing: (a ∪ b) ∪ b == a ∪ b");
-    }
+#[test]
+fn union_is_idempotent_and_empty_is_identity() {
+    check(
+        "union_is_idempotent_and_empty_is_identity",
+        Config::default(),
+        |rng| (tag_vec(rng, 12), tag_vec(rng, 12)),
+        |(tags_a, tags_b)| {
+            let mut interner = ProvInterner::new();
+            let a = build_list(&mut interner, tags_a);
+            let b = build_list(&mut interner, tags_b);
+            prop_assert_eq!(interner.union(a, a), a);
+            prop_assert_eq!(interner.union(a, ListId::EMPTY), a);
+            prop_assert_eq!(interner.union(ListId::EMPTY, b), b);
+            // Union is associative-in-content for the tag *set*.
+            let ab = interner.union(a, b);
+            let ab_again = interner.union(ab, b);
+            prop_assert_eq!(ab, ab_again, "absorbing: (a ∪ b) ∪ b == a ∪ b");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn union_contains_all_source_tags(
-        tags_a in prop::collection::vec(tag_strategy(), 0..12),
-        tags_b in prop::collection::vec(tag_strategy(), 0..12),
-    ) {
-        let mut interner = ProvInterner::new();
-        let a = build_list(&mut interner, &tags_a);
-        let b = build_list(&mut interner, &tags_b);
-        let u = interner.union(a, b);
-        for &t in tags_a.iter().chain(tags_b.iter()) {
-            prop_assert!(interner.contains(u, t));
-        }
-        // And nothing else.
-        for &t in interner.tags(u) {
-            prop_assert!(tags_a.contains(&t) || tags_b.contains(&t));
-        }
-    }
+#[test]
+fn union_contains_all_source_tags() {
+    check(
+        "union_contains_all_source_tags",
+        Config::default(),
+        |rng| (tag_vec(rng, 12), tag_vec(rng, 12)),
+        |(tags_a, tags_b)| {
+            let mut interner = ProvInterner::new();
+            let a = build_list(&mut interner, tags_a);
+            let b = build_list(&mut interner, tags_b);
+            let u = interner.union(a, b);
+            for &t in tags_a.iter().chain(tags_b.iter()) {
+                prop_assert!(interner.contains(u, t));
+            }
+            // And nothing else.
+            for &t in interner.tags(u) {
+                prop_assert!(tags_a.contains(&t) || tags_b.contains(&t));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn copy_moves_shadow_exactly(
-        tags in prop::collection::vec(tag_strategy(), 1..8),
-        src in 0u32..1000,
-        dst in 1000u32..2000,
-    ) {
-        let mut engine = TaintEngine::new(PropagationMode::direct_only());
-        for (i, &t) in tags.iter().enumerate() {
-            engine.append_tag(ShadowAddr::Mem(src + i as u32), t);
-        }
-        let n = tags.len() as u8;
-        engine.copy(ShadowAddr::Mem(dst), ShadowAddr::Mem(src), n);
-        for i in 0..n {
-            prop_assert_eq!(
-                engine.prov_id(ShadowAddr::Mem(dst + i as u32)),
-                engine.prov_id(ShadowAddr::Mem(src + i as u32)),
-            );
-        }
-    }
+#[test]
+fn copy_moves_shadow_exactly() {
+    check(
+        "copy_moves_shadow_exactly",
+        Config::default(),
+        |rng| {
+            (
+                rng.vec_of(1, 8, tag),
+                rng.range_u32(0, 1000),
+                rng.range_u32(1000, 2000),
+            )
+        },
+        |(tags, src, dst)| {
+            let mut engine = TaintEngine::new(PropagationMode::direct_only());
+            for (i, &t) in tags.iter().enumerate() {
+                engine.append_tag(ShadowAddr::Mem(src + i as u32), t);
+            }
+            let n = tags.len() as u8;
+            engine.copy(ShadowAddr::Mem(*dst), ShadowAddr::Mem(*src), n);
+            for i in 0..n {
+                prop_assert_eq!(
+                    engine.prov_id(ShadowAddr::Mem(dst + u32::from(i))),
+                    engine.prov_id(ShadowAddr::Mem(src + u32::from(i))),
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn delete_always_clears(
-        tags in prop::collection::vec(tag_strategy(), 0..8),
-        addr in 0u32..10_000,
-    ) {
-        let mut engine = TaintEngine::new(PropagationMode::direct_only());
-        for &t in &tags {
-            engine.append_tag(ShadowAddr::Mem(addr), t);
-        }
-        engine.delete(ShadowAddr::Mem(addr), 1);
-        prop_assert!(engine.prov_id(ShadowAddr::Mem(addr)).is_empty());
-        prop_assert_eq!(engine.shadow().tainted_mem_bytes(), 0);
-    }
+#[test]
+fn delete_always_clears() {
+    check(
+        "delete_always_clears",
+        Config::default(),
+        |rng| (tag_vec(rng, 8), rng.range_u32(0, 10_000)),
+        |(tags, addr)| {
+            let mut engine = TaintEngine::new(PropagationMode::direct_only());
+            for &t in tags {
+                engine.append_tag(ShadowAddr::Mem(*addr), t);
+            }
+            engine.delete(ShadowAddr::Mem(*addr), 1);
+            prop_assert!(engine.prov_id(ShadowAddr::Mem(*addr)).is_empty());
+            prop_assert_eq!(engine.shadow().tainted_mem_bytes(), 0);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn count_distinct_matches_set_semantics(
-        tags in prop::collection::vec(tag_strategy(), 0..24)
-    ) {
-        let mut interner = ProvInterner::new();
-        let id = build_list(&mut interner, &tags);
-        for kind in TagKind::ALL {
-            let expected: std::collections::HashSet<ProvTag> = interner
-                .tags(id)
-                .iter()
-                .copied()
-                .filter(|t| t.kind() == kind)
-                .collect();
-            prop_assert_eq!(interner.count_distinct_of_kind(id, kind), expected.len());
-        }
-    }
+#[test]
+fn count_distinct_matches_set_semantics() {
+    check(
+        "count_distinct_matches_set_semantics",
+        Config::default(),
+        |rng| tag_vec(rng, 24),
+        |tags| {
+            let mut interner = ProvInterner::new();
+            let id = build_list(&mut interner, tags);
+            for kind in TagKind::ALL {
+                let expected: std::collections::HashSet<ProvTag> = interner
+                    .tags(id)
+                    .iter()
+                    .copied()
+                    .filter(|t| t.kind() == kind)
+                    .collect();
+                prop_assert_eq!(interner.count_distinct_of_kind(id, kind), expected.len());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn tag_wire_format_round_trips(tag in tag_strategy()) {
-        prop_assert_eq!(ProvTag::from_bytes(tag.to_bytes()), Some(tag));
-    }
+#[test]
+fn tag_wire_format_round_trips() {
+    check("tag_wire_format_round_trips", Config::default(), tag, |tag| {
+        prop_assert_eq!(ProvTag::from_bytes(tag.to_bytes()), Some(*tag));
+        Ok(())
+    });
 }
 
 /// §VI-D discusses exhausting FAROS' memory with "a great amount of tagged

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the FAROS reproduction.
+#
+# The workspace is std-only: every build below runs with --offline, so the
+# gate passes from a clean checkout with an empty cargo registry and no
+# network. If any step here needs the network, that is itself the bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+# The six analyst-facing examples double as smoke tests: each must build
+# and exit 0 end-to-end (record, replay, detect, report).
+EXAMPLES=(
+    quickstart
+    process_hollowing
+    rat_injection
+    jit_false_positive
+    cuckoo_comparison
+    analyst_tour
+)
+for ex in "${EXAMPLES[@]}"; do
+    echo "==> cargo run --release --offline --example $ex"
+    cargo run --release --offline --example "$ex" >/dev/null
+done
+
+echo "==> hermeticity check: no external dependencies in any manifest"
+if grep -rn "crates-io\|serde\|proptest\|criterion\|parking_lot" crates/*/Cargo.toml Cargo.toml; then
+    echo "error: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+echo "CI gate passed."

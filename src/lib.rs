@@ -29,4 +29,5 @@ pub use faros_corpus as corpus;
 pub use faros_emu as emu;
 pub use faros_kernel as kernel;
 pub use faros_replay as replay;
+pub use faros_support as support;
 pub use faros_taint as taint;

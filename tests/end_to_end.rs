@@ -137,6 +137,59 @@ fn full_corpus_ground_truth_confusion_matrix() {
 }
 
 #[test]
+fn detection_truth_table_matches_per_sample_ground_truth() {
+    // The paper's evaluation as an explicit per-sample truth table: every
+    // injecting attack must be flagged, one variant of every Table-IV
+    // family (malware and benign) must not be, and of the 20 Table-III JIT
+    // workloads exactly the two copy-and-patch applets are expected false
+    // positives. Unlike the aggregate confusion matrix above, a mismatch
+    // here names the exact sample that flipped.
+    use faros_repro::corpus::jit::FLAGGED_APPLETS;
+    use faros_repro::corpus::Sample;
+
+    let mut table: Vec<(Sample, bool)> = Vec::new();
+    for sample in attacks::all_injecting_samples() {
+        table.push((sample, true));
+    }
+    for family in families::malware_rows().iter().chain(families::benign_rows().iter()) {
+        table.push((families::build_family_sample(family, 0, 1), false));
+    }
+    for sample in jit::jit_workloads() {
+        let expected = FLAGGED_APPLETS.iter().any(|a| sample.name() == format!("jit_{a}"));
+        table.push((sample, expected));
+    }
+    assert_eq!(table.len(), 9 + 17 + 4 + 20);
+
+    let mut mismatches: Vec<String> = Vec::new();
+    for (sample, expected) in &table {
+        // Ground-truth sanity: outside the known JIT FP class, the
+        // expectation must agree with the sample's own category label.
+        if sample.category != faros_repro::corpus::Category::Jit {
+            assert_eq!(
+                *expected,
+                sample.category.should_flag(),
+                "truth table disagrees with category label for {}",
+                sample.name()
+            );
+        }
+        let mut faros = Faros::new(Policy::paper());
+        record_and_replay(&sample.scenario, BUDGET, &mut faros).unwrap();
+        let flagged = faros.report().attack_flagged();
+        if flagged != *expected {
+            mismatches.push(format!(
+                "{}: expected flagged={expected}, got {flagged}",
+                sample.name()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "detection truth table mismatches:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
 fn malfind_scan_works_through_facade() {
     let sample = attacks::reflective_dll_inject();
     let (recording, _) = record(&sample.scenario, BUDGET).unwrap();

@@ -1,0 +1,106 @@
+//! Golden-file serialization tests: the JSON wire formats for analyst
+//! reports and recordings are load-bearing interfaces (analysts archive
+//! recordings; tooling diffs reports), so they must be *byte-stable*
+//! across refactors, not merely round-trippable.
+//!
+//! The fixtures live in `tests/fixtures/`. If an intentional format change
+//! invalidates them, regenerate with:
+//!
+//! ```sh
+//! FAROS_REGEN_GOLDEN=1 cargo test --test golden_roundtrip
+//! ```
+//!
+//! and review the resulting diff like any other API change.
+
+use faros_repro::corpus::attacks;
+use faros_repro::faros::{Faros, FarosReport, Policy};
+use faros_repro::replay::{record, record_and_replay, Recording};
+use std::path::{Path, PathBuf};
+
+const BUDGET: u64 = 20_000_000;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name)
+}
+
+/// Compares `actual` against the checked-in fixture, or rewrites the
+/// fixture when `FAROS_REGEN_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var("FAROS_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with FAROS_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "serialized {name} drifted from the golden fixture; if the format \
+         change is intentional, regenerate with FAROS_REGEN_GOLDEN=1 and \
+         review the diff"
+    );
+}
+
+#[test]
+fn report_json_is_byte_stable_and_lossless() {
+    let sample = attacks::process_hollowing();
+    let mut faros = Faros::new(Policy::paper());
+    record_and_replay(&sample.scenario, BUDGET, &mut faros).unwrap();
+    let report = faros.report();
+
+    let json = report.to_json().unwrap();
+    check_golden("report_process_hollowing.json", &json);
+
+    // Lossless: the parsed fixture equals the freshly computed report.
+    let restored = FarosReport::from_json(&json).unwrap();
+    assert_eq!(report, restored);
+}
+
+#[test]
+fn report_fixture_parses_and_is_flagged() {
+    // The checked-in fixture itself (not just this build's serialization)
+    // must stay parseable — it stands in for reports archived by analysts
+    // under earlier builds.
+    if std::env::var("FAROS_REGEN_GOLDEN").is_ok() {
+        return; // fixtures are being rewritten by the sibling tests
+    }
+    let text = std::fs::read_to_string(fixture_path("report_process_hollowing.json"))
+        .expect("fixture must exist; regenerate with FAROS_REGEN_GOLDEN=1");
+    let report = FarosReport::from_json(&text).unwrap();
+    assert!(report.attack_flagged());
+    assert!(!report.detections.is_empty());
+}
+
+#[test]
+fn recording_json_is_byte_stable_and_lossless() {
+    let sample = attacks::reverse_tcp_dns();
+    let (recording, _) = record(&sample.scenario, BUDGET).unwrap();
+
+    let json = recording.to_json().unwrap();
+    check_golden("recording_reverse_tcp_dns.json", &json);
+
+    let restored = Recording::from_json(&json).unwrap();
+    assert_eq!(recording, restored);
+}
+
+#[test]
+fn recording_fixture_replays_to_the_same_verdict() {
+    // An archived recording must stay replayable: load the checked-in
+    // fixture and confirm the attack is still detected from it.
+    if std::env::var("FAROS_REGEN_GOLDEN").is_ok() {
+        return; // fixtures are being rewritten by the sibling tests
+    }
+    let text = std::fs::read_to_string(fixture_path("recording_reverse_tcp_dns.json"))
+        .expect("fixture must exist; regenerate with FAROS_REGEN_GOLDEN=1");
+    let recording = Recording::from_json(&text).unwrap();
+    let sample = attacks::reverse_tcp_dns();
+    let mut faros = Faros::new(Policy::paper());
+    faros_repro::replay::replay(&sample.scenario, &recording, BUDGET, &mut faros).unwrap();
+    assert!(faros.report().attack_flagged());
+}

@@ -1,0 +1,417 @@
+//! Disassembly and CFG recovery over FDL images.
+//!
+//! Two classic passes over every executable section:
+//!
+//! 1. **Recursive descent** from the image entry point and every export
+//!    whose VA lands in code, following direct control flow (`jmp`/`jcc`/
+//!    `call` targets plus fall-through). Everything found here is
+//!    *reachable* code.
+//! 2. **Linear sweep** over the bytes the descent never visited, decoding
+//!    greedily and resynchronizing on decode errors. Everything found only
+//!    here is *sweep* code — possibly data, possibly functions reached
+//!    exclusively through indirect calls.
+//!
+//! Instructions are then grouped into basic blocks at the usual leaders
+//! (roots, branch targets, instructions following a block-ender), mirroring
+//! the dynamic notion of a block in `Instr::ends_block`, so static block
+//! starts and replay-observed block starts live in the same vocabulary.
+
+use faros_emu::encode::decode_at;
+use faros_emu::isa::Instr;
+use faros_kernel::module::FdlImage;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One recovered basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// VA of the first instruction.
+    pub start: u32,
+    /// One past the last instruction byte.
+    pub end: u32,
+    /// The block's instructions, in address order.
+    pub instrs: Vec<(u32, Instr)>,
+    /// Statically known successor block-start VAs (direct targets and
+    /// fall-throughs; empty for `ret`/`hlt`/indirect jumps).
+    pub succs: Vec<u32>,
+    /// Found by recursive descent (`true`) or only by the linear sweep.
+    pub reachable: bool,
+}
+
+impl BasicBlock {
+    /// Returns `true` if every instruction is a `nop` — section padding,
+    /// not code worth reporting.
+    pub fn is_padding(&self) -> bool {
+        self.instrs.iter().all(|(_, i)| *i == Instr::Nop)
+    }
+}
+
+/// An indirect control-flow site (`call reg` / `jmp reg`) — statically
+/// unresolvable by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndirectSite {
+    /// VA of the indirect instruction.
+    pub va: u32,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Whether recursive descent reached it.
+    pub reachable: bool,
+}
+
+/// The static model of one module.
+#[derive(Debug, Clone)]
+pub struct ModuleCfg {
+    /// Module name the model was built for.
+    pub name: String,
+    /// Recovered basic blocks, keyed by start VA.
+    pub blocks: BTreeMap<u32, BasicBlock>,
+    /// Direct call edges as `(call-site VA, callee VA)` pairs — the static
+    /// call graph.
+    pub call_edges: Vec<(u32, u32)>,
+    /// Indirect control-flow sites.
+    pub indirect_sites: Vec<IndirectSite>,
+    instr_starts: BTreeSet<u32>,
+    reachable_starts: BTreeSet<u32>,
+}
+
+#[derive(Clone, Copy)]
+struct Decoded {
+    instr: Instr,
+    len: u32,
+}
+
+impl ModuleCfg {
+    /// Builds the static model of `image`.
+    pub fn recover(name: &str, image: &FdlImage) -> ModuleCfg {
+        let mut visited: BTreeMap<u32, Decoded> = BTreeMap::new();
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        let mut call_edges = Vec::new();
+        let mut indirect_vas = Vec::new();
+
+        let decode_va = |va: u32| -> Option<Decoded> {
+            let s = image.section_containing(va).filter(|s| s.is_code())?;
+            let (instr, len) = decode_at(&s.data, (va - s.va) as usize).ok()?;
+            // An instruction must not run past its section.
+            (u64::from(va) + len as u64 <= u64::from(s.end_va()))
+                .then_some(Decoded { instr, len: len as u32 })
+        };
+
+        // Pass 1: recursive descent from the entry point and code exports.
+        let mut worklist: VecDeque<u32> = VecDeque::new();
+        let mut roots: Vec<u32> = Vec::new();
+        if image.is_code_va(image.entry) {
+            roots.push(image.entry);
+        }
+        roots.extend(image.exports.iter().map(|e| e.va).filter(|&va| image.is_code_va(va)));
+        for root in roots {
+            leaders.insert(root);
+            worklist.push_back(root);
+        }
+        while let Some(va) = worklist.pop_front() {
+            if visited.contains_key(&va) {
+                continue;
+            }
+            let Some(d) = decode_va(va) else { continue };
+            visited.insert(va, d);
+            let next = va.wrapping_add(d.len);
+            let target = |rel: i32| next.wrapping_add(rel as u32);
+            match d.instr {
+                Instr::Jmp { rel } => {
+                    leaders.insert(target(rel));
+                    worklist.push_back(target(rel));
+                }
+                Instr::Jcc { rel, .. } => {
+                    leaders.insert(target(rel));
+                    leaders.insert(next);
+                    worklist.push_back(target(rel));
+                    worklist.push_back(next);
+                }
+                Instr::Call { rel } => {
+                    call_edges.push((va, target(rel)));
+                    leaders.insert(target(rel));
+                    leaders.insert(next);
+                    worklist.push_back(target(rel));
+                    worklist.push_back(next);
+                }
+                Instr::CallReg { .. } => {
+                    indirect_vas.push(va);
+                    leaders.insert(next);
+                    worklist.push_back(next);
+                }
+                Instr::JmpReg { .. } => {
+                    indirect_vas.push(va);
+                }
+                Instr::Int { .. } => {
+                    // Syscalls return to the next instruction.
+                    leaders.insert(next);
+                    worklist.push_back(next);
+                }
+                Instr::Ret | Instr::Hlt => {}
+                _ => {
+                    worklist.push_back(next);
+                }
+            }
+        }
+        let reachable_starts: BTreeSet<u32> = visited.keys().copied().collect();
+
+        // Pass 2: linear sweep over the bytes descent never reached.
+        for s in image.code_sections() {
+            let mut va = s.va;
+            let mut synced = false;
+            while va < s.end_va() {
+                if let Some(d) = visited.get(&va) {
+                    va = va.wrapping_add(d.len);
+                    synced = false;
+                    continue;
+                }
+                match decode_va(va) {
+                    Some(d) => {
+                        if !synced {
+                            // First decodable byte after a gap starts a block.
+                            leaders.insert(va);
+                            synced = true;
+                        }
+                        visited.insert(va, d);
+                        if matches!(d.instr, Instr::CallReg { .. } | Instr::JmpReg { .. }) {
+                            indirect_vas.push(va);
+                        }
+                        va = va.wrapping_add(d.len);
+                    }
+                    None => {
+                        va = va.wrapping_add(1);
+                        synced = false;
+                    }
+                }
+            }
+        }
+
+        // Group instructions into blocks at the leaders.
+        let mut blocks: BTreeMap<u32, BasicBlock> = BTreeMap::new();
+        let mut current: Option<BasicBlock> = None;
+        let mut expected_next: u32 = 0;
+        for (&va, d) in &visited {
+            let is_leader = leaders.contains(&va);
+            let continues = current.is_some() && va == expected_next && !is_leader;
+            if !continues {
+                if let Some(b) = current.take() {
+                    blocks.insert(b.start, b);
+                }
+                current = Some(BasicBlock {
+                    start: va,
+                    end: va,
+                    instrs: Vec::new(),
+                    succs: Vec::new(),
+                    reachable: reachable_starts.contains(&va),
+                });
+            }
+            let b = current.as_mut().expect("block opened above");
+            b.instrs.push((va, d.instr));
+            b.end = va.wrapping_add(d.len);
+            expected_next = b.end;
+            if d.instr.ends_block() {
+                let next = b.end;
+                let target = |rel: i32| next.wrapping_add(rel as u32);
+                b.succs = match d.instr {
+                    Instr::Jmp { rel } => vec![target(rel)],
+                    Instr::Jcc { rel, .. } => vec![target(rel), next],
+                    Instr::Call { rel } => vec![target(rel), next],
+                    Instr::CallReg { .. } | Instr::Int { .. } => vec![next],
+                    _ => Vec::new(),
+                };
+                blocks.insert(b.start, current.take().expect("current set"));
+            }
+        }
+        if let Some(b) = current.take() {
+            blocks.insert(b.start, b);
+        }
+
+        let instr_starts: BTreeSet<u32> = visited.keys().copied().collect();
+        let indirect_sites = indirect_vas
+            .into_iter()
+            .map(|va| IndirectSite {
+                va,
+                instr: visited[&va].instr,
+                reachable: reachable_starts.contains(&va),
+            })
+            .collect();
+        ModuleCfg { name: name.to_string(), blocks, call_edges, indirect_sites, instr_starts, reachable_starts }
+    }
+
+    /// Returns `true` if `va` is the start of a statically recovered
+    /// instruction (descent or sweep) — the coverage cross-check's
+    /// definition of "statically charted".
+    pub fn accounts_for(&self, va: u32) -> bool {
+        self.instr_starts.contains(&va)
+    }
+
+    /// Returns `true` if recursive descent reached the instruction at `va`.
+    pub fn is_reachable(&self, va: u32) -> bool {
+        self.reachable_starts.contains(&va)
+    }
+
+    /// The reachable instructions, as `(va, instr)` pairs in address order.
+    pub fn reachable_instrs(&self) -> impl Iterator<Item = (u32, Instr)> + '_ {
+        self.blocks
+            .values()
+            .filter(|b| b.reachable)
+            .flat_map(|b| b.instrs.iter().copied())
+    }
+
+    /// Blocks the sweep found but descent never reached, excluding pure
+    /// padding runs.
+    pub fn unreachable_blocks(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.blocks.values().filter(|b| !b.reachable && !b.is_padding())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_emu::asm::Asm;
+    use faros_emu::mmu::Perms;
+    use faros_kernel::module::{Export, Section};
+
+    const BASE: u32 = 0x40_0000;
+
+    fn image_of(asm: Asm) -> FdlImage {
+        let code = asm.assemble().expect("assembles");
+        FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data: code, perms: Perms::RX }],
+            exports: vec![],
+        }
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let mut asm = Asm::new(BASE);
+        asm.mov_ri(faros_emu::isa::Reg::Eax, 1);
+        asm.mov_ri(faros_emu::isa::Reg::Ebx, 2);
+        asm.hlt();
+        let cfg = ModuleCfg::recover("t", &image_of(asm));
+        assert_eq!(cfg.blocks.len(), 1);
+        let b = cfg.blocks.values().next().unwrap();
+        assert_eq!(b.start, BASE);
+        assert_eq!(b.instrs.len(), 3);
+        assert!(b.reachable);
+        assert!(b.succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_links_successors() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.cmp_ri(Reg::Eax, 0);
+        asm.jnz("odd"); // block 1 ends; succs = [odd, fallthrough]
+        asm.mov_ri(Reg::Ebx, 1);
+        asm.hlt();
+        asm.label("odd");
+        asm.mov_ri(Reg::Ebx, 2);
+        asm.hlt();
+        let cfg = ModuleCfg::recover("t", &image_of(asm));
+        assert_eq!(cfg.blocks.len(), 3);
+        let first = &cfg.blocks[&BASE];
+        assert_eq!(first.succs.len(), 2);
+        for succ in &first.succs {
+            assert!(cfg.blocks.contains_key(succ), "successor {succ:#x} is a block start");
+        }
+        assert!(cfg.blocks.values().all(|b| b.reachable));
+    }
+
+    #[test]
+    fn direct_calls_build_the_call_graph() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.call("fn1");
+        asm.hlt();
+        asm.label("fn1");
+        asm.mov_ri(Reg::Eax, 7);
+        asm.ret();
+        let cfg = ModuleCfg::recover("t", &image_of(asm));
+        assert_eq!(cfg.call_edges.len(), 1);
+        let (_site, callee) = cfg.call_edges[0];
+        assert!(cfg.blocks.contains_key(&callee));
+        assert!(cfg.blocks[&callee].reachable);
+    }
+
+    #[test]
+    fn indirect_sites_are_collected() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.mov_ri(Reg::Ebp, 0x8000_0000);
+        asm.call_reg(Reg::Ebp);
+        asm.hlt();
+        let cfg = ModuleCfg::recover("t", &image_of(asm));
+        assert_eq!(cfg.indirect_sites.len(), 1);
+        assert!(cfg.indirect_sites[0].reachable);
+        // The instruction after the indirect call is still explored.
+        assert!(cfg.accounts_for(cfg.indirect_sites[0].va));
+    }
+
+    #[test]
+    fn sweep_finds_code_descent_cannot_reach() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.hlt(); // entry block ends immediately
+        asm.label("orphan");
+        asm.mov_ri(Reg::Eax, 9);
+        asm.ret();
+        let cfg = ModuleCfg::recover("t", &image_of(asm));
+        let unreachable: Vec<_> = cfg.unreachable_blocks().collect();
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].instrs.len(), 2);
+        // Sweep instructions still count as charted.
+        assert!(cfg.accounts_for(unreachable[0].start));
+        assert!(!cfg.is_reachable(unreachable[0].start));
+    }
+
+    #[test]
+    fn exports_are_descent_roots() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.hlt();
+        let fn_va = BASE + 1;
+        asm.mov_ri(Reg::Eax, 3); // at BASE+1, only reachable via the export
+        asm.ret();
+        let code = asm.assemble().unwrap();
+        let image = FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data: code, perms: Perms::RX }],
+            exports: vec![Export { name: "f".into(), va: fn_va }],
+        };
+        let cfg = ModuleCfg::recover("t", &image);
+        assert!(cfg.is_reachable(fn_va));
+    }
+
+    #[test]
+    fn padding_blocks_are_not_reported_unreachable() {
+        let mut asm = Asm::new(BASE);
+        asm.hlt();
+        let mut code = asm.assemble().unwrap();
+        code.resize(64, 0); // zero padding decodes as nops
+        let image = FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data: code, perms: Perms::RX }],
+            exports: vec![],
+        };
+        let cfg = ModuleCfg::recover("t", &image);
+        assert_eq!(cfg.unreachable_blocks().count(), 0);
+        // ...but the padding is still charted.
+        assert!(cfg.accounts_for(BASE + 1));
+    }
+
+    #[test]
+    fn data_only_images_have_no_blocks() {
+        let image = FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data: vec![1, 2, 3], perms: Perms::RW }],
+            exports: vec![],
+        };
+        let cfg = ModuleCfg::recover("t", &image);
+        assert!(cfg.blocks.is_empty());
+        assert!(!cfg.accounts_for(BASE));
+    }
+}

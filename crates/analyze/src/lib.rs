@@ -1,0 +1,30 @@
+//! # faros-analyze — static FE32/FDL binary analysis
+//!
+//! The static counterpart to FAROS' dynamic taint engine, in the hybrid
+//! shape of SpiderPig's static pre-analysis and ROPocop's statically
+//! derived code invariants:
+//!
+//! * [`cfg`] — recursive-descent + linear-sweep disassembly over an
+//!   [`FdlImage`](faros_kernel::module::FdlImage)'s executable sections,
+//!   recovering basic blocks, a control-flow graph, and direct call edges
+//!   — without executing a single instruction;
+//! * [`lint`] — a pass over the image and its recovered CFG emitting
+//!   structured [`Finding`](lint::Finding)s: W^X sections, reachable
+//!   writes into code, statically unresolvable indirect control flow,
+//!   unreachable code, dangling exports, export-hash collisions;
+//! * [`coverage`] — the static-vs-dynamic cross-check: diff the basic
+//!   blocks a replay actually executed (recorded by
+//!   [`faros_replay::BlockCoverage`]) against the union of static models
+//!   of every loaded module, so *dynamically executed but statically
+//!   unaccounted code* becomes an independent injection signal.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cfg;
+pub mod coverage;
+pub mod lint;
+
+pub use cfg::{BasicBlock, ModuleCfg};
+pub use coverage::{diff, image_map, CoverageReport, ProcessCoverage};
+pub use lint::{lint_image, render_findings, Finding, FindingKind, Severity};

@@ -2,8 +2,10 @@
 //!
 //! Runs a sample once under the Cuckoo-style sandbox (event view), scans
 //! the final machine state with the malfind-style scanner (snapshot view),
-//! and replays the recording under FAROS (flow view), reporting who
-//! detected what and who could provide provenance.
+//! replays the recording under FAROS (flow view), and cross-checks the
+//! dynamically executed basic blocks against the static CFGs of the
+//! sample's own module images (structure view), reporting who detected
+//! what and who could provide provenance.
 
 use crate::cuckoo::CuckooSandbox;
 use crate::malfind;
@@ -26,6 +28,9 @@ pub struct ComparisonRow {
     pub faros: bool,
     /// FAROS provided a netflow/process provenance chain.
     pub faros_provenance: bool,
+    /// The static-vs-dynamic coverage cross-check found executed blocks
+    /// unaccounted for by any loaded module's static CFG.
+    pub coverage_gap: bool,
 }
 
 impl fmt::Display for ComparisonRow {
@@ -39,10 +44,11 @@ impl fmt::Display for ComparisonRow {
         }
         write!(
             f,
-            "{:<24} | {:^6} | {:^7} | {:^5} | {:^10}",
+            "{:<24} | {:^6} | {:^7} | {:^8} | {:^5} | {:^10}",
             self.sample,
             mark(self.cuckoo),
             mark(self.malfind),
+            mark(self.coverage_gap),
             mark(self.faros),
             mark(self.faros_provenance),
         )
@@ -87,6 +93,33 @@ pub fn compare(sample: &Sample, budget: u64) -> Result<ComparisonRow, Comparison
         .map_err(|e| ComparisonError(e.to_string()))?;
     let faros_report = faros.report();
 
+    // 4. The static-vs-dynamic cross-check: record executed basic-block
+    //    starts and diff them against the static CFGs of the sample's own
+    //    module images. Injected code executes outside every image.
+    let mut blocks = faros_replay::BlockCoverage::new();
+    replay(&sample.scenario, &recording, budget, &mut blocks)
+        .map_err(|e| ComparisonError(e.to_string()))?;
+    // The analyzer sees everything on disk: the sample's program images
+    // plus any file the run dropped that parses as FDL (a dropped DLL is a
+    // disk artifact static analysis *can* chart — unlike reflective code).
+    let mut on_disk: Vec<(String, faros_kernel::module::FdlImage)> = sample
+        .scenario
+        .programs()
+        .iter()
+        .map(|(path, image)| (path.clone(), image.clone()))
+        .collect();
+    for path in outcome.machine.fs.list("") {
+        let Ok(info) = outcome.machine.fs.info(&path) else { continue };
+        let Ok(bytes) = outcome.machine.fs.read(&path, 0, info.size as usize) else {
+            continue;
+        };
+        if let Ok(image) = faros_kernel::module::FdlImage::parse(&bytes) {
+            on_disk.push((path, image));
+        }
+    }
+    let images = faros_analyze::image_map(on_disk);
+    let coverage = faros_analyze::diff(&blocks.into_processes(), &images);
+
     Ok(ComparisonRow {
         sample: sample.scenario.name().to_string(),
         is_attack: sample.category.should_flag(),
@@ -97,6 +130,7 @@ pub fn compare(sample: &Sample, budget: u64) -> Result<ComparisonRow, Comparison
             .detections
             .iter()
             .any(|d| d.code_provenance.contains("->")),
+        coverage_gap: coverage.injection_suspected(),
     })
 }
 
@@ -104,10 +138,10 @@ pub fn compare(sample: &Sample, budget: u64) -> Result<ComparisonRow, Comparison
 pub fn render_table(rows: &[ComparisonRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "Sample                   | Cuckoo | malfind | FAROS | provenance\n",
+        "Sample                   | Cuckoo | malfind | coverage | FAROS | provenance\n",
     );
     out.push_str(
-        "-------------------------+--------+---------+-------+-----------\n",
+        "-------------------------+--------+---------+----------+-------+-----------\n",
     );
     for row in rows {
         out.push_str(&row.to_string());
@@ -129,6 +163,7 @@ mod tests {
         assert!(row.is_attack);
         assert!(!row.cuckoo, "event-based analysis misses in-memory injection");
         assert!(row.malfind, "the persistent payload is visible in the dump");
+        assert!(row.coverage_gap, "payload blocks execute outside every module image");
         assert!(row.faros);
         assert!(row.faros_provenance, "only FAROS explains where the code came from");
     }
@@ -138,6 +173,10 @@ mod tests {
         let row = compare(&attacks::transient_reflective(), BUDGET).unwrap();
         assert!(!row.cuckoo);
         assert!(!row.malfind, "wiped payload defeats the snapshot scanner");
+        assert!(
+            row.coverage_gap,
+            "unlike the snapshot, the coverage check saw the blocks execute"
+        );
         assert!(row.faros, "FAROS saw the flow while it happened");
     }
 
@@ -150,9 +189,11 @@ mod tests {
             malfind: true,
             faros: true,
             faros_provenance: true,
+            coverage_gap: true,
         }];
         let table = render_table(&rows);
         assert!(table.contains("Cuckoo"));
+        assert!(table.contains("coverage"));
         assert!(table.contains('x'));
     }
 }
@@ -169,5 +210,9 @@ mod dropped_dll_tests {
         let row = compare(&dll::dropped_dll_attack(), 20_000_000).unwrap();
         assert!(row.cuckoo, "the dropped .dll artifact is Cuckoo's bread and butter");
         assert!(!row.faros, "registered, disk-backed loading is no confluence");
+        assert!(
+            !row.coverage_gap,
+            "disk-backed module code is fully charted by the static CFGs"
+        );
     }
 }

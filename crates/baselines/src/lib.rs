@@ -21,4 +21,4 @@ pub mod malfind;
 
 pub use comparison::{compare, render_table, ComparisonRow};
 pub use cuckoo::{CuckooReport, CuckooSandbox};
-pub use malfind::{scan, MalfindHit, MalfindReport};
+pub use malfind::{scan, MalfindHit, MalfindReport, MatchCriterion};

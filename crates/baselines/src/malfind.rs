@@ -17,6 +17,43 @@ use faros_kernel::machine::Machine;
 use faros_kernel::process::RegionKind;
 use faros_kernel::Pid;
 
+/// One criterion of the scanner that a flagged region satisfied — the
+/// "why was this flagged" provenance a bare hit list lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchCriterion {
+    /// The VAD maps the region executable (the `X` protection flag).
+    Executable,
+    /// The region is a private (anonymous) allocation, not image- or
+    /// file-backed.
+    PrivateAllocation,
+    /// The region head decodes as a run of this many real (non-`nop`)
+    /// instructions.
+    DecodesAsCode {
+        /// Instructions decoded from the window.
+        instructions: u32,
+    },
+    /// The window holds this many non-zero bytes (not a wiped page).
+    NonZeroContent {
+        /// Non-zero bytes in the window.
+        bytes: u32,
+    },
+}
+
+impl std::fmt::Display for MatchCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchCriterion::Executable => write!(f, "executable VAD protection"),
+            MatchCriterion::PrivateAllocation => write!(f, "private allocation"),
+            MatchCriterion::DecodesAsCode { instructions } => {
+                write!(f, "{instructions} instructions decode")
+            }
+            MatchCriterion::NonZeroContent { bytes } => {
+                write!(f, "{bytes} non-zero bytes")
+            }
+        }
+    }
+}
+
 /// One suspicious region found in the snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MalfindHit {
@@ -38,6 +75,9 @@ pub struct MalfindHit {
     /// Disassembly listing of the region head (the way Volatility renders a
     /// hit), one line per instruction.
     pub disassembly: Vec<String>,
+    /// The criteria this region matched — the section flags and content
+    /// evidence that made the scanner flag it.
+    pub matched: Vec<MatchCriterion>,
 }
 
 /// The scanner's report for one snapshot.
@@ -74,6 +114,9 @@ impl MalfindReport {
                 "Process: {} Pid: {} Address: {:#010x} ({} bytes, {})",
                 h.process, h.pid.0, h.base, h.size, h.perms
             );
+            let matched: Vec<String> =
+                h.matched.iter().map(|m| m.to_string()).collect();
+            let _ = writeln!(out, "  Matched: {}", matched.join(", "));
             let _ = writeln!(out, "  {}", h.preview);
             for line in &h.disassembly {
                 let _ = writeln!(out, "  {line}");
@@ -164,6 +207,12 @@ pub fn scan(machine: &Machine) -> MalfindReport {
                 decoded_instructions: decoded,
                 preview,
                 disassembly,
+                matched: vec![
+                    MatchCriterion::Executable,
+                    MatchCriterion::PrivateAllocation,
+                    MatchCriterion::DecodesAsCode { instructions: decoded },
+                    MatchCriterion::NonZeroContent { bytes: nonzero as u32 },
+                ],
             });
         }
     }
@@ -203,6 +252,30 @@ mod tests {
         assert!(hit.perms.contains('x'));
         assert!(hit.decoded_instructions >= MIN_DECODED);
         assert!(!report.has_payload_provenance());
+    }
+
+    #[test]
+    fn hits_report_the_flags_they_matched_on() {
+        let machine = run_to_completion(&attacks::reflective_dll_inject());
+        let report = scan(&machine);
+        let hit = report
+            .hits
+            .iter()
+            .find(|h| h.process == "notepad.exe")
+            .expect("the injected region must be found");
+        assert!(hit.matched.contains(&MatchCriterion::Executable));
+        assert!(hit.matched.contains(&MatchCriterion::PrivateAllocation));
+        assert!(hit.matched.iter().any(|m| matches!(
+            m,
+            MatchCriterion::DecodesAsCode { instructions } if *instructions >= MIN_DECODED
+        )));
+        assert!(hit.matched.iter().any(|m| matches!(
+            m,
+            MatchCriterion::NonZeroContent { bytes } if *bytes as usize >= MIN_NONZERO
+        )));
+        let rendered = report.render();
+        assert!(rendered.contains("executable VAD protection"));
+        assert!(rendered.contains("private allocation"));
     }
 
     #[test]

@@ -132,6 +132,9 @@ impl Faros {
         FarosReport {
             detections: self.detections.clone(),
             whitelisted: self.whitelisted.clone(),
+            // Filled in by `FarosReport::attach_coverage` when the replay
+            // also ran the block-coverage plugin.
+            coverage: Vec::new(),
         }
     }
 

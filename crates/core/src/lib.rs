@@ -52,4 +52,4 @@ pub mod report;
 
 pub use crate::faros::{Faros, FarosStats};
 pub use policy::Policy;
-pub use report::{Detection, DetectionKind, FarosReport};
+pub use report::{CoverageSummary, Detection, DetectionKind, FarosReport};

@@ -58,6 +58,23 @@ pub struct Detection {
     pub kind: DetectionKind,
 }
 
+/// One process's static-vs-dynamic coverage summary — the corroborating
+/// signal from `faros-analyze`: code that executed but no loaded module
+/// statically accounts for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageSummary {
+    /// Process image name.
+    pub process: String,
+    /// Executed basic-block starts observed in the process.
+    pub executed_blocks: u64,
+    /// Executed block starts outside every loaded module's executable
+    /// sections — dynamically materialized code.
+    pub unaccounted: Vec<u32>,
+    /// Executed block starts inside module code the static disassembly
+    /// never charted (advisory).
+    pub uncharted_blocks: u64,
+}
+
 /// The FAROS output for one analyzed replay.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FarosReport {
@@ -67,6 +84,9 @@ pub struct FarosReport {
     /// Detections suppressed by the whitelist (still listed for the
     /// analyst, as the paper suggests white-listing is an analyst action).
     pub whitelisted: Vec<Detection>,
+    /// Static-vs-dynamic coverage cross-check results, one per process
+    /// (empty when the replay ran without the coverage plugin).
+    pub coverage: Vec<CoverageSummary>,
 }
 
 impl FarosReport {
@@ -86,8 +106,31 @@ impl FarosReport {
         out
     }
 
+    /// Imports the static-vs-dynamic cross-check result computed by
+    /// `faros-analyze`, so one report carries both the taint verdict and
+    /// the independently derived coverage signal.
+    pub fn attach_coverage(&mut self, coverage: &faros_analyze::CoverageReport) {
+        self.coverage = coverage
+            .processes
+            .iter()
+            .map(|p| CoverageSummary {
+                process: p.process.clone(),
+                executed_blocks: p.executed as u64,
+                unaccounted: p.unaccounted.clone(),
+                uncharted_blocks: p.uncharted.len() as u64,
+            })
+            .collect();
+    }
+
+    /// Returns `true` if the coverage cross-check saw any process execute
+    /// statically unaccounted code.
+    pub fn coverage_suspicious(&self) -> bool {
+        self.coverage.iter().any(|c| !c.unaccounted.is_empty())
+    }
+
     /// Renders the report as the paper's Table II: one row per flagged
-    /// memory address with its provenance list.
+    /// memory address with its provenance list, followed by the coverage
+    /// cross-check (when recorded).
     pub fn to_table(&self) -> String {
         let mut s = String::new();
         s.push_str("Memory Address | Provenance List\n");
@@ -97,6 +140,18 @@ impl FarosReport {
         }
         if self.detections.is_empty() {
             s.push_str("(no in-memory injection attacks flagged)\n");
+        }
+        if !self.coverage.is_empty() {
+            s.push_str("\nProcess            | Executed Blocks | Unaccounted\n");
+            s.push_str("-------------------+-----------------+------------\n");
+            for c in &self.coverage {
+                s.push_str(&format!(
+                    "{:<18} | {:>15} | {:>11}\n",
+                    c.process,
+                    c.executed_blocks,
+                    c.unaccounted.len()
+                ));
+            }
         }
         s
     }
@@ -216,12 +271,40 @@ impl FromJson for Detection {
     }
 }
 
-impl ToJson for FarosReport {
+impl ToJson for CoverageSummary {
     fn to_json_value(&self) -> JsonValue {
         JsonValue::object(vec![
+            ("process", self.process.to_json_value()),
+            ("executed_blocks", self.executed_blocks.to_json_value()),
+            ("unaccounted", self.unaccounted.to_json_value()),
+            ("uncharted_blocks", self.uncharted_blocks.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for CoverageSummary {
+    fn from_json_value(v: &JsonValue) -> Result<CoverageSummary, JsonError> {
+        Ok(CoverageSummary {
+            process: json::field(v, "process")?,
+            executed_blocks: json::field(v, "executed_blocks")?,
+            unaccounted: json::field(v, "unaccounted")?,
+            uncharted_blocks: json::field(v, "uncharted_blocks")?,
+        })
+    }
+}
+
+impl ToJson for FarosReport {
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![
             ("detections", self.detections.to_json_value()),
             ("whitelisted", self.whitelisted.to_json_value()),
-        ])
+        ];
+        // Omitted when empty so reports produced before the coverage
+        // cross-check existed serialize byte-identically (golden fixtures).
+        if !self.coverage.is_empty() {
+            fields.push(("coverage", self.coverage.to_json_value()));
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -230,6 +313,8 @@ impl FromJson for FarosReport {
         Ok(FarosReport {
             detections: json::field(v, "detections")?,
             whitelisted: json::field(v, "whitelisted")?,
+            // Absent in pre-coverage reports.
+            coverage: json::field_or_default(v, "coverage")?,
         })
     }
 }
@@ -292,6 +377,32 @@ mod tests {
         assert!(dot.contains("d0_0 -> d0_1"));
         assert!(dot.contains("read 0x8001001c"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn coverage_round_trips_and_is_omitted_when_empty() {
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(1, "notepad.exe"));
+        let bare = r.to_json().unwrap();
+        assert!(!bare.contains("coverage"), "empty coverage must not serialize");
+
+        r.coverage.push(CoverageSummary {
+            process: "notepad.exe".into(),
+            executed_blocks: 42,
+            unaccounted: vec![0x0100_0000, 0x0100_0040],
+            uncharted_blocks: 0,
+        });
+        assert!(r.coverage_suspicious());
+        let json = r.to_json().unwrap();
+        assert!(json.contains("coverage"));
+        let restored = FarosReport::from_json(&json).unwrap();
+        assert_eq!(restored, r);
+        // Pre-coverage reports (no field) still parse.
+        let old = FarosReport::from_json(&bare).unwrap();
+        assert!(old.coverage.is_empty());
+        assert!(!old.coverage_suspicious());
+        // The table gains a coverage section.
+        assert!(r.to_table().contains("Unaccounted"));
     }
 
     #[test]

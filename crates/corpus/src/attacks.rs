@@ -22,8 +22,9 @@ use crate::endpoints::{C2Server, EndpointFactory, PayloadHandler, ATTACKER_IP, H
 use crate::scenario::{Category, InjectionKind, Sample, SampleScenario};
 use faros_emu::asm::Asm;
 use faros_emu::isa::{Mem as M, Reg};
+use faros_emu::mmu::Perms;
 use faros_kernel::machine::IMAGE_BASE;
-use faros_kernel::module::{hash_name, FdlImage};
+use faros_kernel::module::{hash_name, FdlImage, Section};
 use faros_kernel::nt::Sysno;
 
 /// Address where injected payloads execute: the first
@@ -720,6 +721,38 @@ pub fn all_injecting_samples() -> Vec<Sample> {
     v.push(thread_hijack());
     v.push(bindshell_rat());
     v
+}
+
+/// The corpus' attack payload blobs wrapped as single-section FDL images at
+/// [`PAYLOAD_BASE`], mapped RWX exactly as the injectors allocate them —
+/// the form an analyst would carve out of a memory dump. Ground truth for
+/// the static linter: each must draw at least one W^X finding, in contrast
+/// to the W^X-clean images `builder::finish_image` emits for every
+/// legitimate corpus program.
+pub fn payload_images() -> Vec<(String, FdlImage)> {
+    let blobs = [
+        (
+            "reflective_stage",
+            reflective_payload("Meterpreter reflective DLL loaded", |_| {}, PayloadEnd::ThreadExit),
+        ),
+        (
+            "transient_stage",
+            reflective_payload("transient stage", |_| {}, PayloadEnd::WipeAndThreadExit),
+        ),
+        ("keylogger_stage", keylogger_payload()),
+    ];
+    blobs
+        .into_iter()
+        .map(|(name, bytes)| {
+            let image = FdlImage {
+                entry: PAYLOAD_BASE,
+                export_table_va: 0,
+                sections: vec![Section { va: PAYLOAD_BASE, data: bytes, perms: Perms::RWX }],
+                exports: Vec::new(),
+            };
+            (name.to_string(), image)
+        })
+        .collect()
 }
 
 #[cfg(test)]

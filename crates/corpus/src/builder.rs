@@ -244,26 +244,37 @@ pub fn emit_launder_copy(asm: &mut Asm, dst: u32, src: u32, len: u32, label_seed
     asm.label(&done);
 }
 
-/// Wraps assembled code into a standard corpus image: one RWX section of
-/// [`IMAGE_SIZE`] bytes at [`IMAGE_BASE`] (code + embedded data + the
-/// [`SCRATCH`] area), entry at the image base.
+/// Wraps assembled code into a standard corpus image: an RX code section
+/// at [`IMAGE_BASE`] (code + embedded constants) and an RW data section at
+/// [`SCRATCH`], together spanning [`IMAGE_SIZE`] bytes, entry at the image
+/// base. Benign images are W^X-clean by construction — the static linter
+/// holds every corpus module to that layout.
 ///
 /// # Panics
 ///
-/// Panics if the program does not assemble or exceeds the image size —
-/// corpus programs are static, so both are build-time bugs.
+/// Panics if the program does not assemble or its code spills past the
+/// [`SCRATCH`] data area — corpus programs are static, so both are
+/// build-time bugs.
 pub fn finish_image(asm: Asm) -> FdlImage {
     let mut code = asm.assemble().expect("corpus program must assemble");
+    let code_size = SCRATCH - IMAGE_BASE;
     assert!(
-        code.len() as u32 <= IMAGE_SIZE,
+        code.len() as u32 <= code_size,
         "corpus program too large: {} bytes",
         code.len()
     );
-    code.resize(IMAGE_SIZE as usize, 0);
+    code.resize(code_size as usize, 0);
     FdlImage {
         entry: IMAGE_BASE,
         export_table_va: IMAGE_BASE + 0x0010_0000,
-        sections: vec![Section { va: IMAGE_BASE, data: code, perms: Perms::RWX }],
+        sections: vec![
+            Section { va: IMAGE_BASE, data: code, perms: Perms::RX },
+            Section {
+                va: SCRATCH,
+                data: vec![0; (IMAGE_SIZE - (SCRATCH - IMAGE_BASE)) as usize],
+                perms: Perms::RW,
+            },
+        ],
         exports: Vec::new(),
     }
 }

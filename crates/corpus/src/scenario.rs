@@ -160,6 +160,12 @@ impl SampleScenario {
         self
     }
 
+    /// The scenario's guest program images, as `(path, image)` pairs — the
+    /// module set the static analyzer lints without executing anything.
+    pub fn programs(&self) -> &[(String, FdlImage)] {
+        &self.programs
+    }
+
     /// Adds a plain data file to the guest filesystem (device feeds,
     /// documents to exfiltrate, ...).
     pub fn seed_file(mut self, path: &str, data: Vec<u8>) -> SampleScenario {

@@ -335,6 +335,32 @@ pub fn decode(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
     Ok((instr, r.pos))
 }
 
+/// Decodes one instruction at byte offset `off` within `bytes`.
+///
+/// This is the raw-buffer entry point static analyzers use to walk a
+/// section image by offset (recursive descent visits offsets out of order,
+/// so re-slicing at the call site would obscure the cursor arithmetic).
+/// Returns the instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] when `off` is at or past the end of
+/// `bytes`, and any other [`DecodeError`] the bytes at `off` produce.
+///
+/// # Examples
+///
+/// ```
+/// use faros_emu::encode::{decode_at, encode};
+/// use faros_emu::isa::Instr;
+///
+/// let mut bytes = encode(&Instr::Nop);
+/// bytes.extend(encode(&Instr::Hlt));
+/// assert_eq!(decode_at(&bytes, 1).unwrap(), (Instr::Hlt, 1));
+/// ```
+pub fn decode_at(bytes: &[u8], off: usize) -> Result<(Instr, usize), DecodeError> {
+    decode(bytes.get(off..).ok_or(DecodeError::Truncated)?)
+}
+
 /// Maximum encoded length of any FE32 instruction, in bytes.
 ///
 /// `ld4 dst, [base + index*scale + disp]`: opcode + reg + flags + base +
@@ -475,6 +501,25 @@ mod tests {
     #[test]
     fn decode_empty_is_truncated() {
         assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_at_matches_decode_of_suffix() {
+        let mut stream = Vec::new();
+        let instrs = all_sample_instrs();
+        let mut offsets = Vec::new();
+        for i in &instrs {
+            offsets.push(stream.len());
+            encode_into(i, &mut stream);
+        }
+        for (i, off) in instrs.iter().zip(offsets) {
+            let (decoded, len) = decode_at(&stream, off).unwrap();
+            assert_eq!(&decoded, i);
+            assert_eq!(len, encode(i).len());
+        }
+        // Past the end: truncated, not a panic.
+        assert_eq!(decode_at(&stream, stream.len()), Err(DecodeError::Truncated));
+        assert_eq!(decode_at(&stream, stream.len() + 100), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -7,10 +7,36 @@
 //! Runs on the in-tree deterministic harness (`faros_support::prop`) with
 //! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
 
-use faros_emu::encode::{decode, encode, MAX_INSTR_LEN};
+use faros_emu::encode::{decode, decode_at, encode, MAX_INSTR_LEN};
 use faros_support::arb;
 use faros_support::prop::{check, Config};
 use faros_support::{prop_assert, prop_assert_eq};
+
+#[test]
+fn every_variant_reencodes_byte_identically() {
+    // One sub-property per `Instr` variant: encode → decode → re-encode must
+    // be byte-identical. Enumerating `k` guarantees no variant escapes
+    // coverage by luck of the uniform draw (the gap this test closes over
+    // `encode_decode_round_trip`).
+    for k in 0..arb::INSTR_VARIANTS {
+        check(
+            &format!("reencode_variant_{k}"),
+            Config::with_cases(64),
+            move |rng| arb::instr_variant(rng, k),
+            |instr| {
+                let bytes = encode(instr);
+                prop_assert!(!bytes.is_empty() && bytes.len() <= MAX_INSTR_LEN);
+                let (decoded, len) =
+                    decode(&bytes).map_err(|e| format!("variant must decode: {e:?}"))?;
+                prop_assert_eq!(decoded, *instr);
+                prop_assert_eq!(len, bytes.len());
+                let reencoded = encode(&decoded);
+                prop_assert_eq!(&reencoded, &bytes, "re-encoding must be byte-identical");
+                Ok(())
+            },
+        );
+    }
+}
 
 #[test]
 fn encode_decode_round_trip() {
@@ -64,6 +90,34 @@ fn instruction_streams_decode_sequentially() {
                 off += len;
             }
             prop_assert_eq!(&decoded, instrs);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn decode_at_agrees_with_sequential_decode() {
+    check(
+        "decode_at_agrees_with_sequential_decode",
+        Config::default(),
+        |rng| rng.vec_of(1, 24, arb::instr),
+        |instrs| {
+            // decode_at(stream, off) at each instruction boundary must see
+            // exactly the instruction a front-to-back decode loop sees — the
+            // invariant the static disassembler's cursor arithmetic rests on.
+            let mut stream = Vec::new();
+            let mut offsets = Vec::new();
+            for i in instrs {
+                offsets.push(stream.len());
+                stream.extend_from_slice(&encode(i));
+            }
+            for (i, &off) in instrs.iter().zip(&offsets) {
+                let (decoded, len) = decode_at(&stream, off)
+                    .map_err(|e| format!("boundary at {off} must decode: {e:?}"))?;
+                prop_assert_eq!(decoded, *i);
+                prop_assert_eq!(len, encode(i).len());
+            }
+            prop_assert!(decode_at(&stream, stream.len()).is_err());
             Ok(())
         },
     );

@@ -69,6 +69,23 @@ pub struct Section {
     pub perms: Perms,
 }
 
+impl Section {
+    /// One past the last virtual address the section's bytes occupy.
+    pub fn end_va(&self) -> u32 {
+        self.va.saturating_add(self.data.len() as u32)
+    }
+
+    /// Returns `true` if `va` falls inside the section's byte range.
+    pub fn contains(&self, va: u32) -> bool {
+        va >= self.va && va < self.end_va()
+    }
+
+    /// Returns `true` if the section maps executable.
+    pub fn is_code(&self) -> bool {
+        self.perms.contains(Perms::X)
+    }
+}
+
 /// Error parsing an FDL image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FdlError {
@@ -208,14 +225,55 @@ impl FdlImage {
             exports.push(Export { name, va });
             cursor += 28;
         }
+        // Reject sections that wrap the 32-bit address space or overlap one
+        // another: the loader would otherwise double-map pages (and an
+        // attacker-supplied image could alias code under two protections).
+        for &(va, _, size, _) in &raw_sections {
+            if u64::from(va) + size as u64 > u64::from(u32::MAX) + 1 {
+                return Err(FdlError::Malformed("section wraps the address space"));
+            }
+        }
+        let mut spans: Vec<(u32, u64)> = raw_sections
+            .iter()
+            .filter(|&&(_, _, size, _)| size > 0)
+            .map(|&(va, _, size, _)| (va, u64::from(va) + size as u64))
+            .collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            if u64::from(pair[1].0) < pair[0].1 {
+                return Err(FdlError::Malformed("overlapping sections"));
+            }
+        }
         for (va, off, size, perms) in raw_sections {
             let data = bytes
-                .get(off..off + size)
+                .get(off..off.checked_add(size).ok_or(FdlError::Malformed("section data out of range"))?)
                 .ok_or(FdlError::Malformed("section data out of range"))?
                 .to_vec();
             sections.push(Section { va, data, perms });
         }
         Ok(FdlImage { entry, export_table_va, sections, exports })
+    }
+
+    /// Lowest section virtual address (the module base); `entry` when the
+    /// image has no sections.
+    pub fn base(&self) -> u32 {
+        self.sections.iter().map(|s| s.va).min().unwrap_or(self.entry)
+    }
+
+    /// The executable sections, in declaration order.
+    pub fn code_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections.iter().filter(|s| s.is_code())
+    }
+
+    /// The section whose byte range contains `va`.
+    pub fn section_containing(&self, va: u32) -> Option<&Section> {
+        self.sections.iter().find(|s| s.contains(va))
+    }
+
+    /// Returns `true` if `va` lies inside an executable section — the
+    /// static analyzer's definition of "statically accounted-for code".
+    pub fn is_code_va(&self, va: u32) -> bool {
+        self.section_containing(va).is_some_and(Section::is_code)
     }
 
     /// Lays out the export table as it appears in guest memory:
@@ -344,6 +402,68 @@ mod tests {
         assert_eq!(info.export_ptr_va(1), 0x40_3000 + 4 + 32 + 28);
         assert_eq!(info.find_export("helper").unwrap().va, 0x40_0020);
         assert!(info.find_export("nope").is_none());
+    }
+
+    #[test]
+    fn overlapping_sections_rejected() {
+        let img = FdlImage {
+            entry: 0x40_0000,
+            export_table_va: 0,
+            sections: vec![
+                Section { va: 0x40_0000, data: vec![0; 0x100], perms: Perms::RX },
+                Section { va: 0x40_0080, data: vec![0; 0x100], perms: Perms::RW },
+            ],
+            exports: vec![],
+        };
+        assert_eq!(
+            FdlImage::parse(&img.to_bytes()),
+            Err(FdlError::Malformed("overlapping sections"))
+        );
+        // Adjacent (end == next start) sections are fine.
+        let ok = FdlImage {
+            sections: vec![
+                Section { va: 0x40_0000, data: vec![0; 0x100], perms: Perms::RX },
+                Section { va: 0x40_0100, data: vec![0; 0x100], perms: Perms::RW },
+            ],
+            ..img
+        };
+        assert!(FdlImage::parse(&ok.to_bytes()).is_ok());
+    }
+
+    #[test]
+    fn wrapping_section_rejected() {
+        let img = FdlImage {
+            entry: 0,
+            export_table_va: 0,
+            sections: vec![Section {
+                va: 0xffff_ff00,
+                data: vec![0; 0x200],
+                perms: Perms::RX,
+            }],
+            exports: vec![],
+        };
+        assert_eq!(
+            FdlImage::parse(&img.to_bytes()),
+            Err(FdlError::Malformed("section wraps the address space"))
+        );
+    }
+
+    #[test]
+    fn section_and_image_accessors() {
+        let img = sample();
+        assert_eq!(img.base(), 0x40_0000);
+        assert_eq!(img.code_sections().count(), 1);
+        assert!(img.sections[0].is_code());
+        assert!(!img.sections[1].is_code());
+        assert!(img.sections[0].contains(0x40_0003));
+        assert!(!img.sections[0].contains(0x40_0004));
+        assert_eq!(img.section_containing(0x40_1050).unwrap().va, 0x40_1000);
+        assert!(img.section_containing(0x50_0000).is_none());
+        assert!(img.is_code_va(0x40_0000));
+        assert!(!img.is_code_va(0x40_1000));
+        // Sectionless images (the kernel module) fall back to entry.
+        let bare = FdlImage { entry: 7, export_table_va: 0, sections: vec![], exports: vec![] };
+        assert_eq!(bare.base(), 7);
     }
 
     #[test]

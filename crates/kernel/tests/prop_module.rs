@@ -1,0 +1,134 @@
+//! Property tests hardening `FdlImage::parse`: module bytes are attacker
+//! controlled (dropped DLLs, reflective payloads masquerading as images),
+//! so the parser must be total — every input returns `Ok` or `FdlError`,
+//! never panics — and valid images must survive the round trip even when
+//! their export VAs point nowhere (that is a *lint*, not a parse error:
+//! the kernel's own module exports symbols with no backing section).
+
+use faros_emu::mmu::Perms;
+use faros_kernel::module::{Export, FdlError, FdlImage, Section};
+use faros_support::prop::{check, Config, Rng, Shrink};
+use faros_support::prop_assert_eq;
+
+/// Local wrapper so the harness's `Shrink` bound can be satisfied for the
+/// kernel's (foreign) image type; images shrink at the byte level instead.
+#[derive(Debug, Clone, PartialEq)]
+struct ArbImage(FdlImage);
+
+impl Shrink for ArbImage {}
+
+/// A structurally valid image with a handful of non-overlapping sections
+/// and arbitrary (possibly dangling) export VAs.
+fn arb_image(rng: &mut Rng) -> FdlImage {
+    let n_sections = rng.below(4) as u32;
+    let mut va = 0x40_0000u32;
+    let mut sections = Vec::new();
+    for _ in 0..n_sections {
+        let size = rng.range_u32(0, 64) as usize;
+        let perms = *rng.pick(&[Perms::RX, Perms::RW, Perms::R, Perms::RWX]);
+        sections.push(Section { va, data: vec![rng.next_u8(); size], perms });
+        // Leave a gap so generated layouts never overlap.
+        va = va.wrapping_add(size as u32 + rng.range_u32(0, 0x1000));
+    }
+    let n_exports = rng.below(4);
+    let exports = (0..n_exports)
+        .map(|i| Export { name: format!("sym{i}"), va: rng.next_u32() })
+        .collect();
+    FdlImage { entry: rng.next_u32(), export_table_va: rng.next_u32(), sections, exports }
+}
+
+#[test]
+fn parse_is_total_on_arbitrary_bytes() {
+    check(
+        "parse_is_total_on_arbitrary_bytes",
+        Config::with_cases(512),
+        |rng| {
+            // Bias toward the magic so the fuzzer spends most cases past the
+            // first check, inside the table-parsing paths.
+            let mut bytes = rng.vec_of(0, 96, |r| r.next_u8());
+            if rng.below(4) != 0 && bytes.len() >= 4 {
+                bytes[..4].copy_from_slice(b"FDL1");
+            }
+            bytes
+        },
+        |bytes| {
+            // Must never panic; any outcome is acceptable.
+            let _ = FdlImage::parse(bytes);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parse_is_total_on_mutated_valid_images() {
+    check(
+        "parse_is_total_on_mutated_valid_images",
+        Config::with_cases(512),
+        |rng| {
+            let mut bytes = arb_image(rng).to_bytes();
+            // Corrupt a few bytes and/or truncate — the classic malformed
+            // headers: wild section offsets/sizes, wrong counts, cut tables.
+            for _ in 0..rng.below(5) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = rng.below(bytes.len() as u64) as usize;
+                bytes[at] = rng.next_u8();
+            }
+            if rng.next_bool() {
+                let keep = rng.below(bytes.len() as u64 + 1) as usize;
+                bytes.truncate(keep);
+            }
+            bytes
+        },
+        |bytes| {
+            if let Ok(img) = FdlImage::parse(bytes) {
+                // Whatever parsed must re-serialize and re-parse stably.
+                let reparsed = FdlImage::parse(&img.to_bytes())
+                    .map_err(|e| format!("accepted image must round-trip: {e}"))?;
+                prop_assert_eq!(reparsed, img);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn valid_images_round_trip_even_with_dangling_exports() {
+    check(
+        "valid_images_round_trip_even_with_dangling_exports",
+        Config::with_cases(256),
+        |rng| ArbImage(arb_image(rng)),
+        |ArbImage(img)| {
+            // Out-of-range export VAs are deliberately NOT a parse error —
+            // flagging them is `faros-analyze`'s job (the kernel module
+            // itself exports stubs with no backing section).
+            let parsed = FdlImage::parse(&img.to_bytes())
+                .map_err(|e| format!("valid image must parse: {e}"))?;
+            prop_assert_eq!(&parsed, img);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncations_of_valid_images_never_panic() {
+    let img = FdlImage {
+        entry: 0x40_0000,
+        export_table_va: 0x40_3000,
+        sections: vec![
+            Section { va: 0x40_0000, data: vec![0x71; 32], perms: Perms::RX },
+            Section { va: 0x40_1000, data: vec![0; 16], perms: Perms::RW },
+        ],
+        exports: vec![Export { name: "start".into(), va: 0x40_0000 }],
+    };
+    let bytes = img.to_bytes();
+    for cut in 0..bytes.len() {
+        let r = FdlImage::parse(&bytes[..cut]);
+        assert!(r.is_err(), "prefix of length {cut} must be rejected");
+        if cut < 4 {
+            assert_eq!(r, Err(FdlError::BadMagic));
+        }
+    }
+    assert_eq!(FdlImage::parse(&bytes).unwrap(), img);
+}

@@ -1,0 +1,167 @@
+//! Executed basic-block recording — the dynamic half of the
+//! static-vs-dynamic coverage cross-check.
+//!
+//! [`BlockCoverage`] watches every retired instruction and records, per
+//! process, the set of virtual addresses at which basic blocks *started*
+//! executing (the first instruction after a block-ending one, plus each
+//! thread's first instruction). It also keeps each process's loaded-module
+//! list, so an analysis layer (`faros-analyze`) can ask afterwards: did any
+//! process execute code that no loaded module statically accounts for?
+//! That question is ROPocop's hybrid check, and injected payloads answer it
+//! loudly — their blocks live in anonymous allocations, not in any image.
+
+use crate::plugin::Plugin;
+use faros_emu::cpu::{CpuHooks, InsnCtx};
+use faros_kernel::event::{ByteRange, KernelEvents};
+use faros_kernel::module::ModuleInfo;
+use faros_kernel::process::ProcessInfo;
+use faros_kernel::{Pid, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything [`BlockCoverage`] observed about one process.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessBlocks {
+    /// The process id.
+    pub pid: Pid,
+    /// Image name (e.g. `notepad.exe`).
+    pub name: String,
+    /// Modules the kernel loaded into the process, in load order.
+    pub modules: Vec<ModuleInfo>,
+    /// Virtual addresses where executed basic blocks started.
+    pub block_starts: BTreeSet<u32>,
+}
+
+/// The block-coverage recording plugin.
+#[derive(Debug, Default)]
+pub struct BlockCoverage {
+    current: Option<(Pid, Tid)>,
+    at_block_start: BTreeMap<(Pid, Tid), bool>,
+    procs: BTreeMap<Pid, ProcessBlocks>,
+}
+
+impl BlockCoverage {
+    /// Creates an empty recorder.
+    pub fn new() -> BlockCoverage {
+        BlockCoverage::default()
+    }
+
+    /// Per-process observations, ordered by pid.
+    pub fn processes(&self) -> Vec<&ProcessBlocks> {
+        self.procs.values().collect()
+    }
+
+    /// Consumes the plugin, returning the per-process observations.
+    pub fn into_processes(self) -> Vec<ProcessBlocks> {
+        self.procs.into_values().collect()
+    }
+
+    /// The observations for one process, if it ever ran.
+    pub fn process(&self, pid: Pid) -> Option<&ProcessBlocks> {
+        self.procs.get(&pid)
+    }
+
+    fn entry(&mut self, pid: Pid) -> &mut ProcessBlocks {
+        self.procs.entry(pid).or_insert_with(|| ProcessBlocks {
+            pid,
+            ..ProcessBlocks::default()
+        })
+    }
+}
+
+impl CpuHooks for BlockCoverage {
+    fn on_insn(&mut self, ctx: &InsnCtx) {
+        let Some(key) = self.current else { return };
+        // A thread's first instruction starts a block; after that, exactly
+        // the instruction following a block-ender does.
+        let starting = self.at_block_start.get(&key).copied().unwrap_or(true);
+        if starting {
+            self.entry(key.0).block_starts.insert(ctx.vaddr);
+        }
+        self.at_block_start.insert(key, ctx.instr.ends_block());
+    }
+}
+
+impl KernelEvents for BlockCoverage {
+    fn context_switch(&mut self, _from: Option<(Pid, Tid)>, to: (Pid, Tid)) {
+        self.current = Some(to);
+    }
+
+    fn process_created(&mut self, info: &ProcessInfo) {
+        let name = info.name.clone();
+        self.entry(info.pid).name = name;
+    }
+
+    fn module_loaded(&mut self, pid: Option<Pid>, module: &ModuleInfo, _table: &[ByteRange]) {
+        // Kernel/boot modules (pid None) are not per-process images; the
+        // analysis layer treats kernel-space blocks separately.
+        if let Some(pid) = pid {
+            self.entry(pid).modules.push(module.clone());
+        }
+    }
+}
+
+impl Plugin for BlockCoverage {
+    fn name(&self) -> &str {
+        "block-coverage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_emu::isa::Instr;
+
+    fn ctx(vaddr: u32, instr: Instr) -> InsnCtx {
+        InsnCtx {
+            vaddr,
+            code_phys: [0; faros_emu::encode::MAX_INSTR_LEN],
+            len: 1,
+            instr,
+            asid: faros_emu::mmu::Asid(0),
+        }
+    }
+
+    #[test]
+    fn records_block_starts_per_process() {
+        let mut cov = BlockCoverage::new();
+        cov.context_switch(None, (Pid(1), Tid(1)));
+        cov.on_insn(&ctx(0x1000, Instr::Nop)); // thread start = block start
+        cov.on_insn(&ctx(0x1001, Instr::Jmp { rel: 10 })); // mid-block
+        cov.on_insn(&ctx(0x1010, Instr::Nop)); // after jmp = block start
+        cov.on_insn(&ctx(0x1011, Instr::Hlt)); // mid-block
+        let p = cov.process(Pid(1)).unwrap();
+        assert_eq!(
+            p.block_starts.iter().copied().collect::<Vec<_>>(),
+            vec![0x1000, 0x1010]
+        );
+    }
+
+    #[test]
+    fn interleaved_threads_keep_separate_cursors() {
+        let mut cov = BlockCoverage::new();
+        cov.context_switch(None, (Pid(1), Tid(1)));
+        cov.on_insn(&ctx(0x1000, Instr::Nop)); // p1 block start, not a block end
+        cov.context_switch(Some((Pid(1), Tid(1))), (Pid(2), Tid(2)));
+        cov.on_insn(&ctx(0x2000, Instr::Nop)); // p2 block start
+        cov.context_switch(Some((Pid(2), Tid(2))), (Pid(1), Tid(1)));
+        cov.on_insn(&ctx(0x1001, Instr::Nop)); // p1 resumes mid-block: no start
+        assert_eq!(cov.process(Pid(1)).unwrap().block_starts.len(), 1);
+        assert_eq!(cov.process(Pid(2)).unwrap().block_starts.len(), 1);
+    }
+
+    #[test]
+    fn kernel_modules_are_not_attributed_to_processes() {
+        let mut cov = BlockCoverage::new();
+        let m = ModuleInfo {
+            name: "ntdll.fdl".into(),
+            base: 0x8000_0000,
+            entry: 0,
+            export_table_va: 0x8001_0000,
+            exports: vec![],
+        };
+        cov.module_loaded(None, &m, &[]);
+        assert!(cov.processes().is_empty());
+        cov.module_loaded(Some(Pid(3)), &m, &[]);
+        assert_eq!(cov.process(Pid(3)).unwrap().modules.len(), 1);
+    }
+}

@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coverage;
 pub mod driver;
 pub mod plugin;
 pub mod scenario;
 pub mod trace;
 
+pub use coverage::{BlockCoverage, ProcessBlocks};
 pub use driver::{record, record_and_replay, replay, Recording, ReplayError, RunOutcome, DEFAULT_BUDGET};
 pub use plugin::{Plugin, PluginManager};
 pub use trace::{TraceEvent, TracePlugin};

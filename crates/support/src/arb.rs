@@ -67,10 +67,23 @@ pub fn operand(rng: &mut Rng) -> Operand {
     }
 }
 
+/// Number of `Instr` variants [`instr_variant`] can produce (one per ISA
+/// instruction form).
+pub const INSTR_VARIANTS: u64 = 20;
+
 /// Any representable FE32 instruction, all variants equally likely — the
 /// domain of the encoder round-trip property.
 pub fn instr(rng: &mut Rng) -> Instr {
-    match rng.below(20) {
+    let k = rng.below(INSTR_VARIANTS);
+    instr_variant(rng, k)
+}
+
+/// An arbitrary instruction of variant `k` (`0..INSTR_VARIANTS`), with
+/// arbitrary operands. Suites that must cover *every* variant enumerate `k`
+/// explicitly instead of trusting the uniform draw of [`instr`] to land on
+/// all of them.
+pub fn instr_variant(rng: &mut Rng, k: u64) -> Instr {
+    match k {
         0 => Instr::Nop,
         1 => Instr::Hlt,
         2 => Instr::Ret,
@@ -157,6 +170,22 @@ mod tests {
             discriminants.insert(std::mem::discriminant(&instr(&mut rng)));
         }
         assert_eq!(discriminants.len(), 20, "all 20 Instr variants reachable");
+    }
+
+    #[test]
+    fn instr_variant_is_exhaustive_and_distinct() {
+        // Each k produces a fixed variant, and the INSTR_VARIANTS indices
+        // together hit every discriminant exactly once.
+        let mut discriminants: HashSet<std::mem::Discriminant<Instr>> = HashSet::new();
+        for k in 0..INSTR_VARIANTS {
+            let mut rng = Rng::new(7 + k);
+            let first = std::mem::discriminant(&instr_variant(&mut rng, k));
+            for _ in 0..20 {
+                assert_eq!(std::mem::discriminant(&instr_variant(&mut rng, k)), first);
+            }
+            discriminants.insert(first);
+        }
+        assert_eq!(discriminants.len(), INSTR_VARIANTS as usize);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Static analysis tour: lint every corpus program image without
+//! executing anything, then lint the carved attack payload images.
+//!
+//! ```text
+//! cargo run --example analyze_image
+//! ```
+//!
+//! Every image the corpus ships as a legitimate program (victims,
+//! injectors, family variants, JIT hosts, helper DLLs) is W^X-clean by
+//! construction and lints with zero error-severity findings; the attack
+//! payload blobs — wrapped as the RWX single-section images an analyst
+//! would carve out of a memory dump — each draw at least one.
+
+use faros_repro::analyze::{lint_image, render_findings, ModuleCfg, Severity};
+use faros_repro::corpus::{attacks, dll, families, jit, Sample};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenarios: Vec<Sample> = attacks::all_injecting_samples();
+    scenarios.extend(jit::jit_workloads());
+    scenarios.push(dll::plugin_host());
+    scenarios.push(dll::dropped_dll_attack());
+    for family in families::malware_rows().into_iter().chain(families::benign_rows()) {
+        scenarios.push(families::build_family_sample(&family, 0, 1));
+    }
+
+    println!("[*] linting every corpus program image ({} scenarios)\n", scenarios.len());
+    let mut images = 0usize;
+    let mut errors = 0usize;
+    let mut advisories = 0usize;
+    for sample in &scenarios {
+        for (path, image) in sample.scenario.programs() {
+            images += 1;
+            let cfg = ModuleCfg::recover(path, image);
+            let findings = lint_image(path, image);
+            let (err, adv): (Vec<_>, Vec<_>) =
+                findings.iter().partition(|f| f.severity == Severity::Error);
+            errors += err.len();
+            advisories += adv.len();
+            println!(
+                "    {:<28} {:>3} blocks, {:>2} indirect sites, {} errors, {} advisories",
+                path,
+                cfg.blocks.len(),
+                cfg.indirect_sites.len(),
+                err.len(),
+                adv.len(),
+            );
+            if !err.is_empty() {
+                print!("{}", render_findings(&findings));
+            }
+        }
+    }
+    println!(
+        "\n[*] {images} images linted: {errors} error-severity findings, {advisories} advisories"
+    );
+    if errors != 0 {
+        return Err("legitimate corpus images must lint clean".into());
+    }
+
+    println!("\n[*] linting the carved attack payload images\n");
+    for (name, image) in attacks::payload_images() {
+        let findings = lint_image(&name, &image);
+        println!("--- {name} ---");
+        print!("{}", render_findings(&findings));
+        if !findings.iter().any(|f| f.severity == Severity::Error) {
+            return Err(format!("{name}: payload image must draw an error finding").into());
+        }
+        println!();
+    }
+
+    println!("[*] static truth table holds: clean programs lint clean, payloads do not");
+    Ok(())
+}

@@ -21,6 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  - Cuckoo (events only) misses every in-memory injection;");
     println!("  - malfind finds persistent payloads in the dump but not the");
     println!("    transient one, and never explains where the code came from;");
+    println!("  - the static-vs-dynamic coverage cross-check catches them all");
+    println!("    (executed blocks outside every module's static CFG), even the");
+    println!("    transient wipe — the blocks were seen executing;");
     println!("  - FAROS flags all of them with full netflow/process provenance.");
     Ok(())
 }

@@ -7,14 +7,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> warnings-as-errors build (RUSTFLAGS=-D warnings)"
+RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
+
+echo "==> style check"
+# In-tree fmt-equivalent: no tabs, no trailing whitespace, no CRLF in any
+# Rust source.
+if grep -rn -P '\t|[ ]+$|\r' --include='*.rs' src crates examples tests; then
+    echo "error: tabs / trailing whitespace / CRLF found in Rust sources" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
-# The six analyst-facing examples double as smoke tests: each must build
-# and exit 0 end-to-end (record, replay, detect, report).
+# The analyst-facing examples double as smoke tests: each must build and
+# exit 0 end-to-end (record, replay, detect, report — and, for
+# analyze_image, the static lint truth table).
 EXAMPLES=(
     quickstart
     process_hollowing
@@ -22,6 +34,7 @@ EXAMPLES=(
     jit_false_positive
     cuckoo_comparison
     analyst_tour
+    analyze_image
 )
 for ex in "${EXAMPLES[@]}"; do
     echo "==> cargo run --release --offline --example $ex"

@@ -14,7 +14,9 @@
 //! * [`faros`] — the FAROS plugin itself (tag insertion, confluence
 //!   policies, provenance reports);
 //! * [`corpus`] — the attack / false-positive / JIT workload corpus;
-//! * [`baselines`] — CuckooBox- and malfind-style comparison analyzers.
+//! * [`baselines`] — CuckooBox- and malfind-style comparison analyzers;
+//! * [`analyze`] — static FE32 image analysis (CFG recovery, W^X lints,
+//!   static-vs-dynamic coverage cross-check).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! substitution statement, and `EXPERIMENTS.md` for paper-vs-measured
@@ -23,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub use faros_analyze as analyze;
 pub use faros_baselines as baselines;
 pub use ::faros;
 pub use faros_corpus as corpus;

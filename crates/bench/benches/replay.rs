@@ -1,0 +1,76 @@
+//! Replay-path benchmarks for the observability layer: what does tracing
+//! cost on top of a plain replay, and how fast does taint propagation run
+//! across the attack corpus?
+//!
+//! Runs on the in-tree harness (`faros_support::bench`); set
+//! `FAROS_BENCH_WRITE=<dir>` to emit `BENCH_replay.json`.
+
+use faros::{Faros, Policy};
+use faros_bench::experiments::BUDGET;
+use faros_corpus::attacks;
+use faros_obs::trace::RecorderHandle;
+use faros_replay::{record, replay, PluginManager, TraceRecorder};
+use faros_support::bench::BenchGroup;
+use faros_support::bench_main;
+
+fn bench_replay() {
+    let mut group = BenchGroup::new("replay");
+    group.sample_size(10);
+
+    let sample = attacks::process_hollowing();
+    group.bench_function("record", |b| {
+        b.iter(|| record(&sample.scenario, BUDGET).expect("record").1.instructions)
+    });
+
+    let (recording, _) = record(&sample.scenario, BUDGET).expect("record");
+    group.bench_function("replay_base", |b| {
+        b.iter(|| {
+            let mut empty = PluginManager::new();
+            replay(&sample.scenario, &recording, BUDGET, &mut empty)
+                .expect("replay")
+                .instructions
+        })
+    });
+    group.bench_function("replay_faros", |b| {
+        b.iter(|| {
+            let mut faros = Faros::new(Policy::paper());
+            replay(&sample.scenario, &recording, BUDGET, &mut faros)
+                .expect("replay")
+                .instructions
+        })
+    });
+    // Full observability stack: flight recorder + FAROS emitting into the
+    // same ring, dispatch counting on — the realistic traced-replay cost.
+    group.bench_function("replay_traced", |b| {
+        b.iter(|| {
+            let ring = RecorderHandle::default();
+            let mut faros = Faros::new(Policy::paper());
+            faros.attach_recorder(ring.clone());
+            let mut plugins = PluginManager::new();
+            plugins.register(Box::new(TraceRecorder::new(ring.clone())));
+            plugins.register(Box::new(faros));
+            replay(&sample.scenario, &recording, BUDGET, &mut plugins)
+                .expect("replay")
+                .instructions
+        })
+    });
+
+    // Taint-propagation throughput over the whole attack corpus: replay
+    // every injecting sample under FAROS and report per-iteration cost of
+    // the full propagate-and-detect pipeline.
+    for atk in attacks::all_injecting_samples() {
+        let (rec, _) = record(&atk.scenario, BUDGET).expect("record");
+        let label = atk.name().replace(' ', "_").to_lowercase();
+        group.bench_function(format!("taint_throughput/{label}"), |b| {
+            b.iter(|| {
+                let mut faros = Faros::new(Policy::paper());
+                let outcome =
+                    replay(&atk.scenario, &rec, BUDGET, &mut faros).expect("replay");
+                (outcome.instructions, faros.stats().copied_bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+bench_main!(bench_replay);

@@ -9,6 +9,8 @@
 //! faros-cli trace <sample>            record and print the event timeline
 //! faros-cli run-asm FILE [opts]       assemble FE32 text source and run it
 //!                                     as a guest process under FAROS
+//! faros-cli json-check FILE...        validate files parse as JSON (Chrome
+//!                                     traces also need a traceEvents array)
 //!
 //! analyze/replay options:
 //!   --policy paper|netflow|cross-process   trigger configuration
@@ -34,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: faros-cli <list | record <sample> -o FILE | analyze <sample> [opts] \
          | replay <sample> -i FILE [opts] | compare <sample> | trace <sample>\n\
-         | run-asm FILE [opts]>\n\
+         | run-asm FILE [opts] | json-check FILE...>\n\
          opts: --policy paper|netflow|cross-process, --minos, --conservative,\n\
                --whitelist NAME, --json"
     );
@@ -248,6 +250,29 @@ fn main() {
             replay(&sample.scenario, &recording, BUDGET, &mut trace)
                 .unwrap_or_else(|e| fail(&e.to_string()));
             print!("{}", trace.render());
+        }
+        "json-check" => {
+            if args.len() < 2 {
+                usage();
+            }
+            for file in &args[1..] {
+                let text = std::fs::read_to_string(file)
+                    .unwrap_or_else(|e| fail(&format!("{file}: {e}")));
+                let v = faros_support::json::JsonValue::parse(&text)
+                    .unwrap_or_else(|e| fail(&format!("{file}: invalid JSON: {e}")));
+                // Chrome trace files must carry a non-empty traceEvents
+                // array; plain JSON files just need to parse.
+                match v.get("traceEvents") {
+                    Some(events) => {
+                        let n = events.as_array().map_or(0, <[_]>::len);
+                        if n == 0 {
+                            fail(&format!("{file}: traceEvents is empty"));
+                        }
+                        println!("{file}: ok ({n} trace events)");
+                    }
+                    None => println!("{file}: ok"),
+                }
+            }
         }
         "compare" => {
             let name = args.get(1).unwrap_or_else(|| usage());

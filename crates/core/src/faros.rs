@@ -10,7 +10,10 @@ use faros_kernel::module::{ModuleInfo, EXPORT_ENTRY_SIZE, EXPORT_PTR_OFFSET};
 use faros_kernel::net::FlowTuple;
 use faros_kernel::process::ProcessInfo;
 use faros_kernel::{Pid, Tid};
+use faros_obs::metrics::{CounterId, MetricsSnapshot};
+use faros_obs::trace::{RecorderHandle, TraceCategory, TraceEvent};
 use faros_replay::Plugin;
+use faros_support::json::{JsonValue, ToJson};
 use faros_taint::engine::{PropagationMode, TaintEngine};
 use faros_taint::provlist::ListId;
 use faros_taint::shadow::{ShadowAddr, SHADOW_REGS};
@@ -37,6 +40,9 @@ fn netflow_of(flow: &FlowTuple) -> NetflowTag {
 }
 
 /// Summary counters for a FAROS run.
+///
+/// Derived on demand from the `faros.*` counters FAROS registers into its
+/// engine's metrics registry — a stable read-out view, not the storage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FarosStats {
     /// Instructions observed.
@@ -51,6 +57,44 @@ pub struct FarosStats {
     pub copied_bytes: u64,
     /// Export-table reads by foreign code (pre-dedup).
     pub confluence_hits: u64,
+}
+
+impl ToJson for FarosStats {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("instructions", self.instructions.to_json_value()),
+            ("net_labels", self.net_labels.to_json_value()),
+            ("file_labels", self.file_labels.to_json_value()),
+            ("export_pointers", self.export_pointers.to_json_value()),
+            ("copied_bytes", self.copied_bytes.to_json_value()),
+            ("confluence_hits", self.confluence_hits.to_json_value()),
+        ])
+    }
+}
+
+/// Ids of the `faros.*` counters inside the engine's registry.
+#[derive(Debug, Clone, Copy)]
+struct FarosCounters {
+    instructions: CounterId,
+    net_labels: CounterId,
+    file_labels: CounterId,
+    export_pointers: CounterId,
+    copied_bytes: CounterId,
+    confluence_hits: CounterId,
+}
+
+impl FarosCounters {
+    fn register(engine: &mut TaintEngine) -> FarosCounters {
+        let m = engine.metrics_mut();
+        FarosCounters {
+            instructions: m.counter("faros.instructions"),
+            net_labels: m.counter("faros.net_labels"),
+            file_labels: m.counter("faros.file_labels"),
+            export_pointers: m.counter("faros.export_pointers"),
+            copied_bytes: m.counter("faros.copied_bytes"),
+            confluence_hits: m.counter("faros.confluence_hits"),
+        }
+    }
 }
 
 /// The FAROS plugin.
@@ -83,7 +127,13 @@ pub struct Faros {
     detections: Vec<Detection>,
     whitelisted: Vec<Detection>,
     seen_insns: HashSet<u32>,
-    stats: FarosStats,
+    ctr: FarosCounters,
+    /// Shared flight-recorder ring for taint-event instants; `None` (the
+    /// default) keeps tracing entirely off the FAROS hot path.
+    recorder: Option<RecorderHandle>,
+    /// Virtual clock (instructions retired + idle boosts), kept current
+    /// from `InsnCtx::retired` and `tick`.
+    now: u64,
 }
 
 impl Faros {
@@ -96,8 +146,10 @@ impl Faros {
     /// Creates a FAROS instance with an explicit propagation mode (for the
     /// indirect-flow ablation experiments).
     pub fn with_mode(policy: Policy, mode: PropagationMode) -> Faros {
+        let mut engine = TaintEngine::new(mode);
+        let ctr = FarosCounters::register(&mut engine);
         Faros {
-            engine: TaintEngine::new(mode),
+            engine,
             policy,
             proc_tags: HashMap::new(),
             proc_names: HashMap::new(),
@@ -108,8 +160,17 @@ impl Faros {
             detections: Vec::new(),
             whitelisted: Vec::new(),
             seen_insns: HashSet::new(),
-            stats: FarosStats::default(),
+            ctr,
+            recorder: None,
+            now: 0,
         }
+    }
+
+    /// Attaches a shared flight-recorder ring: detections and labeling
+    /// events are emitted as `taint`-category instants alongside whatever
+    /// else writes into the same ring (typically the replay trace recorder).
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = Some(recorder);
     }
 
     /// The policy in effect.
@@ -122,9 +183,34 @@ impl Faros {
         &self.engine
     }
 
-    /// Run counters.
+    /// Run counters (a read-out of the `faros.*` registry counters).
     pub fn stats(&self) -> FarosStats {
-        self.stats
+        let m = self.engine.metrics();
+        FarosStats {
+            instructions: m.get(self.ctr.instructions),
+            net_labels: m.get(self.ctr.net_labels),
+            file_labels: m.get(self.ctr.file_labels),
+            export_pointers: m.get(self.ctr.export_pointers),
+            copied_bytes: m.get(self.ctr.copied_bytes),
+            confluence_hits: m.get(self.ctr.confluence_hits),
+        }
+    }
+
+    /// Snapshot of the combined `faros.*` + `taint.*` counters (the engine
+    /// registry, gauges refreshed). Sorted and deterministic — mergeable
+    /// with other components' snapshots via [`MetricsSnapshot::merge`].
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        self.engine.metrics_snapshot()
+    }
+
+    /// Emits a trace event into the attached recorder, if any. The closure
+    /// receives `(now, pid, tid)` for the current thread, so event
+    /// construction is skipped entirely when tracing is off.
+    fn emit(&self, make: impl FnOnce(u64, u32, u32) -> TraceEvent) {
+        if let Some(rec) = &self.recorder {
+            let (pid, tid) = self.current_thread.map_or((0, 0), |(p, t)| (p.0, t.0));
+            rec.record(make(self.now, pid, tid));
+        }
     }
 
     /// Builds the analyst report.
@@ -132,9 +218,10 @@ impl Faros {
         FarosReport {
             detections: self.detections.clone(),
             whitelisted: self.whitelisted.clone(),
-            // Filled in by `FarosReport::attach_coverage` when the replay
-            // also ran the block-coverage plugin.
+            // Filled in by `FarosReport::attach_coverage` /
+            // `FarosReport::attach_metrics` when the caller opts in.
             coverage: Vec::new(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 
@@ -191,7 +278,8 @@ impl Faros {
 
 impl CpuHooks for Faros {
     fn on_insn(&mut self, ctx: &InsnCtx) {
-        self.stats.instructions += 1;
+        self.engine.metrics_mut().inc(self.ctr.instructions);
+        self.now = self.now.max(ctx.retired);
         self.current_cr3 = ctx.asid.0;
     }
 
@@ -275,7 +363,7 @@ impl CpuHooks for Faros {
         if !hit {
             return;
         }
-        self.stats.confluence_hits += 1;
+        self.engine.metrics_mut().inc(self.ctr.confluence_hits);
         if !self.seen_insns.insert(ctx.vaddr) {
             return;
         }
@@ -288,11 +376,17 @@ impl CpuHooks for Faros {
             cr3: self.current_cr3,
             code_provenance: self.engine.display_list(code_prov),
             target_provenance: self.engine.display_list(target_id),
-            tick: self.stats.instructions,
+            tick: self.engine.metrics().get(self.ctr.instructions),
             via_netflow: self.policy.trigger_netflow && has_netflow,
             via_cross_process: self.policy.trigger_cross_process && cross_process,
             kind: crate::report::DetectionKind::ExportTableRead,
         };
+        self.emit(|now, pid, tid| {
+            TraceEvent::instant(now, pid, tid, TraceCategory::Taint, "alert")
+                .arg("kind", "export-table-read")
+                .arg("process", &detection.process)
+                .arg("insn_vaddr", format!("{:#010x}", detection.insn_vaddr))
+        });
         if self.policy.is_whitelisted(&process) {
             self.whitelisted.push(detection);
         } else {
@@ -323,11 +417,17 @@ impl CpuHooks for Faros {
             cr3: self.current_cr3,
             code_provenance: self.engine.display_list(prov),
             target_provenance: format!("control transfer target {target:#010x}"),
-            tick: self.stats.instructions,
+            tick: self.engine.metrics().get(self.ctr.instructions),
             via_netflow: true,
             via_cross_process: false,
             kind: crate::report::DetectionKind::TaintedControlTransfer,
         };
+        self.emit(|now, pid, tid| {
+            TraceEvent::instant(now, pid, tid, TraceCategory::Taint, "alert")
+                .arg("kind", "tainted-control-transfer")
+                .arg("process", &detection.process)
+                .arg("insn_vaddr", format!("{:#010x}", detection.insn_vaddr))
+        });
         if self.policy.is_whitelisted(&process) {
             self.whitelisted.push(detection);
         } else {
@@ -364,12 +464,17 @@ impl KernelEvents for Faros {
                     self.engine.label_fresh(ShadowAddr::Mem(phys), tag);
                 }
             }
-            self.stats.export_pointers += 1;
+            self.engine.metrics_mut().inc(self.ctr.export_pointers);
         }
+        self.emit(|now, pid, tid| {
+            TraceEvent::instant(now, pid, tid, TraceCategory::Taint, "export_table_tainted")
+                .arg("module", &module.name)
+                .arg("pointers", module.exports.len().to_string())
+        });
     }
 
     fn net_rx(&mut self, pid: Pid, flow: &FlowTuple, dst: &[ByteRange]) {
-        self.stats.net_labels += 1;
+        self.engine.metrics_mut().inc(self.ctr.net_labels);
         let tag = self
             .engine
             .tables_mut()
@@ -377,10 +482,15 @@ impl KernelEvents for Faros {
             .expect("netflow tag table overflow");
         let ptag = self.pid_tag(pid);
         self.label_ranges_fresh(dst, tag, ptag);
+        self.emit(|now, _pid, _tid| {
+            TraceEvent::instant(now, pid.0, 0, TraceCategory::Taint, "netflow_label")
+                .arg("flow", flow.to_string())
+                .arg("bytes", dst.iter().map(|r| r.len as u64).sum::<u64>().to_string())
+        });
     }
 
     fn file_read(&mut self, pid: Pid, path: &str, version: u32, dst: &[ByteRange]) {
-        self.stats.file_labels += 1;
+        self.engine.metrics_mut().inc(self.ctr.file_labels);
         let tag = self
             .engine
             .tables_mut()
@@ -388,10 +498,20 @@ impl KernelEvents for Faros {
             .expect("file tag table overflow");
         let ptag = self.pid_tag(pid);
         self.label_ranges_fresh(dst, tag, ptag);
+        self.emit(|now, _pid, _tid| {
+            TraceEvent::instant(now, pid.0, 0, TraceCategory::Taint, "file_label")
+                .arg("path", path)
+                .arg("direction", "read")
+        });
     }
 
     fn file_write(&mut self, _pid: Pid, path: &str, version: u32, src: &[ByteRange]) {
-        self.stats.file_labels += 1;
+        self.engine.metrics_mut().inc(self.ctr.file_labels);
+        self.emit(|now, pid, tid| {
+            TraceEvent::instant(now, pid, tid, TraceCategory::Taint, "file_label")
+                .arg("path", path)
+                .arg("direction", "write")
+        });
         // "When a buffer is written into a file, FAROS taints the buffer
         // with a file tag" (§V-A).
         let tag = self
@@ -410,7 +530,7 @@ impl KernelEvents for Faros {
         // (NetFlow -> injector -> victim chronology of Table II).
         let dst_tag = self.pid_tag(dst_pid);
         for run in runs {
-            self.stats.copied_bytes += run.len as u64;
+            self.engine.metrics_mut().add(self.ctr.copied_bytes, run.len as u64);
             for i in 0..run.len {
                 let dst = ShadowAddr::Mem(run.dst_phys + i);
                 let src = ShadowAddr::Mem(run.src_phys + i);
@@ -445,6 +565,10 @@ impl KernelEvents for Faros {
         let bank = self.reg_banks.get(&to).copied().unwrap_or([[ListId::EMPTY; 4]; SHADOW_REGS]);
         self.engine.shadow_mut().restore_regs(bank);
         self.current_thread = Some(to);
+    }
+
+    fn tick(&mut self, now: u64) {
+        self.now = self.now.max(now);
     }
 }
 

@@ -5,6 +5,7 @@
 //! ("where did this code come from?") so the analyst does not have to
 //! reconstruct it by hand (§V-B).
 
+use faros_obs::metrics::MetricsSnapshot;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 
@@ -87,6 +88,9 @@ pub struct FarosReport {
     /// Static-vs-dynamic coverage cross-check results, one per process
     /// (empty when the replay ran without the coverage plugin).
     pub coverage: Vec<CoverageSummary>,
+    /// Deterministic run metrics (empty when the replay ran without
+    /// metrics collection).
+    pub metrics: MetricsSnapshot,
 }
 
 impl FarosReport {
@@ -126,6 +130,12 @@ impl FarosReport {
     /// statically unaccounted code.
     pub fn coverage_suspicious(&self) -> bool {
         self.coverage.iter().any(|c| !c.unaccounted.is_empty())
+    }
+
+    /// Attaches a metrics snapshot (typically the merge of the FAROS
+    /// engine's, the trace recorder's, and the plugin manager's snapshots).
+    pub fn attach_metrics(&mut self, metrics: MetricsSnapshot) {
+        self.metrics = metrics;
     }
 
     /// Renders the report as the paper's Table II: one row per flagged
@@ -300,9 +310,13 @@ impl ToJson for FarosReport {
             ("whitelisted", self.whitelisted.to_json_value()),
         ];
         // Omitted when empty so reports produced before the coverage
-        // cross-check existed serialize byte-identically (golden fixtures).
+        // cross-check (resp. the metrics snapshot) existed serialize
+        // byte-identically (golden fixtures).
         if !self.coverage.is_empty() {
             fields.push(("coverage", self.coverage.to_json_value()));
+        }
+        if !self.metrics.is_empty() {
+            fields.push(("metrics", self.metrics.to_json_value()));
         }
         JsonValue::object(fields)
     }
@@ -313,8 +327,9 @@ impl FromJson for FarosReport {
         Ok(FarosReport {
             detections: json::field(v, "detections")?,
             whitelisted: json::field(v, "whitelisted")?,
-            // Absent in pre-coverage reports.
+            // Absent in pre-coverage / pre-metrics reports.
             coverage: json::field_or_default(v, "coverage")?,
+            metrics: json::field_or_default(v, "metrics")?,
         })
     }
 }
@@ -403,6 +418,27 @@ mod tests {
         assert!(!old.coverage_suspicious());
         // The table gains a coverage section.
         assert!(r.to_table().contains("Unaccounted"));
+    }
+
+    #[test]
+    fn metrics_round_trip_and_is_omitted_when_empty() {
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(1, "notepad.exe"));
+        let bare = r.to_json().unwrap();
+        assert!(!bare.contains("metrics"), "empty metrics must not serialize");
+
+        let mut reg = faros_obs::metrics::MetricsRegistry::new();
+        let insns = reg.counter("cpu.instructions");
+        reg.add(insns, 12_345);
+        r.attach_metrics(reg.snapshot());
+        let json = r.to_json().unwrap();
+        assert!(json.contains("cpu.instructions"));
+        let restored = FarosReport::from_json(&json).unwrap();
+        assert_eq!(restored, r);
+        assert_eq!(restored.metrics.counter("cpu.instructions"), Some(12_345));
+        // Pre-metrics reports (no field) still parse.
+        let old = FarosReport::from_json(&bare).unwrap();
+        assert!(old.metrics.is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn ctx_at(vaddr: u32, code_phys_start: u32, len: u8, asid: u32, instr: Instr) ->
     for (i, slot) in code_phys.iter_mut().enumerate() {
         *slot = code_phys_start + i as u32;
     }
-    InsnCtx { vaddr, code_phys, len, instr, asid: Asid(asid) }
+    InsnCtx { vaddr, code_phys, len, instr, asid: Asid(asid), retired: 0 }
 }
 
 fn load_instr() -> Instr {

@@ -87,6 +87,9 @@ pub struct InsnCtx {
     pub instr: Instr,
     /// Address space (CR3) the instruction executed under.
     pub asid: Asid,
+    /// Instructions retired before this one — the CPU's deterministic
+    /// virtual clock, usable as a trace timestamp.
+    pub retired: u64,
 }
 
 impl InsnCtx {
@@ -464,6 +467,7 @@ impl Cpu {
             len: len as u8,
             instr,
             asid: self.asid,
+            retired: self.retired,
         };
         hooks.on_insn(&ctx);
 

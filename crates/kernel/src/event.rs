@@ -103,6 +103,11 @@ pub trait KernelEvents {
 
     /// The guest printed to the console (`NtDisplayString`).
     fn console_output(&mut self, pid: Pid, text: &str) {}
+
+    /// The machine's virtual clock advanced to `now` outside instruction
+    /// retirement (idle boosts, scheduling points). Observers that timestamp
+    /// events keep their clock current from this plus `InsnCtx::retired`.
+    fn tick(&mut self, now: u64) {}
 }
 
 // Forwarding impl so `&mut dyn Observer` can be handed to the generic
@@ -152,6 +157,9 @@ impl<T: KernelEvents + ?Sized> KernelEvents for &mut T {
     }
     fn console_output(&mut self, pid: Pid, text: &str) {
         (**self).console_output(pid, text);
+    }
+    fn tick(&mut self, now: u64) {
+        (**self).tick(now);
     }
 }
 

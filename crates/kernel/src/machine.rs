@@ -857,6 +857,7 @@ impl Machine {
                 }
                 idle_rounds += 1;
                 self.idle_boost += 64;
+                obs.tick(self.ticks());
                 if idle_rounds > 100_000 {
                     return RunExit::Deadlocked;
                 }
@@ -864,6 +865,7 @@ impl Machine {
             };
             idle_rounds = 0;
 
+            obs.tick(self.ticks());
             obs.context_switch(self.current, (pid, tid));
             self.current = Some((pid, tid));
 

@@ -216,6 +216,66 @@ impl Sysno {
         (self as u32) >= Sysno::NtSocketCreate as u32
             && (self as u32) <= Sysno::NtSocketRecv as u32
     }
+
+    /// The service name as a `'static` string (for trace-event and metric
+    /// names, where an owned `Display` rendering would allocate per event).
+    pub fn name(self) -> &'static str {
+        match self {
+            Sysno::NtCreateFile => "NtCreateFile",
+            Sysno::NtOpenFile => "NtOpenFile",
+            Sysno::NtReadFile => "NtReadFile",
+            Sysno::NtWriteFile => "NtWriteFile",
+            Sysno::NtClose => "NtClose",
+            Sysno::NtDeleteFile => "NtDeleteFile",
+            Sysno::NtQueryInformationFile => "NtQueryInformationFile",
+            Sysno::NtSetInformationFile => "NtSetInformationFile",
+            Sysno::NtFlushBuffersFile => "NtFlushBuffersFile",
+            Sysno::NtQueryDirectoryFile => "NtQueryDirectoryFile",
+            Sysno::NtCreateSection => "NtCreateSection",
+            Sysno::NtOpenSection => "NtOpenSection",
+            Sysno::NtMapViewOfSection => "NtMapViewOfSection",
+            Sysno::NtUnmapViewOfSection => "NtUnmapViewOfSection",
+            Sysno::NtQueryAttributesFile => "NtQueryAttributesFile",
+            Sysno::NtQueryFullAttributesFile => "NtQueryFullAttributesFile",
+            Sysno::NtLockFile => "NtLockFile",
+            Sysno::NtUnlockFile => "NtUnlockFile",
+            Sysno::NtReadFileScatter => "NtReadFileScatter",
+            Sysno::NtWriteFileGather => "NtWriteFileGather",
+            Sysno::NtDeviceIoControlFile => "NtDeviceIoControlFile",
+            Sysno::NtFsControlFile => "NtFsControlFile",
+            Sysno::NtQueryVolumeInformationFile => "NtQueryVolumeInformationFile",
+            Sysno::NtSetVolumeInformationFile => "NtSetVolumeInformationFile",
+            Sysno::NtQueryEaFile => "NtQueryEaFile",
+            Sysno::NtSetEaFile => "NtSetEaFile",
+            Sysno::NtCreateUserProcess => "NtCreateUserProcess",
+            Sysno::NtOpenProcess => "NtOpenProcess",
+            Sysno::NtTerminateProcess => "NtTerminateProcess",
+            Sysno::NtSuspendThread => "NtSuspendThread",
+            Sysno::NtResumeThread => "NtResumeThread",
+            Sysno::NtCreateThreadEx => "NtCreateThreadEx",
+            Sysno::NtGetContextThread => "NtGetContextThread",
+            Sysno::NtSetContextThread => "NtSetContextThread",
+            Sysno::NtAllocateVirtualMemory => "NtAllocateVirtualMemory",
+            Sysno::NtProtectVirtualMemory => "NtProtectVirtualMemory",
+            Sysno::NtFreeVirtualMemory => "NtFreeVirtualMemory",
+            Sysno::NtWriteVirtualMemory => "NtWriteVirtualMemory",
+            Sysno::NtReadVirtualMemory => "NtReadVirtualMemory",
+            Sysno::NtQueryVirtualMemory => "NtQueryVirtualMemory",
+            Sysno::NtQueryInformationProcess => "NtQueryInformationProcess",
+            Sysno::NtSocketCreate => "NtSocketCreate",
+            Sysno::NtSocketConnect => "NtSocketConnect",
+            Sysno::NtSocketBind => "NtSocketBind",
+            Sysno::NtSocketListen => "NtSocketListen",
+            Sysno::NtSocketAccept => "NtSocketAccept",
+            Sysno::NtSocketSend => "NtSocketSend",
+            Sysno::NtSocketRecv => "NtSocketRecv",
+            Sysno::NtDelayExecution => "NtDelayExecution",
+            Sysno::NtQuerySystemTime => "NtQuerySystemTime",
+            Sysno::NtDisplayString => "NtDisplayString",
+            Sysno::NtYieldExecution => "NtYieldExecution",
+            Sysno::LdrLoadDll => "LdrLoadDll",
+        }
+    }
 }
 
 impl fmt::Display for Sysno {
@@ -246,6 +306,13 @@ mod tests {
             assert_eq!(Sysno::from_u32(s as u32), Some(s));
         }
         assert_eq!(Sysno::from_u32(0xdead), None);
+    }
+
+    #[test]
+    fn name_matches_debug_rendering() {
+        for s in Sysno::ALL {
+            assert_eq!(s.name(), format!("{s:?}"), "name() must track the variant");
+        }
     }
 
     #[test]

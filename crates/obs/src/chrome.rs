@@ -1,0 +1,99 @@
+//! Chrome `trace_event` export.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): each event
+//! carries `name`/`cat`/`ph`/`ts`/`pid`/`tid`, instants add a thread scope,
+//! and key/value detail rides in `args`. Timestamps are the machine's
+//! virtual clock (the format nominally expects microseconds; a virtual
+//! unit only changes the axis label, not the rendering), so the export is
+//! byte-identical across replays of the same recording.
+
+use crate::trace::{TraceEvent, TracePhase};
+use faros_support::json::{JsonValue, ToJson};
+
+/// Renders one event as a Chrome `trace_event` dictionary.
+pub fn chrome_event(ev: &TraceEvent) -> JsonValue {
+    let mut fields = vec![
+        ("name", ev.name.to_json_value()),
+        ("cat", JsonValue::Str(ev.cat.as_str().to_string())),
+        ("ph", JsonValue::Str(ev.phase.chrome_ph().to_string())),
+        ("ts", ev.ts.to_json_value()),
+        ("pid", ev.pid.to_json_value()),
+        ("tid", ev.tid.to_json_value()),
+    ];
+    if ev.phase == TracePhase::Instant {
+        // Thread-scoped instants render as small arrows on the tid track.
+        fields.push(("s", JsonValue::Str("t".to_string())));
+    }
+    if !ev.args.is_empty() {
+        fields.push((
+            "args",
+            JsonValue::object(
+                ev.args
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json_value()))
+                    .collect(),
+            ),
+        ));
+    }
+    JsonValue::object(fields)
+}
+
+/// Renders an event sequence as the Chrome trace object.
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> JsonValue {
+    JsonValue::object(vec![
+        (
+            "traceEvents",
+            JsonValue::Array(events.into_iter().map(chrome_event).collect()),
+        ),
+        // Virtual-clock ticks, not real microseconds; see module docs.
+        ("displayTimeUnit", JsonValue::Str("ns".to_string())),
+    ])
+}
+
+/// Renders an event sequence as pretty-printed Chrome trace JSON.
+pub fn chrome_trace_pretty<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    chrome_trace(events).to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCategory;
+
+    #[test]
+    fn span_and_instant_shapes() {
+        let b = TraceEvent::begin(10, 4, 5, TraceCategory::Syscall, "NtReadFile");
+        let jb = chrome_event(&b);
+        assert_eq!(jb.get("ph").and_then(|v| v.as_str()), Some("B"));
+        assert_eq!(jb.get("cat").and_then(|v| v.as_str()), Some("syscall"));
+        assert!(jb.get("s").is_none(), "spans carry no instant scope");
+        assert!(jb.get("args").is_none(), "empty args are omitted");
+
+        let i = TraceEvent::instant(11, 4, 5, TraceCategory::Taint, "alert").arg("kind", "x");
+        let ji = chrome_event(&i);
+        assert_eq!(ji.get("ph").and_then(|v| v.as_str()), Some("i"));
+        assert_eq!(ji.get("s").and_then(|v| v.as_str()), Some("t"));
+        assert_eq!(
+            ji.get("args").and_then(|a| a.get("kind")).and_then(|v| v.as_str()),
+            Some("x")
+        );
+    }
+
+    #[test]
+    fn trace_parses_and_reprints_identically() {
+        let events = vec![
+            TraceEvent::process_name(4, "notepad.exe"),
+            TraceEvent::begin(1, 4, 5, TraceCategory::Syscall, "NtOpenFile"),
+            TraceEvent::end(9, 4, 5, TraceCategory::Syscall, "NtOpenFile"),
+        ];
+        let text = chrome_trace_pretty(&events);
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed.to_pretty(), text, "export round-trips byte-identically");
+        let JsonValue::Array(items) = parsed.get("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("ph").and_then(|v| v.as_str()), Some("M"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # faros-obs — whole-system observability
+//!
+//! The FAROS workflow (§V-C) is "record, replay with plugins, inspect what
+//! the plugins produced". This crate is the *inspect* half for run-time
+//! behaviour: a zero-dependency observability layer every other crate emits
+//! into.
+//!
+//! * [`trace`] — structured spans and instants ([`trace::TraceEvent`]) in a
+//!   bounded [`trace::FlightRecorder`] ring buffer, timestamped on the
+//!   machine's **virtual clock** (instructions retired plus idle boosts), so
+//!   two replays of the same recording produce byte-identical traces;
+//! * [`metrics`] — a [`metrics::MetricsRegistry`] of named counters and
+//!   log2-bucketed histograms, snapshotted into a byte-stable JSON form via
+//!   `faros_support::json`;
+//! * [`profile`] — wall-clock [`profile::PhaseProfile`] timing for replay
+//!   phases and per-plugin dispatch cost (human-facing only — wall-clock is
+//!   nondeterministic and never enters a golden export);
+//! * [`chrome`] — the Chrome `trace_event` exporter; the emitted JSON loads
+//!   in `chrome://tracing` and Perfetto.
+//!
+//! ## Clock semantics
+//!
+//! Every [`trace::TraceEvent::ts`] is a machine tick: the count of retired
+//! instructions plus the scheduler's idle boosts, exactly
+//! `faros_kernel::machine::Machine::ticks()`. CPU-side hooks stamp events
+//! with `InsnCtx::retired`; kernel-side events use the most recent
+//! `KernelEvents::tick` callback. Wall-clock never appears in a trace.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use chrome::{chrome_trace, chrome_trace_pretty};
+pub use metrics::{CounterId, HistogramId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::PhaseProfile;
+pub use trace::{FlightRecorder, RecorderHandle, TraceCategory, TraceEvent, TracePhase};

@@ -1,0 +1,143 @@
+//! Wall-clock phase profiling — where does a replay's real time go?
+//!
+//! A [`PhaseProfile`] is an ordered list of named nanosecond totals
+//! (`record`, `replay`, per-plugin dispatch, `report`, ...). Unlike the
+//! trace and metrics snapshots it measures **wall-clock**, so it is
+//! human-facing diagnostics only: profiles never enter golden fixtures or
+//! deterministic exports.
+
+use faros_support::json::{JsonValue, ToJson};
+use std::time::Instant;
+
+/// Named wall-clock totals, in first-recorded order.
+///
+/// # Examples
+///
+/// ```
+/// use faros_obs::profile::PhaseProfile;
+///
+/// let mut p = PhaseProfile::new();
+/// let answer = p.time("compute", || 21 * 2);
+/// assert_eq!(answer, 42);
+/// assert!(p.ns("compute").unwrap() > 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    entries: Vec<(String, u64)>,
+}
+
+impl PhaseProfile {
+    /// Creates an empty profile.
+    pub fn new() -> PhaseProfile {
+        PhaseProfile::default()
+    }
+
+    /// Accumulates `ns` nanoseconds into the named phase.
+    pub fn add_ns(&mut self, name: &str, ns: u64) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => *total += ns,
+            None => self.entries.push((name.to_string(), ns)),
+        }
+    }
+
+    /// Runs `f`, charging its wall-clock to the named phase.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add_ns(name, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Total nanoseconds recorded for a phase.
+    pub fn ns(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns)
+    }
+
+    /// All `(phase, nanoseconds)` entries, in first-recorded order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.entries.iter().map(|&(_, ns)| ns).sum()
+    }
+
+    /// Folds another profile in (same-name phases accumulate).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (name, ns) in &other.entries {
+            self.add_ns(name, *ns);
+        }
+    }
+
+    /// Renders a fixed-width table in milliseconds, for example output.
+    pub fn to_table(&self) -> String {
+        let total = self.total_ns().max(1);
+        let mut s = String::from("phase                |       ms |  share\n");
+        s.push_str("---------------------+----------+-------\n");
+        for (name, ns) in &self.entries {
+            s.push_str(&format!(
+                "{name:<20} | {:>8.3} | {:>5.1}%\n",
+                *ns as f64 / 1e6,
+                *ns as f64 * 100.0 / total as f64,
+            ));
+        }
+        s
+    }
+}
+
+impl ToJson for PhaseProfile {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(
+            self.entries
+                .iter()
+                .map(|(n, ns)| (format!("{n}_ns"), ns.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_keep_order() {
+        let mut p = PhaseProfile::new();
+        p.add_ns("replay", 100);
+        p.add_ns("record", 50);
+        p.add_ns("replay", 100);
+        assert_eq!(p.ns("replay"), Some(200));
+        assert_eq!(p.entries()[0].0, "replay", "first-recorded order kept");
+        assert_eq!(p.total_ns(), 250);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseProfile::new();
+        a.add_ns("record", 10);
+        let mut b = PhaseProfile::new();
+        b.add_ns("record", 5);
+        b.add_ns("report", 1);
+        a.merge(&b);
+        assert_eq!(a.ns("record"), Some(15));
+        assert_eq!(a.ns("report"), Some(1));
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let mut p = PhaseProfile::new();
+        p.add_ns("record", 2_000_000);
+        p.add_ns("replay", 6_000_000);
+        let table = p.to_table();
+        assert!(table.contains("record"));
+        assert!(table.contains("75.0%"));
+        let json = p.to_json_value().to_compact();
+        assert!(json.contains("\"record_ns\":2000000"));
+    }
+}

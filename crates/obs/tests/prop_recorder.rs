@@ -1,0 +1,111 @@
+//! Property tests for the flight recorder: the ring must bound memory, keep
+//! the newest events in arrival order, and export deterministically.
+//!
+//! Runs on the in-tree deterministic harness (`faros_support::prop`) with
+//! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
+
+use faros_obs::trace::{FlightRecorder, TraceCategory, TraceEvent, TracePhase};
+use faros_support::prop::{check, Config, Rng};
+use faros_support::{prop_assert, prop_assert_eq};
+
+/// Synthetic event descriptor: `(ts, pid, tid, kind)`; integers shrink,
+/// keeping counterexamples small.
+type Desc = (u64, u32, u32, u8);
+
+fn descs(rng: &mut Rng, max: usize) -> Vec<Desc> {
+    rng.vec_of(0, max, |r| {
+        (r.below(1 << 20), r.next_u32() % 8, r.next_u32() % 4, r.next_u8() % 3)
+    })
+}
+
+fn build(d: &Desc, seq: usize) -> TraceEvent {
+    let (ts, pid, tid, kind) = *d;
+    let name = format!("ev-{seq}");
+    match kind {
+        0 => TraceEvent::begin(ts, pid, tid, TraceCategory::Syscall, name),
+        1 => TraceEvent::end(ts, pid, tid, TraceCategory::Syscall, name),
+        _ => TraceEvent::instant(ts, pid, tid, TraceCategory::Sched, name)
+            .arg("seq", seq.to_string()),
+    }
+}
+
+#[test]
+fn ring_never_exceeds_capacity_and_counts_evictions() {
+    check(
+        "ring_never_exceeds_capacity_and_counts_evictions",
+        Config::default(),
+        |rng| (rng.range_usize(1, 32), descs(rng, 96)),
+        |(cap, events)| {
+            let mut rec = FlightRecorder::new(*cap);
+            for (i, d) in events.iter().enumerate() {
+                rec.record(build(d, i));
+                prop_assert!(rec.len() <= *cap, "len {} > cap {}", rec.len(), cap);
+            }
+            let expected_drops = events.len().saturating_sub(*cap) as u64;
+            prop_assert_eq!(rec.dropped(), expected_drops);
+            prop_assert_eq!(rec.len(), events.len().min(*cap));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ring_keeps_newest_events_in_arrival_order() {
+    check(
+        "ring_keeps_newest_events_in_arrival_order",
+        Config::default(),
+        |rng| (rng.range_usize(1, 24), descs(rng, 64)),
+        |(cap, events)| {
+            let mut rec = FlightRecorder::new(*cap);
+            for (i, d) in events.iter().enumerate() {
+                rec.record(build(d, i));
+            }
+            // Survivors are exactly the last min(cap, n) events, in order.
+            let start = events.len().saturating_sub(*cap);
+            let kept: Vec<String> = rec.events().map(|e| e.name.clone()).collect();
+            let expected: Vec<String> =
+                (start..events.len()).map(|i| format!("ev-{i}")).collect();
+            prop_assert_eq!(kept, expected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn export_is_deterministic_and_parses() {
+    check(
+        "export_is_deterministic_and_parses",
+        Config::with_cases(64),
+        |rng| descs(rng, 48),
+        |events| {
+            // Feeding the same events into two fresh rings yields
+            // byte-identical Chrome exports that re-parse.
+            let mut a = FlightRecorder::new(64);
+            let mut b = FlightRecorder::new(64);
+            for (i, d) in events.iter().enumerate() {
+                a.record(build(d, i));
+                b.record(build(d, i));
+            }
+            let ja = a.to_chrome_json();
+            let jb = b.to_chrome_json();
+            prop_assert_eq!(&ja, &jb);
+            let v = faros_support::json::JsonValue::parse(&ja)
+                .map_err(|e| format!("export does not re-parse: {e}"))?;
+            let n = v
+                .get("traceEvents")
+                .and_then(faros_support::json::JsonValue::as_array)
+                .map_or(0, <[_]>::len);
+            prop_assert_eq!(n, a.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn phases_render_the_chrome_codes() {
+    // Not property-based; pins the wire format the exporter relies on.
+    assert_eq!(TracePhase::Begin.chrome_ph(), "B");
+    assert_eq!(TracePhase::End.chrome_ph(), "E");
+    assert_eq!(TracePhase::Instant.chrome_ph(), "i");
+    assert_eq!(TracePhase::Meta.chrome_ph(), "M");
+}

@@ -118,6 +118,7 @@ mod tests {
             len: 1,
             instr,
             asid: faros_emu::mmu::Asid(0),
+            retired: 0,
         }
     }
 

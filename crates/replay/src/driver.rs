@@ -18,6 +18,7 @@ use crate::scenario::Scenario;
 use faros_kernel::event::{NullObserver, Observer};
 use faros_kernel::machine::{Machine, RunExit};
 use faros_kernel::net::{NetLog, NetworkFabric};
+use faros_obs::profile::PhaseProfile;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -111,6 +112,10 @@ pub struct RunOutcome {
     pub instructions: u64,
     /// Wall-clock duration of the run — the measurement behind Table V.
     pub wall: Duration,
+    /// Wall-clock per driver phase (`setup`, `record`/`replay`); callers
+    /// merge their own phases (e.g. `report`) in. Human-facing diagnostics
+    /// only — never part of deterministic exports.
+    pub phases: PhaseProfile,
 }
 
 impl fmt::Debug for RunOutcome {
@@ -119,6 +124,7 @@ impl fmt::Debug for RunOutcome {
             .field("exit", &self.exit)
             .field("instructions", &self.instructions)
             .field("wall", &self.wall)
+            .field("phases", &self.phases)
             .finish()
     }
 }
@@ -155,13 +161,14 @@ pub fn record<S: Scenario + ?Sized>(
     scenario: &S,
     budget: u64,
 ) -> Result<(Recording, RunOutcome), ReplayError> {
+    let mut phases = PhaseProfile::new();
     let fabric = NetworkFabric::new_live(scenario.guest_ip());
     let mut obs = NullObserver;
-    let mut machine = scenario
-        .build(fabric, &mut obs)
+    let mut machine = phases
+        .time("setup", || scenario.build(fabric, &mut obs))
         .map_err(|e| ReplayError::Setup(e.to_string()))?;
     let start = Instant::now();
-    let exit = machine.run(budget, &mut obs);
+    let exit = phases.time("record", || machine.run(budget, &mut obs));
     let wall = start.elapsed();
     let instructions = machine.ticks();
     let recording = Recording {
@@ -170,7 +177,7 @@ pub fn record<S: Scenario + ?Sized>(
         instructions,
         clean_exit: exit == RunExit::AllExited,
     };
-    Ok((recording, RunOutcome { machine, exit, instructions, wall }))
+    Ok((recording, RunOutcome { machine, exit, instructions, wall, phases }))
 }
 
 /// Replays a recording with the given observer (plugin stack) attached.
@@ -186,19 +193,20 @@ pub fn replay<S: Scenario + ?Sized, O: Observer>(
     budget: u64,
     obs: &mut O,
 ) -> Result<RunOutcome, ReplayError> {
+    let mut phases = PhaseProfile::new();
     let fabric = NetworkFabric::new_replay(scenario.guest_ip(), recording.net_log.clone());
     let mut obs = obs;
-    let mut machine = scenario
-        .build(fabric, &mut obs)
+    let mut machine = phases
+        .time("setup", || scenario.build(fabric, &mut obs))
         .map_err(|e| ReplayError::Setup(e.to_string()))?;
     let start = Instant::now();
-    let exit = machine.run(budget, &mut obs);
+    let exit = phases.time("replay", || machine.run(budget, &mut obs));
     let wall = start.elapsed();
     if let Some(d) = machine.net.divergence() {
         return Err(ReplayError::Diverged(d.detail.clone()));
     }
     let instructions = machine.ticks();
-    Ok(RunOutcome { machine, exit, instructions, wall })
+    Ok(RunOutcome { machine, exit, instructions, wall, phases })
 }
 
 /// Records a scenario, then replays it under the observer — the
@@ -213,7 +221,8 @@ pub fn record_and_replay<S: Scenario + ?Sized, O: Observer>(
     budget: u64,
     obs: &mut O,
 ) -> Result<(Recording, RunOutcome), ReplayError> {
-    let (recording, _live) = record(scenario, budget)?;
-    let outcome = replay(scenario, &recording, budget, obs)?;
+    let (recording, live) = record(scenario, budget)?;
+    let mut outcome = replay(scenario, &recording, budget, obs)?;
+    outcome.phases.merge(&live.phases);
     Ok((recording, outcome))
 }

@@ -8,7 +8,9 @@
 //! * [`scenario`] — deterministic machine setups;
 //! * [`driver`] — [`driver::record`] captures nondeterminism into a
 //!   serializable [`driver::Recording`]; [`driver::replay`] re-executes it
-//!   bit-identically under an arbitrary plugin stack.
+//!   bit-identically under an arbitrary plugin stack;
+//! * [`recorder`] — the [`recorder::TraceRecorder`] plugin, emitting the
+//!   structured flight-recorder trace and metrics of `faros-obs`.
 //!
 //! Table V's measurement is `replay` wall-clock with an empty plugin stack
 //! vs. with FAROS registered.
@@ -19,11 +21,13 @@
 pub mod coverage;
 pub mod driver;
 pub mod plugin;
+pub mod recorder;
 pub mod scenario;
 pub mod trace;
 
 pub use coverage::{BlockCoverage, ProcessBlocks};
 pub use driver::{record, record_and_replay, replay, Recording, ReplayError, RunOutcome, DEFAULT_BUDGET};
-pub use plugin::{Plugin, PluginManager};
+pub use plugin::{Plugin, PluginCost, PluginManager};
+pub use recorder::TraceRecorder;
 pub use trace::{TraceEvent, TracePlugin};
 pub use scenario::{Scenario, DEFAULT_GUEST_IP};

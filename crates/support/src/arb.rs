@@ -5,17 +5,10 @@
 
 use crate::prop::{Rng, Shrink};
 use faros_emu::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width};
-use faros_taint::tag::{ProvTag, TagKind};
 
-/// A provenance tag drawn uniformly from all four kinds with a small index
-/// domain (small enough that generated histories repeat tags, which is
-/// what exercises interning).
-pub fn prov_tag(rng: &mut Rng) -> ProvTag {
-    ProvTag::new(*rng.pick(&TagKind::ALL), rng.range_u32(0, 16) as u16)
-}
-
-// A tag is atomic; shrinking happens at the tag-list level (Vec<ProvTag>).
-impl Shrink for ProvTag {}
+// Taint-domain generators (`prov_tag` & co.) live in `faros_taint::arb`:
+// `faros-support` must stay below `faros-taint` in the dependency order so
+// the taint engine can use the support crate's JSON and metrics plumbing.
 
 // Enum-like ISA atoms: no meaningful "smaller" value; shrinking happens at
 // the containing tuple/vector level.

@@ -1,0 +1,33 @@
+//! `Arbitrary`-style generators for the taint domain, used by the
+//! workspace's property suites (the ISA-level generators live in
+//! `faros_support::arb`; the taint-specific ones live here so
+//! `faros-support` stays below `faros-taint` in the dependency order).
+
+use crate::tag::{ProvTag, TagKind};
+use faros_support::prop::{Rng, Shrink};
+
+/// A provenance tag drawn uniformly from all four kinds with a small index
+/// domain (small enough that generated histories repeat tags, which is
+/// what exercises interning).
+pub fn prov_tag(rng: &mut Rng) -> ProvTag {
+    ProvTag::new(*rng.pick(&TagKind::ALL), rng.range_u32(0, 16) as u16)
+}
+
+// A tag is atomic; shrinking happens at the tag-list level (Vec<ProvTag>).
+impl Shrink for ProvTag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prov_tag_covers_every_kind() {
+        let mut rng = Rng::new(42);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let t = prov_tag(&mut rng);
+            seen[t.kind() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all four tag kinds reachable");
+    }
+}

@@ -22,6 +22,8 @@ use crate::provlist::{ListId, ProvInterner};
 use crate::shadow::{ShadowAddr, ShadowState};
 use crate::tables::TagTables;
 use crate::tag::{ProvTag, TagKind};
+use faros_obs::metrics::{CounterId, MetricsRegistry, MetricsSnapshot};
+use faros_support::json::{JsonValue, ToJson};
 
 /// Which indirect flows the engine propagates. The FAROS configuration is
 /// `PropagationMode::default()` (neither).
@@ -52,6 +54,9 @@ impl PropagationMode {
 }
 
 /// Counters describing the propagation work performed.
+///
+/// Derived on demand from the engine's [`MetricsRegistry`] (the `taint.*`
+/// counters) — the struct is a stable read-out view, not the storage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaintStats {
     /// Byte copies processed.
@@ -64,6 +69,46 @@ pub struct TaintStats {
     pub labels: u64,
     /// Address-dependency events observed (propagated or not).
     pub addr_deps: u64,
+}
+
+impl ToJson for TaintStats {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("copies", self.copies.to_json_value()),
+            ("unions", self.unions.to_json_value()),
+            ("deletes", self.deletes.to_json_value()),
+            ("labels", self.labels.to_json_value()),
+            ("addr_deps", self.addr_deps.to_json_value()),
+        ])
+    }
+}
+
+/// Registered ids of the engine's counters (see [`TaintEngine::metrics`]).
+#[derive(Debug, Clone, Copy)]
+struct TaintCounters {
+    copies: CounterId,
+    unions: CounterId,
+    deletes: CounterId,
+    labels: CounterId,
+    addr_deps: CounterId,
+    /// Gauge: interned provenance lists, refreshed at snapshot time.
+    interner_lists: CounterId,
+    /// Gauge: tainted shadow-memory bytes, refreshed at snapshot time.
+    shadow_tainted_bytes: CounterId,
+}
+
+impl TaintCounters {
+    fn register(m: &mut MetricsRegistry) -> TaintCounters {
+        TaintCounters {
+            copies: m.counter("taint.copies"),
+            unions: m.counter("taint.unions"),
+            deletes: m.counter("taint.deletes"),
+            labels: m.counter("taint.labels"),
+            addr_deps: m.counter("taint.addr_deps"),
+            interner_lists: m.counter("taint.interner_lists"),
+            shadow_tainted_bytes: m.counter("taint.shadow_tainted_bytes"),
+        }
+    }
 }
 
 /// One contiguous run of guest physical bytes sharing the same provenance
@@ -107,12 +152,15 @@ pub struct TaintEngine {
     mode: PropagationMode,
     flags_prov: ListId,
     control_ctx: ListId,
-    stats: TaintStats,
+    metrics: MetricsRegistry,
+    ctr: TaintCounters,
 }
 
 impl TaintEngine {
     /// Creates an engine with the given propagation mode.
     pub fn new(mode: PropagationMode) -> TaintEngine {
+        let mut metrics = MetricsRegistry::new();
+        let ctr = TaintCounters::register(&mut metrics);
         TaintEngine {
             tables: TagTables::new(),
             interner: ProvInterner::new(),
@@ -120,7 +168,8 @@ impl TaintEngine {
             mode,
             flags_prov: ListId::EMPTY,
             control_ctx: ListId::EMPTY,
-            stats: TaintStats::default(),
+            metrics,
+            ctr,
         }
     }
 
@@ -155,9 +204,37 @@ impl TaintEngine {
         &mut self.shadow
     }
 
-    /// Propagation statistics so far.
+    /// Propagation statistics so far (a read-out of the `taint.*` counters).
     pub fn stats(&self) -> TaintStats {
-        self.stats
+        TaintStats {
+            copies: self.metrics.get(self.ctr.copies),
+            unions: self.metrics.get(self.ctr.unions),
+            deletes: self.metrics.get(self.ctr.deletes),
+            labels: self.metrics.get(self.ctr.labels),
+            addr_deps: self.metrics.get(self.ctr.addr_deps),
+        }
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the registry, so co-resident components (e.g. the
+    /// FAROS policy layer) can register their own counters alongside the
+    /// engine's and share one snapshot.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Snapshots the registry, first refreshing the gauges
+    /// (`taint.interner_lists`, `taint.shadow_tainted_bytes`) that track
+    /// current sizes rather than monotone event counts.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        self.metrics.set(self.ctr.interner_lists, self.interner.len() as u64);
+        self.metrics
+            .set(self.ctr.shadow_tainted_bytes, self.shadow.tainted_mem_bytes() as u64);
+        self.metrics.snapshot()
     }
 
     // --- taint sources ---
@@ -165,7 +242,7 @@ impl TaintEngine {
     /// Labels one shadow byte with a fresh single-tag list, replacing any
     /// existing provenance (a taint *source*, e.g. a network DMA byte).
     pub fn label_fresh(&mut self, addr: ShadowAddr, tag: ProvTag) {
-        self.stats.labels += 1;
+        self.metrics.inc(self.ctr.labels);
         let id = self.interner.append(ListId::EMPTY, tag);
         self.shadow.set(addr, id);
     }
@@ -173,8 +250,8 @@ impl TaintEngine {
     /// Labels `len` consecutive physical bytes with a fresh single-tag list.
     pub fn label_range_fresh(&mut self, phys: u32, len: usize, tag: ProvTag) {
         let id = self.interner.append(ListId::EMPTY, tag);
+        self.metrics.add(self.ctr.labels, len as u64);
         for i in 0..len {
-            self.stats.labels += 1;
             self.shadow.set(ShadowAddr::Mem(phys.wrapping_add(i as u32)), id);
         }
     }
@@ -183,7 +260,7 @@ impl TaintEngine {
     /// FAROS rule "if a process accesses a byte in memory, add a process tag
     /// into the head of that byte's provenance list").
     pub fn append_tag(&mut self, addr: ShadowAddr, tag: ProvTag) {
-        self.stats.labels += 1;
+        self.metrics.inc(self.ctr.labels);
         let cur = self.shadow.get(addr);
         let new = self.interner.append(cur, tag);
         self.shadow.set(addr, new);
@@ -245,8 +322,8 @@ impl TaintEngine {
 
     /// `copy(a, b)`: `prov(a) <- prov(b)`, byte-wise for `len` bytes.
     pub fn copy(&mut self, dst: ShadowAddr, src: ShadowAddr, len: u8) {
+        self.metrics.add(self.ctr.copies, len as u64);
         for i in 0..len {
-            self.stats.copies += 1;
             let id = self.shadow.get(src.offset(i));
             let id = self.control_adjust(id);
             self.shadow.set(dst.offset(i), id);
@@ -262,7 +339,7 @@ impl TaintEngine {
         srcs: &[(ShadowAddr, u8)],
         keep_dst: bool,
     ) {
-        self.stats.unions += 1;
+        self.metrics.inc(self.ctr.unions);
         let mut acc = ListId::EMPTY;
         for &(src, len) in srcs {
             for i in 0..len {
@@ -290,8 +367,8 @@ impl TaintEngine {
     /// context is written instead of the empty list — this is precisely the
     /// bit-copy channel of the paper's Fig. 2.
     pub fn delete(&mut self, dst: ShadowAddr, len: u8) {
+        self.metrics.add(self.ctr.deletes, len as u64);
         for i in 0..len {
-            self.stats.deletes += 1;
             let id = self.control_adjust(ListId::EMPTY);
             self.shadow.set(dst.offset(i), id);
         }
@@ -301,7 +378,7 @@ impl TaintEngine {
     /// an address computed from `srcs`. Propagated only when
     /// [`PropagationMode::address_deps`] is set.
     pub fn addr_dep(&mut self, dst: ShadowAddr, dst_len: u8, srcs: &[(ShadowAddr, u8)]) {
-        self.stats.addr_deps += 1;
+        self.metrics.inc(self.ctr.addr_deps);
         if self.mode.address_deps {
             self.union_into(dst, dst_len, srcs, true);
         }
@@ -524,6 +601,27 @@ mod tests {
         assert_eq!((regions[2].phys, regions[2].len), (0x200, 1));
         assert_eq!(regions[0].list, regions[2].list, "same single-tag list interned once");
         assert_ne!(regions[0].list, regions[1].list);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_counters_and_gauges() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_range_fresh(0x100, 8, nf);
+        e.copy(ShadowAddr::Mem(0x200), ShadowAddr::Mem(0x100), 4);
+        e.union_into(ShadowAddr::Mem(0x300), 1, &[(ShadowAddr::Mem(0x100), 2)], false);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("taint.labels"), Some(8));
+        assert_eq!(snap.counter("taint.copies"), Some(4));
+        assert_eq!(snap.counter("taint.unions"), Some(1));
+        assert_eq!(
+            snap.counter("taint.shadow_tainted_bytes"),
+            Some(e.shadow().tainted_mem_bytes() as u64)
+        );
+        assert!(snap.counter("taint.interner_lists").unwrap() > 0);
+        // The stats read-out view agrees with the registry.
+        assert_eq!(e.stats().copies, 4);
+        let json = e.stats().to_json_value().to_compact();
+        assert!(json.contains("\"copies\":4"));
     }
 
     #[test]

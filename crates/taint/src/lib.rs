@@ -10,7 +10,9 @@
 //!   shadow register bank;
 //! * [`engine`] — the propagation rules of the paper's Table I
 //!   (`copy`/`union`/`delete`) plus per-policy optional address- and
-//!   control-dependency propagation.
+//!   control-dependency propagation;
+//! * [`arb`] — property-test generators for the taint domain (the
+//!   ISA-level ones live in `faros_support::arb`).
 //!
 //! The crate is emulator-agnostic: it consumes byte-granular
 //! [`shadow::ShadowAddr`] operations that any instruction-level frontend can
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arb;
 pub mod engine;
 pub mod provlist;
 pub mod shadow;

@@ -5,7 +5,7 @@
 //! Runs on the in-tree deterministic harness (`faros_support::prop`) with
 //! the pinned default seed; set `FAROS_PROP_SEED` to explore other streams.
 
-use faros_support::arb::prov_tag as tag;
+use faros_taint::arb::prov_tag as tag;
 use faros_support::prop::{check, Config, Rng};
 use faros_support::{prop_assert, prop_assert_eq};
 use faros_taint::engine::{PropagationMode, TaintEngine};

@@ -35,11 +35,23 @@ EXAMPLES=(
     cuckoo_comparison
     analyst_tour
     analyze_image
+    trace_replay
 )
 for ex in "${EXAMPLES[@]}"; do
     echo "==> cargo run --release --offline --example $ex"
     cargo run --release --offline --example "$ex" >/dev/null
 done
+
+echo "==> validate emitted Chrome trace + metrics JSON"
+# trace_replay writes its exports under target/; the in-tree JSON parser
+# (via faros-cli) is the validator, keeping the gate hermetic.
+cargo run --release --offline -p faros-bench --bin faros-cli -- json-check \
+    target/trace_replay.trace.json target/trace_replay.metrics.json
+
+echo "==> bench suite (FAROS_BENCH_WRITE -> BENCH_replay.json)"
+FAROS_BENCH_WRITE="$PWD" cargo bench --offline -p faros-bench --bench replay >/dev/null
+cargo run --release --offline -p faros-bench --bin faros-cli -- json-check BENCH_replay.json
+test -s BENCH_replay.json
 
 echo "==> hermeticity check: no external dependencies in any manifest"
 if grep -rn "crates-io\|serde\|proptest\|criterion\|parking_lot" crates/*/Cargo.toml Cargo.toml; then

@@ -16,7 +16,9 @@
 //! * [`corpus`] — the attack / false-positive / JIT workload corpus;
 //! * [`baselines`] — CuckooBox- and malfind-style comparison analyzers;
 //! * [`analyze`] — static FE32 image analysis (CFG recovery, W^X lints,
-//!   static-vs-dynamic coverage cross-check).
+//!   static-vs-dynamic coverage cross-check);
+//! * [`obs`] — the observability layer (flight-recorder trace spans,
+//!   metrics registry, Chrome `trace_event` export).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! substitution statement, and `EXPERIMENTS.md` for paper-vs-measured
@@ -31,6 +33,7 @@ pub use ::faros;
 pub use faros_corpus as corpus;
 pub use faros_emu as emu;
 pub use faros_kernel as kernel;
+pub use faros_obs as obs;
 pub use faros_replay as replay;
 pub use faros_support as support;
 pub use faros_taint as taint;

@@ -14,7 +14,9 @@
 
 use faros_repro::corpus::attacks;
 use faros_repro::faros::{Faros, FarosReport, Policy};
+use faros_repro::obs::trace::{FlightRecorder, TraceCategory, TraceEvent};
 use faros_repro::replay::{record, record_and_replay, Recording};
+use faros_repro::support::json::JsonValue;
 use std::path::{Path, PathBuf};
 
 const BUDGET: u64 = 20_000_000;
@@ -87,6 +89,70 @@ fn recording_json_is_byte_stable_and_lossless() {
 
     let restored = Recording::from_json(&json).unwrap();
     assert_eq!(recording, restored);
+}
+
+/// A small hand-built trace covering every event shape the exporter emits:
+/// a process-name meta record, a syscall span, instants with args, and a
+/// parked-syscall completion.
+fn smoke_trace() -> FlightRecorder {
+    let mut rec = FlightRecorder::new(16);
+    rec.record(TraceEvent::process_name(4, "loader.exe"));
+    rec.record(
+        TraceEvent::instant(0, 4, 1, TraceCategory::Module, "module_loaded")
+            .arg("module", "ntdll.fdl")
+            .arg("base", "0x80000000"),
+    );
+    rec.record(TraceEvent::begin(10, 4, 1, TraceCategory::Syscall, "NtCreateFile"));
+    rec.record(
+        TraceEvent::end(25, 4, 1, TraceCategory::Syscall, "NtCreateFile")
+            .arg("status", "Success"),
+    );
+    rec.record(
+        TraceEvent::instant(30, 4, 1, TraceCategory::Sched, "context_switch")
+            .arg("to", "8:2"),
+    );
+    rec.record(
+        TraceEvent::instant(42, 8, 2, TraceCategory::Taint, "alert")
+            .arg("kind", "tainted-control-transfer"),
+    );
+    rec
+}
+
+#[test]
+fn chrome_trace_json_is_byte_stable_and_round_trips() {
+    let rec = smoke_trace();
+    let json = rec.to_chrome_json();
+    check_golden("trace_smoke.json", &json);
+
+    // Round-trip: the export re-parses, and parse -> pretty-print is a
+    // fixed point, so the bytes are canonical.
+    let v = JsonValue::parse(&json).unwrap();
+    let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(events.len(), rec.len());
+    assert_eq!(v.to_pretty(), json.trim_end());
+}
+
+#[test]
+fn trace_fixture_parses_with_balanced_spans() {
+    // The checked-in fixture itself must stay loadable by the in-tree
+    // parser — it stands in for traces archived from earlier builds.
+    if std::env::var("FAROS_REGEN_GOLDEN").is_ok() {
+        return; // fixtures are being rewritten by the sibling tests
+    }
+    let text = std::fs::read_to_string(fixture_path("trace_smoke.json"))
+        .expect("fixture must exist; regenerate with FAROS_REGEN_GOLDEN=1");
+    let v = JsonValue::parse(&text).unwrap();
+    let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(events.len(), 6);
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+            .count()
+    };
+    assert_eq!(count("B"), count("E"), "unbalanced spans in fixture");
+    assert_eq!(count("M"), 1);
+    assert!(count("i") >= 3);
 }
 
 #[test]

@@ -70,7 +70,73 @@ fn bench_replay() {
             })
         });
     }
+
+    // Shadow-memory microbenchmarks: the paged shadow's hot operations in
+    // isolation, on both sides of the zero-taint fast path.
+    bench_shadow(&mut group);
+
     group.finish();
+}
+
+fn bench_shadow(group: &mut BenchGroup) {
+    use faros_taint::engine::{PropagationMode, TaintEngine};
+    use faros_taint::shadow::ShadowAddr;
+    use faros_taint::tag::{ProvTag, TagKind};
+
+    const OPS: u32 = 4096;
+    let tag = ProvTag::new(TagKind::Netflow, 7);
+
+    // Fully clean engine: every copy/union/delete takes the zero-taint
+    // early exit. This is the common case on a mostly-benign trace.
+    group.bench_function("shadow/zero_taint_copies", |b| {
+        b.iter(|| {
+            let mut e = TaintEngine::new(PropagationMode::direct_only());
+            for i in 0..OPS {
+                e.copy(ShadowAddr::Mem(i * 8), ShadowAddr::Mem(i * 8 + 4), 4);
+            }
+            e.shadow().tainted_mem_bytes()
+        })
+    });
+
+    // One tainted page keeps the fast path disarmed: the same copies now
+    // walk the paged shadow (mostly hitting unallocated pages).
+    group.bench_function("shadow/tainted_copies", |b| {
+        b.iter(|| {
+            let mut e = TaintEngine::new(PropagationMode::direct_only());
+            e.label_range_fresh(0x0010_0000, 4096, tag);
+            for i in 0..OPS {
+                e.copy(ShadowAddr::Mem(i * 8), ShadowAddr::Mem(i * 8 + 4), 4);
+            }
+            e.shadow().tainted_mem_bytes()
+        })
+    });
+
+    // Label a multi-page run, move it around with page-crossing batched
+    // stores, then delete it: the allocate/propagate/free page lifecycle.
+    group.bench_function("shadow/page_lifecycle", |b| {
+        b.iter(|| {
+            let mut e = TaintEngine::new(PropagationMode::direct_only());
+            e.label_range_fresh(0x1000 - 8, 3 * 4096, tag);
+            for i in 0..512u32 {
+                let src = [0x1000 - 2 + i, 0x1000 - 1 + i, 0x8000 + i, 0x8001 + i];
+                e.copy_mem_to_reg(0, &src);
+                let dst = [0x5000 - 2 + i, 0x5000 - 1 + i, 0xc000 + i, 0xc001 + i];
+                e.copy_reg_to_mem(&dst, 0);
+            }
+            e.delete_mem(&[0x1000, 0x2000, 0x3000]);
+            (e.shadow().tainted_mem_bytes(), e.shadow().resident_pages())
+        })
+    });
+
+    // Region extraction over a sparse, fragmented shadow: the reporting
+    // path that used to sort a HashMap's keys every call.
+    group.bench_function("shadow/tainted_regions", |b| {
+        let mut e = TaintEngine::new(PropagationMode::direct_only());
+        for i in 0..256u32 {
+            e.label_range_fresh(i * 0x2000, 24, tag);
+        }
+        b.iter(|| e.tainted_regions().len())
+    });
 }
 
 bench_main!(bench_replay);

@@ -11,6 +11,8 @@
 //!                                     as a guest process under FAROS
 //! faros-cli json-check FILE...        validate files parse as JSON (Chrome
 //!                                     traces also need a traceEvents array)
+//! faros-cli bench-gate FILE           read BENCH_replay.json and fail if the
+//!                                     FAROS replay regressed past 4x baseline
 //!
 //! analyze/replay options:
 //!   --policy paper|netflow|cross-process   trigger configuration
@@ -36,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: faros-cli <list | record <sample> -o FILE | analyze <sample> [opts] \
          | replay <sample> -i FILE [opts] | compare <sample> | trace <sample>\n\
-         | run-asm FILE [opts] | json-check FILE...>\n\
+         | run-asm FILE [opts] | json-check FILE... | bench-gate FILE>\n\
          opts: --policy paper|netflow|cross-process, --minos, --conservative,\n\
                --whitelist NAME, --json"
     );
@@ -150,6 +152,50 @@ fn print_report(faros: &Faros, opts: &Opts) {
             println!("  ... {} more", regions.len() - 40);
         }
     }
+}
+
+/// Maximum allowed ratio of the FAROS replay median over the plain replay
+/// median. The paged shadow + zero-taint fast path land well under this;
+/// the gate catches hot-path regressions before they merge.
+const BENCH_GATE_MAX_RATIO: f64 = 4.0;
+
+fn bench_median(doc: &faros_support::json::JsonValue, name: &str) -> u64 {
+    let benches = doc
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .unwrap_or_else(|| fail("bench file has no `benchmarks` array"));
+    let entry = benches
+        .iter()
+        .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))
+        .unwrap_or_else(|| fail(&format!("bench file has no `{name}` entry")));
+    let median = entry
+        .get("median_ns")
+        .and_then(|m| m.as_int())
+        .unwrap_or_else(|| fail(&format!("`{name}` has no integer median_ns")));
+    u64::try_from(median).unwrap_or_else(|_| fail(&format!("`{name}` median_ns negative")))
+}
+
+fn bench_gate(file: &str) {
+    let text =
+        std::fs::read_to_string(file).unwrap_or_else(|e| fail(&format!("{file}: {e}")));
+    let doc = faros_support::json::JsonValue::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("{file}: invalid JSON: {e}")));
+    let base = bench_median(&doc, "replay_base");
+    let faros = bench_median(&doc, "replay_faros");
+    if base == 0 {
+        fail("replay_base median is zero; cannot compute a ratio");
+    }
+    let ratio = faros as f64 / base as f64;
+    println!(
+        "bench-gate: replay_faros {faros} ns / replay_base {base} ns = {ratio:.2}x \
+         (limit {BENCH_GATE_MAX_RATIO:.1}x)"
+    );
+    if ratio > BENCH_GATE_MAX_RATIO {
+        fail(&format!(
+            "FAROS replay overhead {ratio:.2}x exceeds the {BENCH_GATE_MAX_RATIO:.1}x gate"
+        ));
+    }
+    println!("bench-gate: ok");
 }
 
 fn main() {
@@ -273,6 +319,10 @@ fn main() {
                     None => println!("{file}: ok"),
                 }
             }
+        }
+        "bench-gate" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            bench_gate(file);
         }
         "compare" => {
             let name = args.get(1).unwrap_or_else(|| usage());

@@ -287,11 +287,15 @@ impl CpuHooks for Faros {
         self.engine.copy(loc(dst), loc(src), len);
         // "If a process accesses a byte in memory, FAROS adds a process tag
         // into the head of that byte's provenance list" — applied on stores
-        // of tainted bytes.
+        // of tainted bytes. Skipped wholesale while shadow memory is clean:
+        // the copy above cannot have tainted anything.
+        if self.engine.shadow().tainted_mem_bytes() == 0 {
+            return;
+        }
         if let ShadowLoc::Mem(p) = dst {
             let cr3 = self.current_cr3;
             for i in 0..len {
-                let a = ShadowAddr::Mem(p + i as u32);
+                let a = ShadowAddr::Mem(p.wrapping_add(i as u32));
                 if !self.engine.prov_id(a).is_empty() {
                     let tag = self.process_tag(cr3);
                     self.engine.append_tag(a, tag);
@@ -300,7 +304,47 @@ impl CpuHooks for Faros {
         }
     }
 
+    fn flow_load(&mut self, dst: Reg, phys: &[u32]) {
+        // Batched load: one engine call for the whole translated run, with
+        // the zero-extension delete for sub-word widths. Loads write a
+        // register, so no process tag is appended.
+        let idx = dst.index() as u8;
+        self.engine.copy_mem_to_reg(idx, phys);
+        let w = phys.len();
+        if w < 4 {
+            self.engine.delete(ShadowAddr::Reg { index: idx, off: w as u8 }, (4 - w) as u8);
+        }
+    }
+
+    fn flow_store(&mut self, phys: &[u32], src: Reg) {
+        self.engine.copy_reg_to_mem(phys, src.index() as u8);
+        // Process-tag append on stores of tainted bytes, per byte of the
+        // translated run (each byte on its own frame — a page-crossing
+        // store must not tag `phys[0] + i`).
+        if self.engine.shadow().tainted_mem_bytes() == 0 {
+            return;
+        }
+        let cr3 = self.current_cr3;
+        for &p in phys {
+            let a = ShadowAddr::Mem(p);
+            if !self.engine.prov_id(a).is_empty() {
+                let tag = self.process_tag(cr3);
+                self.engine.append_tag(a, tag);
+            }
+        }
+    }
+
+    fn flow_delete_mem(&mut self, phys: &[u32]) {
+        self.engine.delete_mem(phys);
+    }
+
     fn flow_union(&mut self, dst: ShadowLoc, dst_len: u8, srcs: &[(ShadowLoc, u8)], keep_dst: bool) {
+        if self.engine.propagation_is_noop() {
+            // Still dispatch with no sources so the union/fast-path counters
+            // advance exactly as on the slow path, without the conversion.
+            self.engine.union_into(loc(dst), dst_len, &[], keep_dst);
+            return;
+        }
         let srcs: Vec<(ShadowAddr, u8)> = srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
         self.engine.union_into(loc(dst), dst_len, &srcs, keep_dst);
     }
@@ -310,11 +354,27 @@ impl CpuHooks for Faros {
     }
 
     fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {
+        if self.engine.propagation_is_noop() {
+            self.engine.addr_dep(loc(dst), dst_len, &[]);
+            return;
+        }
         let srcs: Vec<(ShadowAddr, u8)> = addr_srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
         self.engine.addr_dep(loc(dst), dst_len, &srcs);
     }
 
+    fn flow_addr_dep_bytes(&mut self, phys: &[u32], addr_srcs: &[(ShadowLoc, u8)]) {
+        if self.engine.propagation_is_noop() {
+            self.engine.addr_dep_bytes(phys, &[]);
+            return;
+        }
+        let srcs: Vec<(ShadowAddr, u8)> = addr_srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
+        self.engine.addr_dep_bytes(phys, &srcs);
+    }
+
     fn flow_flags(&mut self, srcs: &[(ShadowLoc, u8)]) {
+        if !self.engine.mode().control_deps {
+            return;
+        }
         let srcs: Vec<(ShadowAddr, u8)> = srcs.iter().map(|&(s, l)| (loc(s), l)).collect();
         self.engine.note_flags(&srcs);
     }
@@ -326,9 +386,14 @@ impl CpuHooks for Faros {
         self.engine.enter_branch_scope();
     }
 
-    fn on_load(&mut self, ctx: &InsnCtx, _vaddr: u32, phys: u32, width: Width, _dst: Reg) {
+    fn on_load(&mut self, ctx: &InsnCtx, _vaddr: u32, phys: &[u32], _width: Width, _dst: Reg) {
         // The confluence check (§IV): a load whose *code bytes* are foreign
-        // reading a location carrying the export-table tag.
+        // reading a location carrying the export-table tag. While no memory
+        // byte is tainted, neither the code bytes nor the read target can
+        // carry provenance — skip the per-byte scans entirely.
+        if self.engine.shadow().tainted_mem_bytes() == 0 {
+            return;
+        }
         let code_prov = self.code_provenance(ctx);
         if code_prov.is_empty() {
             return;
@@ -349,11 +414,13 @@ impl CpuHooks for Faros {
         if !foreign {
             return;
         }
-        // Any byte of the read carrying the export-table tag triggers.
+        // Any byte of the read carrying the export-table tag triggers. The
+        // scan walks the *translated* per-byte addresses: a page-crossing
+        // load's upper bytes live on a different frame than `phys[0]`.
         let mut target_id = ListId::EMPTY;
         let mut hit = false;
-        for i in 0..width.bytes() as u32 {
-            let id = self.engine.prov_id(ShadowAddr::Mem(phys + i));
+        for &p in phys {
+            let id = self.engine.prov_id(ShadowAddr::Mem(p));
             if self.engine.interner().contains_kind(id, TagKind::ExportTable) {
                 target_id = id;
                 hit = true;

@@ -37,6 +37,11 @@ fn load_instr() -> Instr {
     Instr::Load { dst: Reg::Eax, mem: Mem::base_disp(Reg::Esi, 28), width: Width::B4 }
 }
 
+/// The translated per-byte physical run of a contiguous 4-byte read.
+fn run4(phys: u32) -> [u32; 4] {
+    [phys, phys + 1, phys + 2, phys + 3]
+}
+
 #[test]
 fn net_rx_labels_netflow_then_process() {
     let mut faros = Faros::new(Policy::paper());
@@ -177,18 +182,18 @@ fn confluence_fires_only_with_both_halves() {
     // 1. Foreign code reading a non-export address: silent.
     let ctx = ctx_at(0x0100_0000, 0x900, 8, 0x3000, load_instr());
     faros.on_insn(&ctx);
-    faros.on_load(&ctx, 0x4000_0000, 0x7777, Width::B4, Reg::Eax);
+    faros.on_load(&ctx, 0x4000_0000, &run4(0x7777), Width::B4, Reg::Eax);
     assert!(!faros.report().attack_flagged());
 
     // 2. Clean code reading the export table: silent.
     let clean_ctx = ctx_at(0x0040_0000, 0x4000, 8, 0x3000, load_instr());
     faros.on_insn(&clean_ctx);
-    faros.on_load(&clean_ctx, 0x8001_0020, ptr_phys, Width::B4, Reg::Eax);
+    faros.on_load(&clean_ctx, 0x8001_0020, &run4(ptr_phys), Width::B4, Reg::Eax);
     assert!(!faros.report().attack_flagged());
 
     // 3. Foreign code reading the export table: flagged.
     faros.on_insn(&ctx);
-    faros.on_load(&ctx, 0x8001_0020, ptr_phys, Width::B4, Reg::Eax);
+    faros.on_load(&ctx, 0x8001_0020, &run4(ptr_phys), Width::B4, Reg::Eax);
     let report = faros.report();
     assert!(report.attack_flagged());
     let d = &report.detections[0];
@@ -198,7 +203,7 @@ fn confluence_fires_only_with_both_halves() {
 
     // 4. Same instruction again: deduplicated.
     faros.on_insn(&ctx);
-    faros.on_load(&ctx, 0x8001_0020, ptr_phys, Width::B4, Reg::Eax);
+    faros.on_load(&ctx, 0x8001_0020, &run4(ptr_phys), Width::B4, Reg::Eax);
     assert_eq!(faros.report().detections.len(), 1);
 }
 
@@ -254,7 +259,7 @@ fn whitelist_routes_detections_aside() {
     faros.net_rx(Pid(1), &FLOW, &[ByteRange { phys: 0x900, len: 16 }]);
     let ctx = ctx_at(0x0100_2000, 0x900, 8, 0x2000, load_instr());
     faros.on_insn(&ctx);
-    faros.on_load(&ctx, 0x8001_0020, 0x5000 + 4 + 28, Width::B4, Reg::Eax);
+    faros.on_load(&ctx, 0x8001_0020, &run4(0x5000 + 4 + 28), Width::B4, Reg::Eax);
     let report = faros.report();
     assert!(!report.attack_flagged());
     assert_eq!(report.whitelisted.len(), 1);

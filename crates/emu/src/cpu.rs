@@ -45,16 +45,16 @@ impl ShadowLoc {
     /// The location `len` bytes after this one (same register or contiguous
     /// physical memory).
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if a register location is advanced past byte 3.
+    /// Register locations saturate at the register's last byte (offset 3):
+    /// this used to be a `debug_assert!` only, so release builds carried an
+    /// out-of-range offset into the consumer's register array. The guard is
+    /// unconditional now, mirroring `faros_taint::ShadowAddr::offset`.
     #[inline]
     pub fn offset(self, len: u8) -> ShadowLoc {
         match self {
             ShadowLoc::Mem(a) => ShadowLoc::Mem(a.wrapping_add(len as u32)),
             ShadowLoc::Reg { reg, off } => {
-                debug_assert!(off + len < 4);
-                ShadowLoc::Reg { reg, off: off + len }
+                ShadowLoc::Reg { reg, off: off.saturating_add(len).min(3) }
             }
         }
     }
@@ -127,13 +127,56 @@ pub trait CpuHooks {
     /// destination; the default FAROS policy ignores them (§IV).
     fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {}
 
-    /// A memory load is about to complete. `phys` is the physical address of
-    /// the first byte (subsequent bytes may be on another page; consult the
-    /// per-byte flows for exact placement).
-    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, dst: Reg) {}
+    /// An address dependency on a memory destination, given per byte:
+    /// `phys[i]` is the translated physical address of the i-th accessed
+    /// byte, which may sit on a different frame than `phys[0]` when the
+    /// access crosses a page boundary. The default forwards byte-wise to
+    /// [`CpuHooks::flow_addr_dep`] so each byte lands on its own frame.
+    fn flow_addr_dep_bytes(&mut self, phys: &[u32], addr_srcs: &[(ShadowLoc, u8)]) {
+        for &p in phys {
+            self.flow_addr_dep(ShadowLoc::Mem(p), 1, addr_srcs);
+        }
+    }
 
-    /// A memory store is about to complete.
-    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, src: Reg) {}
+    /// Batched load flow: `shadow(dst.byte(i)) = shadow(phys[i])`, plus
+    /// zero-extension of the register's remaining shadow bytes when the
+    /// access is narrower than the register. One call per load replaces
+    /// `4 × flow_copy + flow_delete`; the default decomposes to exactly
+    /// those per-byte flows, so hook implementors may override either level.
+    fn flow_load(&mut self, dst: Reg, phys: &[u32]) {
+        for (i, &p) in phys.iter().enumerate() {
+            self.flow_copy(ShadowLoc::Reg { reg: dst, off: i as u8 }, ShadowLoc::Mem(p), 1);
+        }
+        let w = phys.len();
+        if w < 4 {
+            self.flow_delete(ShadowLoc::Reg { reg: dst, off: w as u8 }, (4 - w) as u8);
+        }
+    }
+
+    /// Batched store flow: `shadow(phys[i]) = shadow(src.byte(i))`. The
+    /// default decomposes to per-byte [`CpuHooks::flow_copy`] calls.
+    fn flow_store(&mut self, phys: &[u32], src: Reg) {
+        for (i, &p) in phys.iter().enumerate() {
+            self.flow_copy(ShadowLoc::Mem(p), ShadowLoc::Reg { reg: src, off: i as u8 }, 1);
+        }
+    }
+
+    /// Batched shadow deletion over translated physical bytes (constant
+    /// stores: `push imm`, the return address slot of `call`).
+    fn flow_delete_mem(&mut self, phys: &[u32]) {
+        for &p in phys {
+            self.flow_delete(ShadowLoc::Mem(p), 1);
+        }
+    }
+
+    /// A memory load is about to complete. `phys` holds the translated
+    /// physical address of *each* accessed byte — a page-crossing access
+    /// lands bytes on more than one frame.
+    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: &[u32], width: Width, dst: Reg) {}
+
+    /// A memory store is about to complete (`phys` as in
+    /// [`CpuHooks::on_load`]).
+    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: &[u32], width: Width, src: Reg) {}
 
     /// A control transfer resolved. `target_src` is the shadow location the
     /// target address was read from for indirect transfers (`ret`,
@@ -176,10 +219,22 @@ impl<H: CpuHooks + ?Sized> CpuHooks for &mut H {
     fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {
         (**self).flow_addr_dep(dst, dst_len, addr_srcs);
     }
-    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, dst: Reg) {
+    fn flow_addr_dep_bytes(&mut self, phys: &[u32], addr_srcs: &[(ShadowLoc, u8)]) {
+        (**self).flow_addr_dep_bytes(phys, addr_srcs);
+    }
+    fn flow_load(&mut self, dst: Reg, phys: &[u32]) {
+        (**self).flow_load(dst, phys);
+    }
+    fn flow_store(&mut self, phys: &[u32], src: Reg) {
+        (**self).flow_store(phys, src);
+    }
+    fn flow_delete_mem(&mut self, phys: &[u32]) {
+        (**self).flow_delete_mem(phys);
+    }
+    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: &[u32], width: Width, dst: Reg) {
         (**self).on_load(ctx, vaddr, phys, width, dst);
     }
-    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, src: Reg) {
+    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: &[u32], width: Width, src: Reg) {
         (**self).on_store(ctx, vaddr, phys, width, src);
     }
     fn on_control(&mut self, ctx: &InsnCtx, target: u32, target_src: Option<ShadowLoc>) {
@@ -509,21 +564,15 @@ impl Cpu {
                     Err(f) => return StepEvent::Fault(f),
                 };
                 let val = Self::read_mem(mem, &phys, w);
-                hooks.on_load(&ctx, addr, phys[0], width, dst);
+                hooks.on_load(&ctx, addr, &phys[..w], width, dst);
                 self.set_reg(dst, val);
-                for (i, &p) in phys.iter().enumerate().take(w) {
-                    hooks.flow_copy(
-                        ShadowLoc::Reg { reg: dst, off: i as u8 },
-                        ShadowLoc::Mem(p),
-                        1,
-                    );
-                }
-                if w < 4 {
-                    // Zero-extension clears the upper shadow bytes too.
-                    hooks.flow_delete(ShadowLoc::Reg { reg: dst, off: w as u8 }, (4 - w) as u8);
-                }
+                // One batched flow per load (covers zero-extension); the
+                // default hook decomposes it to the per-byte rules.
+                hooks.flow_load(dst, &phys[..w]);
                 let (srcs, n) = Self::addr_srcs(&m);
                 if n > 0 {
+                    // The destination register is contiguous, so the
+                    // run-based form is not needed here.
                     hooks.flow_addr_dep(reg_loc!(dst), 4, &srcs[..n]);
                 }
                 self.ctx.eip = next_eip;
@@ -536,18 +585,15 @@ impl Cpu {
                     Ok(p) => p,
                     Err(f) => return StepEvent::Fault(f),
                 };
-                hooks.on_store(&ctx, addr, phys[0], width, src);
+                hooks.on_store(&ctx, addr, &phys[..w], width, src);
                 Self::write_mem(mem, &phys, w, self.reg(src));
-                for (i, &p) in phys.iter().enumerate().take(w) {
-                    hooks.flow_copy(
-                        ShadowLoc::Mem(p),
-                        ShadowLoc::Reg { reg: src, off: i as u8 },
-                        1,
-                    );
-                }
+                hooks.flow_store(&phys[..w], src);
                 let (srcs, n) = Self::addr_srcs(&m);
                 if n > 0 {
-                    hooks.flow_addr_dep(ShadowLoc::Mem(phys[0]), w as u8, &srcs[..n]);
+                    // Per-byte form: `flow_addr_dep(Mem(phys[0]), w, ..)`
+                    // would assume the w bytes are physically contiguous and
+                    // taint the wrong frame on a page-crossing store.
+                    hooks.flow_addr_dep_bytes(&phys[..w], &srcs[..n]);
                 }
                 self.ctx.eip = next_eip;
                 StepEvent::Normal
@@ -645,9 +691,7 @@ impl Cpu {
                     Err(f) => return StepEvent::Fault(f),
                 };
                 Self::write_mem(mem, &phys, 4, next_eip);
-                for p in &phys {
-                    hooks.flow_delete(ShadowLoc::Mem(*p), 1);
-                }
+                hooks.flow_delete_mem(&phys);
                 self.set_reg(Reg::Esp, sp);
                 hooks.on_control(&ctx, target, None);
                 self.ctx.eip = target;
@@ -661,9 +705,7 @@ impl Cpu {
                     Err(f) => return StepEvent::Fault(f),
                 };
                 Self::write_mem(mem, &phys, 4, next_eip);
-                for p in &phys {
-                    hooks.flow_delete(ShadowLoc::Mem(*p), 1);
-                }
+                hooks.flow_delete_mem(&phys);
                 self.set_reg(Reg::Esp, sp);
                 hooks.on_control(&ctx, tgt, Some(reg_loc!(target)));
                 self.ctx.eip = tgt;
@@ -694,13 +736,7 @@ impl Cpu {
                     Err(f) => return StepEvent::Fault(f),
                 };
                 Self::write_mem(mem, &phys, 4, self.reg(src));
-                for (i, p) in phys.iter().enumerate() {
-                    hooks.flow_copy(
-                        ShadowLoc::Mem(*p),
-                        ShadowLoc::Reg { reg: src, off: i as u8 },
-                        1,
-                    );
-                }
+                hooks.flow_store(&phys, src);
                 self.set_reg(Reg::Esp, sp);
                 self.ctx.eip = next_eip;
                 StepEvent::Normal
@@ -712,9 +748,7 @@ impl Cpu {
                     Err(f) => return StepEvent::Fault(f),
                 };
                 Self::write_mem(mem, &phys, 4, imm);
-                for p in &phys {
-                    hooks.flow_delete(ShadowLoc::Mem(*p), 1);
-                }
+                hooks.flow_delete_mem(&phys);
                 self.set_reg(Reg::Esp, sp);
                 self.ctx.eip = next_eip;
                 StepEvent::Normal
@@ -727,13 +761,7 @@ impl Cpu {
                 };
                 let val = Self::read_mem(mem, &phys, 4);
                 self.set_reg(dst, val);
-                for (i, p) in phys.iter().enumerate() {
-                    hooks.flow_copy(
-                        ShadowLoc::Reg { reg: dst, off: i as u8 },
-                        ShadowLoc::Mem(*p),
-                        1,
-                    );
-                }
+                hooks.flow_load(dst, &phys);
                 self.set_reg(Reg::Esp, sp.wrapping_add(4));
                 self.ctx.eip = next_eip;
                 StepEvent::Normal
@@ -978,10 +1006,10 @@ mod tests {
 
     #[test]
     fn load_reports_physical_address() {
-        struct LoadWatch(Option<(u32, u32)>);
+        struct LoadWatch(Option<(u32, Vec<u32>)>);
         impl CpuHooks for LoadWatch {
-            fn on_load(&mut self, _ctx: &InsnCtx, vaddr: u32, phys: u32, _w: Width, _d: Reg) {
-                self.0 = Some((vaddr, phys));
+            fn on_load(&mut self, _ctx: &InsnCtx, vaddr: u32, phys: &[u32], _w: Width, _d: Reg) {
+                self.0 = Some((vaddr, phys.to_vec()));
             }
         }
         let mut a = Asm::new(0x1000);
@@ -991,7 +1019,75 @@ mod tests {
         let mut w = LoadWatch(None);
         while !matches!(cpu.step(&mut mem, &aspace, &mut w), StepEvent::Halt) {}
         // data page (0x2000) maps to pfn 1 in the test fixture.
-        assert_eq!(w.0, Some((0x2014, PAGE_SIZE + 0x14)));
+        let base = PAGE_SIZE + 0x14;
+        assert_eq!(w.0, Some((0x2014, vec![base, base + 1, base + 2, base + 3])));
+    }
+
+    #[test]
+    fn shadow_loc_offset_clamps_register_bytes_in_all_builds() {
+        // Regression: this was debug-only, so release builds handed an
+        // out-of-range register byte offset to hook consumers.
+        assert_eq!(
+            ShadowLoc::Reg { reg: Reg::Eax, off: 2 }.offset(5),
+            ShadowLoc::Reg { reg: Reg::Eax, off: 3 }
+        );
+        assert_eq!(
+            ShadowLoc::Reg { reg: Reg::Eax, off: 3 }.offset(u8::MAX),
+            ShadowLoc::Reg { reg: Reg::Eax, off: 3 }
+        );
+        assert_eq!(ShadowLoc::Mem(10).offset(3), ShadowLoc::Mem(13));
+    }
+
+    #[test]
+    fn page_crossing_store_reports_per_byte_addr_deps() {
+        // Regression for the page-crossing address-dependency bug: the CPU
+        // used to emit `flow_addr_dep(Mem(phys[0]), w, ..)`, which assumes
+        // the w translated bytes are contiguous. Map two *non-adjacent*
+        // physical frames at adjacent virtual pages and verify each byte's
+        // own physical address is reported.
+        #[derive(Default)]
+        struct DepWatch {
+            runs: Vec<Vec<u32>>,
+            store_phys: Vec<u32>,
+        }
+        impl CpuHooks for DepWatch {
+            fn flow_addr_dep_bytes(&mut self, phys: &[u32], _srcs: &[(ShadowLoc, u8)]) {
+                self.runs.push(phys.to_vec());
+            }
+            fn on_store(&mut self, _c: &InsnCtx, _v: u32, phys: &[u32], _w: Width, _s: Reg) {
+                self.store_phys = phys.to_vec();
+            }
+        }
+        let mut mem = PhysMem::new(16);
+        let code_frame = mem.alloc_frame().unwrap();
+        let lo_frame = mem.alloc_frame().unwrap();
+        let _gap = mem.alloc_frame().unwrap();
+        let hi_frame = mem.alloc_frame().unwrap(); // not adjacent to lo_frame
+        let mut aspace = AddressSpace::new(Asid(7));
+        aspace.map(0x1000, code_frame, Perms::RX);
+        aspace.map(0x2000, lo_frame, Perms::RW);
+        aspace.map(0x3000, hi_frame, Perms::RW);
+        // Store 4 bytes at 0x2ffe: two bytes on lo_frame, two on hi_frame,
+        // through a base register so an address dependency is emitted.
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Ebx, 0x2ffe);
+        a.mov_ri(Reg::Eax, 0xdead_beef);
+        a.st4(Mem::reg(Reg::Ebx), Reg::Eax);
+        a.hlt();
+        mem.write(code_frame * PAGE_SIZE, &a.assemble().unwrap()).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = 0x1000;
+        cpu.set_asid(Asid(7));
+        let mut w = DepWatch::default();
+        while !matches!(cpu.step(&mut mem, &aspace, &mut w), StepEvent::Halt) {}
+        let expect = vec![
+            lo_frame * PAGE_SIZE + 0xffe,
+            lo_frame * PAGE_SIZE + 0xfff,
+            hi_frame * PAGE_SIZE,
+            hi_frame * PAGE_SIZE + 1,
+        ];
+        assert_eq!(w.store_phys, expect, "on_store sees every translated byte");
+        assert_eq!(w.runs, vec![expect], "addr dep carries per-byte frames");
     }
 
     #[test]

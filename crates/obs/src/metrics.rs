@@ -173,6 +173,57 @@ impl MetricsRegistry {
     }
 }
 
+/// A registered hit/miss counter pair for a fast-path optimization (e.g.
+/// the taint engine's zero-taint shadow fast path): `<prefix>.hits` counts
+/// operations the fast path proved to be no-ops and skipped,
+/// `<prefix>.misses` counts operations that took the slow path.
+///
+/// # Examples
+///
+/// ```
+/// use faros_obs::metrics::{FastPath, MetricsRegistry};
+///
+/// let mut m = MetricsRegistry::new();
+/// let fp = FastPath::register(&mut m, "taint.fastpath");
+/// fp.hit(&mut m);
+/// fp.miss(&mut m);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counter("taint.fastpath.hits"), Some(1));
+/// assert_eq!(snap.counter("taint.fastpath.misses"), Some(1));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FastPath {
+    hits: CounterId,
+    misses: CounterId,
+}
+
+impl FastPath {
+    /// Registers `<prefix>.hits` and `<prefix>.misses` in `m`.
+    pub fn register(m: &mut MetricsRegistry, prefix: &str) -> FastPath {
+        FastPath {
+            hits: m.counter(&format!("{prefix}.hits")),
+            misses: m.counter(&format!("{prefix}.misses")),
+        }
+    }
+
+    /// Counts a fast-path hit (the operation was skipped).
+    #[inline]
+    pub fn hit(&self, m: &mut MetricsRegistry) {
+        m.inc(self.hits);
+    }
+
+    /// Counts a fast-path miss (the slow path ran).
+    #[inline]
+    pub fn miss(&self, m: &mut MetricsRegistry) {
+        m.inc(self.misses);
+    }
+
+    /// Reads `(hits, misses)`.
+    pub fn read(&self, m: &MetricsRegistry) -> (u64, u64) {
+        (m.get(self.hits), m.get(self.misses))
+    }
+}
+
 /// Serializable state of one histogram.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {

@@ -213,10 +213,22 @@ impl CpuHooks for PluginManager {
     fn flow_addr_dep(&mut self, dst: ShadowLoc, dst_len: u8, addr_srcs: &[(ShadowLoc, u8)]) {
         fan!(self, flow_addr_dep(dst, dst_len, addr_srcs));
     }
-    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, dst: Reg) {
+    fn flow_addr_dep_bytes(&mut self, phys: &[u32], addr_srcs: &[(ShadowLoc, u8)]) {
+        fan!(self, flow_addr_dep_bytes(phys, addr_srcs));
+    }
+    fn flow_load(&mut self, dst: Reg, phys: &[u32]) {
+        fan!(self, flow_load(dst, phys));
+    }
+    fn flow_store(&mut self, phys: &[u32], src: Reg) {
+        fan!(self, flow_store(phys, src));
+    }
+    fn flow_delete_mem(&mut self, phys: &[u32]) {
+        fan!(self, flow_delete_mem(phys));
+    }
+    fn on_load(&mut self, ctx: &InsnCtx, vaddr: u32, phys: &[u32], width: Width, dst: Reg) {
         fan!(self, on_load(ctx, vaddr, phys, width, dst));
     }
-    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: u32, width: Width, src: Reg) {
+    fn on_store(&mut self, ctx: &InsnCtx, vaddr: u32, phys: &[u32], width: Width, src: Reg) {
         fan!(self, on_store(ctx, vaddr, phys, width, src));
     }
     fn on_control(&mut self, ctx: &InsnCtx, target: u32, target_src: Option<ShadowLoc>) {

@@ -22,7 +22,7 @@ use crate::provlist::{ListId, ProvInterner};
 use crate::shadow::{ShadowAddr, ShadowState};
 use crate::tables::TagTables;
 use crate::tag::{ProvTag, TagKind};
-use faros_obs::metrics::{CounterId, MetricsRegistry, MetricsSnapshot};
+use faros_obs::metrics::{CounterId, FastPath, MetricsRegistry, MetricsSnapshot};
 use faros_support::json::{JsonValue, ToJson};
 
 /// Which indirect flows the engine propagates. The FAROS configuration is
@@ -95,6 +95,8 @@ struct TaintCounters {
     interner_lists: CounterId,
     /// Gauge: tainted shadow-memory bytes, refreshed at snapshot time.
     shadow_tainted_bytes: CounterId,
+    /// Zero-taint fast path hit/miss pair (`taint.fastpath.*`).
+    fastpath: FastPath,
 }
 
 impl TaintCounters {
@@ -107,6 +109,7 @@ impl TaintCounters {
             addr_deps: m.counter("taint.addr_deps"),
             interner_lists: m.counter("taint.interner_lists"),
             shadow_tainted_bytes: m.counter("taint.shadow_tainted_bytes"),
+            fastpath: FastPath::register(m, "taint.fastpath"),
         }
     }
 }
@@ -247,12 +250,22 @@ impl TaintEngine {
         self.shadow.set(addr, id);
     }
 
+    /// Clamps a `[phys, phys + len)` byte range to the end of the physical
+    /// address space. The helpers below used to `wrapping_add`, so a range
+    /// ending past `u32::MAX` silently wrapped and tainted low memory.
+    fn clamp_range(phys: u32, len: usize) -> usize {
+        len.min((u32::MAX - phys) as usize + 1)
+    }
+
     /// Labels `len` consecutive physical bytes with a fresh single-tag list.
+    /// A range extending past the top of the physical address space is
+    /// clamped at `u32::MAX` (it never wraps to low memory).
     pub fn label_range_fresh(&mut self, phys: u32, len: usize, tag: ProvTag) {
+        let len = Self::clamp_range(phys, len);
         let id = self.interner.append(ListId::EMPTY, tag);
         self.metrics.add(self.ctr.labels, len as u64);
         for i in 0..len {
-            self.shadow.set(ShadowAddr::Mem(phys.wrapping_add(i as u32)), id);
+            self.shadow.set(ShadowAddr::Mem(phys + i as u32), id);
         }
     }
 
@@ -266,10 +279,13 @@ impl TaintEngine {
         self.shadow.set(addr, new);
     }
 
-    /// Appends `tag` to `len` consecutive physical bytes.
+    /// Appends `tag` to `len` consecutive physical bytes. Like
+    /// [`TaintEngine::label_range_fresh`], the range is clamped at
+    /// `u32::MAX` rather than wrapping into low memory.
     pub fn append_tag_range(&mut self, phys: u32, len: usize, tag: ProvTag) {
+        let len = Self::clamp_range(phys, len);
         for i in 0..len {
-            self.append_tag(ShadowAddr::Mem(phys.wrapping_add(i as u32)), tag);
+            self.append_tag(ShadowAddr::Mem(phys + i as u32), tag);
         }
     }
 
@@ -312,6 +328,29 @@ impl TaintEngine {
 
     // --- Table I propagation rules ---
 
+    /// Returns `true` when the zero-taint fast path applies: no shadow byte
+    /// anywhere (memory or registers) is tainted and no control-dependency
+    /// context is open, so `copy`/`union`/`delete`/`addr_dep` provably
+    /// cannot change shadow state. Replay-side hook adapters use this to
+    /// skip per-byte work entirely while the whole system is still clean
+    /// (before the first `label_fresh`).
+    #[inline]
+    pub fn propagation_is_noop(&self) -> bool {
+        self.shadow.is_clean() && self.control_ctx.is_empty()
+    }
+
+    /// Counts one fast-path decision; returns `true` on a hit (skip).
+    #[inline]
+    fn fast_path(&mut self) -> bool {
+        if self.propagation_is_noop() {
+            self.ctr.fastpath.hit(&mut self.metrics);
+            true
+        } else {
+            self.ctr.fastpath.miss(&mut self.metrics);
+            false
+        }
+    }
+
     fn control_adjust(&mut self, id: ListId) -> ListId {
         if self.mode.control_deps && !self.control_ctx.is_empty() {
             self.interner.union(id, self.control_ctx)
@@ -320,13 +359,59 @@ impl TaintEngine {
         }
     }
 
+    /// Union of all source bytes' lists (shared by `union_into`,
+    /// `addr_dep_bytes` and `note_flags`).
+    fn union_srcs(&mut self, srcs: &[(ShadowAddr, u8)]) -> ListId {
+        let mut acc = ListId::EMPTY;
+        for &(src, len) in srcs {
+            for i in 0..len {
+                let id = self.shadow.get(src.offset(i));
+                acc = self.interner.union(acc, id);
+            }
+        }
+        acc
+    }
+
     /// `copy(a, b)`: `prov(a) <- prov(b)`, byte-wise for `len` bytes.
     pub fn copy(&mut self, dst: ShadowAddr, src: ShadowAddr, len: u8) {
         self.metrics.add(self.ctr.copies, len as u64);
+        if self.fast_path() {
+            return;
+        }
         for i in 0..len {
             let id = self.shadow.get(src.offset(i));
             let id = self.control_adjust(id);
             self.shadow.set(dst.offset(i), id);
+        }
+    }
+
+    /// Batched load propagation: `prov(reg[i]) <- prov(phys[i])` for each
+    /// translated physical byte of a memory read. The bytes need not be
+    /// physically contiguous — a page-crossing access lands each byte on
+    /// its own frame.
+    pub fn copy_mem_to_reg(&mut self, reg_index: u8, phys: &[u32]) {
+        self.metrics.add(self.ctr.copies, phys.len() as u64);
+        if self.fast_path() {
+            return;
+        }
+        for (i, &p) in phys.iter().enumerate() {
+            let id = self.shadow.get(ShadowAddr::Mem(p));
+            let id = self.control_adjust(id);
+            self.shadow.set(ShadowAddr::Reg { index: reg_index, off: i as u8 }, id);
+        }
+    }
+
+    /// Batched store propagation: `prov(phys[i]) <- prov(reg[i])` for each
+    /// translated physical byte of a memory write (page-crossing safe).
+    pub fn copy_reg_to_mem(&mut self, phys: &[u32], reg_index: u8) {
+        self.metrics.add(self.ctr.copies, phys.len() as u64);
+        if self.fast_path() {
+            return;
+        }
+        for (i, &p) in phys.iter().enumerate() {
+            let id = self.shadow.get(ShadowAddr::Reg { index: reg_index, off: i as u8 });
+            let id = self.control_adjust(id);
+            self.shadow.set(ShadowAddr::Mem(p), id);
         }
     }
 
@@ -340,13 +425,10 @@ impl TaintEngine {
         keep_dst: bool,
     ) {
         self.metrics.inc(self.ctr.unions);
-        let mut acc = ListId::EMPTY;
-        for &(src, len) in srcs {
-            for i in 0..len {
-                let id = self.shadow.get(src.offset(i));
-                acc = self.interner.union(acc, id);
-            }
+        if self.fast_path() {
+            return;
         }
+        let acc = self.union_srcs(srcs);
         for i in 0..dst_len {
             let byte_dst = dst.offset(i);
             let merged = if keep_dst {
@@ -368,19 +450,65 @@ impl TaintEngine {
     /// bit-copy channel of the paper's Fig. 2.
     pub fn delete(&mut self, dst: ShadowAddr, len: u8) {
         self.metrics.add(self.ctr.deletes, len as u64);
+        if self.fast_path() {
+            return;
+        }
         for i in 0..len {
             let id = self.control_adjust(ListId::EMPTY);
             self.shadow.set(dst.offset(i), id);
         }
     }
 
+    /// Batched `delete` over translated physical bytes (page-crossing
+    /// safe): `prov(phys[i]) <- ∅`.
+    pub fn delete_mem(&mut self, phys: &[u32]) {
+        self.metrics.add(self.ctr.deletes, phys.len() as u64);
+        if self.fast_path() {
+            return;
+        }
+        for &p in phys {
+            let id = self.control_adjust(ListId::EMPTY);
+            self.shadow.set(ShadowAddr::Mem(p), id);
+        }
+    }
+
     /// An address dependency observed: a value at `dst` was accessed through
     /// an address computed from `srcs`. Propagated only when
     /// [`PropagationMode::address_deps`] is set.
+    ///
+    /// `dst.offset(i)` must be the i-th affected byte, so a memory `dst`
+    /// must be physically contiguous — for a page-crossing memory operand
+    /// use [`TaintEngine::addr_dep_bytes`] with the translated per-byte
+    /// physical addresses instead.
     pub fn addr_dep(&mut self, dst: ShadowAddr, dst_len: u8, srcs: &[(ShadowAddr, u8)]) {
         self.metrics.inc(self.ctr.addr_deps);
         if self.mode.address_deps {
             self.union_into(dst, dst_len, srcs, true);
+        }
+    }
+
+    /// Address dependency over translated physical bytes: each byte of the
+    /// accessed memory receives the union of the address registers'
+    /// provenance, landing on the byte's *own* frame. This is the
+    /// page-crossing-correct form of [`TaintEngine::addr_dep`] for memory
+    /// destinations: `addr_dep(Mem(phys[0]), w, ..)` would assume the `w`
+    /// bytes are contiguous and taint the wrong frame past a page boundary.
+    pub fn addr_dep_bytes(&mut self, phys: &[u32], srcs: &[(ShadowAddr, u8)]) {
+        self.metrics.inc(self.ctr.addr_deps);
+        if !self.mode.address_deps {
+            return;
+        }
+        self.metrics.inc(self.ctr.unions);
+        if self.fast_path() {
+            return;
+        }
+        let acc = self.union_srcs(srcs);
+        for &p in phys {
+            let byte_dst = ShadowAddr::Mem(p);
+            let cur = self.shadow.get(byte_dst);
+            let merged = self.interner.union(cur, acc);
+            let merged = self.control_adjust(merged);
+            self.shadow.set(byte_dst, merged);
         }
     }
 
@@ -392,27 +520,22 @@ impl TaintEngine {
         if !self.mode.control_deps {
             return;
         }
-        let mut acc = ListId::EMPTY;
-        for &(src, len) in srcs {
-            for i in 0..len {
-                let id = self.shadow.get(src.offset(i));
-                acc = self.interner.union(acc, id);
-            }
-        }
-        self.flags_prov = acc;
+        self.flags_prov = self.union_srcs(srcs);
     }
 
     /// Builds the taint map: every tainted physical byte, coalesced into
     /// runs of identical provenance, in address order. This is the
     /// "visibility into how information flows in a live system" view an
-    /// analyst browses after a replay.
+    /// analyst browses after a replay. The paged shadow iterates in
+    /// ascending address order, so no sort is needed.
     pub fn tainted_regions(&self) -> Vec<TaintedRegion> {
-        let mut bytes: Vec<(u32, ListId)> = self.shadow.iter_mem().collect();
-        bytes.sort_unstable_by_key(|&(a, _)| a);
         let mut out: Vec<TaintedRegion> = Vec::new();
-        for (addr, list) in bytes {
+        for (addr, list) in self.shadow.iter_mem() {
             match out.last_mut() {
-                Some(last) if last.phys + last.len == addr && last.list == list => {
+                Some(last)
+                    if u64::from(last.phys) + u64::from(last.len) == u64::from(addr)
+                        && last.list == list =>
+                {
                     last.len += 1;
                 }
                 _ => out.push(TaintedRegion { phys: addr, len: 1, list }),
@@ -633,5 +756,131 @@ mod tests {
         e.copy(ShadowAddr::Mem(100), ShadowAddr::Mem(0), 2);
         assert_eq!(e.prov_tags(ShadowAddr::Mem(100)), &[nf]);
         assert_eq!(e.prov_tags(ShadowAddr::Mem(101)), &[file]);
+    }
+
+    #[test]
+    fn zero_taint_fast_path_counts_hits_then_misses() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        assert!(e.propagation_is_noop());
+        // All propagation rules skip while the system is clean...
+        e.copy(ShadowAddr::Mem(100), ShadowAddr::Mem(0), 4);
+        e.delete(ShadowAddr::Mem(100), 4);
+        e.union_into(ShadowAddr::Mem(200), 1, &[(ShadowAddr::Mem(0), 4)], false);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("taint.fastpath.hits"), Some(3));
+        assert_eq!(snap.counter("taint.fastpath.misses"), Some(0));
+        // ...but the work counters advance exactly as on the slow path.
+        assert_eq!(e.stats().copies, 4);
+        assert_eq!(e.stats().deletes, 4);
+        assert_eq!(e.stats().unions, 1);
+        // First label flips the predicate; the next op takes the slow path.
+        e.label_fresh(ShadowAddr::Mem(0), nf);
+        assert!(!e.propagation_is_noop());
+        e.copy(ShadowAddr::Mem(100), ShadowAddr::Mem(0), 1);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(100)), &[nf]);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counter("taint.fastpath.misses"), Some(1));
+        // Deleting the last tainted byte re-arms the fast path.
+        e.delete(ShadowAddr::Mem(0), 1);
+        e.delete(ShadowAddr::Mem(100), 1);
+        assert!(e.propagation_is_noop());
+    }
+
+    #[test]
+    fn fast_path_disarmed_by_register_taint() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_fresh(ShadowAddr::Reg { index: 0, off: 0 }, nf);
+        assert!(!e.propagation_is_noop(), "register taint must disarm the fast path");
+        e.copy(ShadowAddr::Mem(0x10), ShadowAddr::Reg { index: 0, off: 0 }, 1);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(0x10)), &[nf]);
+    }
+
+    #[test]
+    fn fast_path_disarmed_by_open_control_context() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::conservative());
+        e.label_fresh(ShadowAddr::Reg { index: 0, off: 0 }, nf);
+        e.note_flags(&[(ShadowAddr::Reg { index: 0, off: 0 }, 4)]);
+        e.enter_branch_scope();
+        // Clearing the only tainted byte leaves shadow clean, but the open
+        // branch scope still forces deletes to write the control context.
+        e.delete(ShadowAddr::Reg { index: 0, off: 0 }, 4);
+        assert!(!e.propagation_is_noop());
+        e.delete(ShadowAddr::Mem(50), 1);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(50)), &[nf]);
+    }
+
+    #[test]
+    fn batched_copies_match_per_byte_semantics() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        let file = e.tables_mut().intern_file("f", 1).unwrap();
+        // A 4-byte run crossing a page boundary: 0x1ffe..0x2002.
+        let phys = [0x1ffe, 0x1fff, 0x2000, 0x2001];
+        e.label_fresh(ShadowAddr::Mem(0x1fff), nf);
+        e.label_fresh(ShadowAddr::Mem(0x2001), file);
+        e.copy_mem_to_reg(3, &phys);
+        assert!(e.prov_tags(ShadowAddr::Reg { index: 3, off: 0 }).is_empty());
+        assert_eq!(e.prov_tags(ShadowAddr::Reg { index: 3, off: 1 }), &[nf]);
+        assert!(e.prov_tags(ShadowAddr::Reg { index: 3, off: 2 }).is_empty());
+        assert_eq!(e.prov_tags(ShadowAddr::Reg { index: 3, off: 3 }), &[file]);
+        assert_eq!(e.stats().copies, 4);
+        // Store the register back to a different page-crossing run.
+        let dst = [0x4ffe, 0x4fff, 0x5000, 0x5001];
+        e.copy_reg_to_mem(&dst, 3);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(0x4fff)), &[nf]);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(0x5001)), &[file]);
+        assert!(e.prov_tags(ShadowAddr::Mem(0x4ffe)).is_empty());
+        // Batched delete clears the run without touching neighbours.
+        e.delete_mem(&dst);
+        assert!(e.prov_tags(ShadowAddr::Mem(0x4fff)).is_empty());
+        assert!(e.prov_tags(ShadowAddr::Mem(0x5001)).is_empty());
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(0x1fff)), &[nf]);
+    }
+
+    #[test]
+    fn addr_dep_bytes_taints_each_byte_on_its_own_frame() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::with_address_deps());
+        e.label_fresh(ShadowAddr::Reg { index: 2, off: 0 }, nf);
+        // Regression for the page-crossing bug: a 4-byte store at
+        // virt 0xffe..0x1002 translates to bytes on two distinct frames.
+        let phys = [0x1ffe, 0x1fff, 0x7000, 0x7001];
+        e.addr_dep_bytes(&phys, &[(ShadowAddr::Reg { index: 2, off: 0 }, 4)]);
+        for &p in &phys {
+            assert_eq!(e.prov_tags(ShadowAddr::Mem(p)), &[nf], "byte {p:#x}");
+        }
+        // The contiguous interpretation would have tainted 0x2000/0x2001.
+        assert!(e.prov_tags(ShadowAddr::Mem(0x2000)).is_empty());
+        assert!(e.prov_tags(ShadowAddr::Mem(0x2001)).is_empty());
+        assert_eq!(e.stats().addr_deps, 1);
+        assert_eq!(e.stats().unions, 1);
+    }
+
+    #[test]
+    fn addr_dep_bytes_respects_direct_only_mode() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        e.label_fresh(ShadowAddr::Reg { index: 2, off: 0 }, nf);
+        e.addr_dep_bytes(&[0x1000], &[(ShadowAddr::Reg { index: 2, off: 0 }, 4)]);
+        assert!(e.prov_tags(ShadowAddr::Mem(0x1000)).is_empty());
+        assert_eq!(e.stats().addr_deps, 1);
+        assert_eq!(e.stats().unions, 0);
+    }
+
+    #[test]
+    fn label_range_clamps_at_top_of_address_space() {
+        let (mut e, nf) = engine_with_nf(PropagationMode::direct_only());
+        // A range that used to wrap into low memory: 8 bytes from MAX-3.
+        e.label_range_fresh(u32::MAX - 3, 8, nf);
+        assert_eq!(e.shadow().tainted_mem_bytes(), 4, "clamped at u32::MAX");
+        assert!(e.prov_tags(ShadowAddr::Mem(u32::MAX)).contains(&nf));
+        assert!(e.prov_tags(ShadowAddr::Mem(0)).is_empty(), "no wrap to low memory");
+        assert!(e.prov_tags(ShadowAddr::Mem(3)).is_empty());
+        // Same for append_tag_range.
+        let p1 = e.tables_mut().intern_process(0x1000, "a.exe").unwrap();
+        e.append_tag_range(u32::MAX - 1, 100, p1);
+        assert_eq!(e.prov_tags(ShadowAddr::Mem(u32::MAX)), &[nf, p1]);
+        assert!(e.prov_tags(ShadowAddr::Mem(0)).is_empty());
+        let regions = e.tainted_regions();
+        // Two runs at the very top: [MAX-3, MAX-2] with nf, [MAX-1, MAX]
+        // with nf->p1. Coalescing near MAX must not overflow.
+        assert_eq!(regions.last().map(|r| (r.phys, r.len)), Some((u32::MAX - 1, 2)));
     }
 }

@@ -55,6 +55,7 @@
 
 pub mod arb;
 pub mod engine;
+pub mod paged;
 pub mod provlist;
 pub mod shadow;
 pub mod tables;

@@ -1,0 +1,242 @@
+//! Paged shadow memory: a two-level, physically-indexed shadow substrate.
+//!
+//! The original shadow memory was a `HashMap<u32, ListId>` — one hash
+//! lookup per byte per propagation rule, which dominated the replay-side
+//! taint overhead (see `BENCH_replay.json`). Low-overhead DIFT substrates
+//! (TaintAssembly's linear shadow memory, SpiderPig's cheap dynamic
+//! data-flow instrumentation) use dense region-structured shadows instead;
+//! this module is that structure for the FAROS reproduction:
+//!
+//! * a **page directory** indexed by physical frame number (`addr >> 12`),
+//!   grown lazily to the highest frame ever tainted;
+//! * lazily-allocated **shadow pages** of 4 Ki [`ListId`] cells, one per
+//!   guest byte, each carrying a resident tainted-byte count so a page
+//!   whose last tainted byte is cleared is freed again;
+//! * a **global tainted-byte counter**, kept exact by `set`, which is what
+//!   makes the engine's zero-taint fast path a two-field check.
+//!
+//! Reads of untainted frames touch no page; writes of [`ListId::EMPTY`]
+//! to untainted frames allocate nothing. Iteration is in ascending
+//! physical-address order, so the analyst-facing taint map needs no sort.
+
+use crate::provlist::ListId;
+
+/// Bytes covered by one shadow page (matches the guest MMU page size).
+pub const SHADOW_PAGE_SIZE: u32 = 4096;
+
+/// log2 of [`SHADOW_PAGE_SIZE`].
+const PAGE_SHIFT: u32 = 12;
+
+/// Offset-within-page mask.
+const OFFSET_MASK: u32 = SHADOW_PAGE_SIZE - 1;
+
+/// One resident shadow page: a [`ListId`] cell per guest byte of the frame
+/// plus the count of non-empty cells.
+#[derive(Debug)]
+struct ShadowPage {
+    /// Number of cells holding a non-empty list.
+    occupied: u32,
+    /// Cell per byte; length is always [`SHADOW_PAGE_SIZE`].
+    cells: Box<[ListId]>,
+}
+
+impl ShadowPage {
+    fn new() -> ShadowPage {
+        ShadowPage {
+            occupied: 0,
+            cells: vec![ListId::EMPTY; SHADOW_PAGE_SIZE as usize].into_boxed_slice(),
+        }
+    }
+}
+
+/// The paged shadow memory (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use faros_taint::paged::PagedShadow;
+/// use faros_taint::provlist::ListId;
+///
+/// let shadow = PagedShadow::new();
+/// assert_eq!(shadow.get(0x1000), ListId::EMPTY);
+/// assert!(shadow.is_clean());
+/// assert_eq!(shadow.resident_pages(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PagedShadow {
+    /// Page directory, indexed by physical frame number.
+    dir: Vec<Option<Box<ShadowPage>>>,
+    /// Global count of tainted (non-empty) bytes across all pages.
+    tainted: usize,
+}
+
+impl PagedShadow {
+    /// Creates an all-untainted shadow with no resident pages.
+    pub fn new() -> PagedShadow {
+        PagedShadow::default()
+    }
+
+    /// Reads the cell for one physical byte.
+    #[inline]
+    pub fn get(&self, addr: u32) -> ListId {
+        match self.dir.get((addr >> PAGE_SHIFT) as usize) {
+            Some(Some(page)) => page.cells[(addr & OFFSET_MASK) as usize],
+            _ => ListId::EMPTY,
+        }
+    }
+
+    /// Writes the cell for one physical byte, maintaining the per-page
+    /// occupancy and the global tainted-byte count. Clearing the last
+    /// tainted byte of a page frees the page; clearing an untainted byte
+    /// allocates nothing.
+    #[inline]
+    pub fn set(&mut self, addr: u32, id: ListId) {
+        let pfn = (addr >> PAGE_SHIFT) as usize;
+        let off = (addr & OFFSET_MASK) as usize;
+        if id.is_empty() {
+            let Some(slot) = self.dir.get_mut(pfn) else { return };
+            let Some(page) = slot else { return };
+            if page.cells[off].is_empty() {
+                return;
+            }
+            page.cells[off] = ListId::EMPTY;
+            page.occupied -= 1;
+            self.tainted -= 1;
+            if page.occupied == 0 {
+                *slot = None;
+            }
+        } else {
+            if pfn >= self.dir.len() {
+                self.dir.resize_with(pfn + 1, || None);
+            }
+            let page = self.dir[pfn].get_or_insert_with(|| Box::new(ShadowPage::new()));
+            let cell = &mut page.cells[off];
+            if cell.is_empty() {
+                page.occupied += 1;
+                self.tainted += 1;
+            }
+            *cell = id;
+        }
+    }
+
+    /// Exact number of tainted bytes across all pages.
+    #[inline]
+    pub fn tainted_bytes(&self) -> usize {
+        self.tainted
+    }
+
+    /// Returns `true` when no byte anywhere is tainted — the zero-taint
+    /// fast-path predicate.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.tainted == 0
+    }
+
+    /// Number of resident (allocated) shadow pages.
+    pub fn resident_pages(&self) -> usize {
+        self.dir.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Returns `true` when the page covering `addr` is resident (i.e. at
+    /// least one byte of its frame is tainted).
+    #[inline]
+    pub fn page_resident(&self, addr: u32) -> bool {
+        matches!(self.dir.get((addr >> PAGE_SHIFT) as usize), Some(Some(_)))
+    }
+
+    /// Iterates over tainted bytes as `(phys_addr, list)` pairs in
+    /// ascending physical-address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, ListId)> + '_ {
+        self.dir
+            .iter()
+            .enumerate()
+            .filter_map(|(pfn, slot)| slot.as_ref().map(|page| (pfn, page)))
+            .flat_map(|(pfn, page)| {
+                let base = (pfn as u32) << PAGE_SHIFT;
+                page.cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, cell)| !cell.is_empty())
+                    .map(move |(off, &cell)| (base | off as u32, cell))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(n: u32) -> ListId {
+        ListId::from_raw(n)
+    }
+
+    #[test]
+    fn get_set_round_trip_and_counts() {
+        let mut s = PagedShadow::new();
+        s.set(0x1234, lid(7));
+        assert_eq!(s.get(0x1234), lid(7));
+        assert_eq!(s.get(0x1235), ListId::EMPTY);
+        assert_eq!(s.tainted_bytes(), 1);
+        assert!(!s.is_clean());
+        // Overwriting with another list does not double-count.
+        s.set(0x1234, lid(9));
+        assert_eq!(s.tainted_bytes(), 1);
+    }
+
+    #[test]
+    fn clearing_last_byte_frees_the_page() {
+        let mut s = PagedShadow::new();
+        s.set(0x2000, lid(1));
+        s.set(0x2fff, lid(2));
+        assert_eq!(s.resident_pages(), 1);
+        assert!(s.page_resident(0x2abc));
+        s.set(0x2000, ListId::EMPTY);
+        assert_eq!(s.resident_pages(), 1, "one tainted byte keeps the page");
+        s.set(0x2fff, ListId::EMPTY);
+        assert_eq!(s.resident_pages(), 0, "fully-cleared page is freed");
+        assert!(s.is_clean());
+        assert!(!s.page_resident(0x2abc));
+    }
+
+    #[test]
+    fn clearing_untainted_bytes_allocates_nothing() {
+        let mut s = PagedShadow::new();
+        s.set(0xffff_0000, ListId::EMPTY);
+        assert_eq!(s.resident_pages(), 0);
+        assert!(s.is_clean());
+        // The directory did not grow either: a high clear is free.
+        assert_eq!(s.dir.len(), 0);
+    }
+
+    #[test]
+    fn pages_are_independent_across_frames() {
+        let mut s = PagedShadow::new();
+        // Two adjacent physical bytes on different frames.
+        s.set(0x1fff, lid(3));
+        s.set(0x2000, lid(4));
+        assert_eq!(s.resident_pages(), 2);
+        assert_eq!(s.get(0x1fff), lid(3));
+        assert_eq!(s.get(0x2000), lid(4));
+    }
+
+    #[test]
+    fn iteration_is_in_ascending_address_order() {
+        let mut s = PagedShadow::new();
+        for &a in &[0x5001u32, 0x1002, 0x1000, 0x5000, 0x3fff] {
+            s.set(a, lid(a));
+        }
+        let got: Vec<u32> = s.iter().map(|(a, _)| a).collect();
+        assert_eq!(got, vec![0x1000, 0x1002, 0x3fff, 0x5000, 0x5001]);
+    }
+
+    #[test]
+    fn top_of_address_space_is_addressable() {
+        let mut s = PagedShadow::new();
+        s.set(u32::MAX, lid(1));
+        assert_eq!(s.get(u32::MAX), lid(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(u32::MAX, lid(1))]);
+        s.set(u32::MAX, ListId::EMPTY);
+        assert!(s.is_clean());
+        assert_eq!(s.resident_pages(), 0);
+    }
+}

@@ -4,9 +4,17 @@
 //! holding a [`ListId`] — the interned provenance list of that byte. Keying
 //! by physical address (rather than virtual) is what lets a tag follow a
 //! byte when it is written into another process's address space.
+//!
+//! Memory shadow is stored in the two-level [`PagedShadow`]
+//! (see [`crate::paged`]): a page directory of lazily-allocated 4 Ki
+//! [`ListId`] pages with exact occupancy counts, replacing the original
+//! per-byte `HashMap` whose lookup cost dominated the replay hot path. The
+//! register bank additionally keeps its own tainted-byte count, so
+//! [`ShadowState::is_clean`] — the zero-taint fast-path predicate — is two
+//! integer compares.
 
+use crate::paged::PagedShadow;
 use crate::provlist::ListId;
-use std::collections::HashMap;
 
 /// Number of register slots shadowed (generous upper bound; FE32 uses 8).
 pub const SHADOW_REGS: usize = 16;
@@ -32,22 +40,22 @@ pub enum ShadowAddr {
 impl ShadowAddr {
     /// The shadow address `n` bytes after this one.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if a register address is advanced past byte 3.
+    /// Register addresses saturate at the register's last byte (offset 3):
+    /// a register has no "next" byte, and the guard is unconditional so a
+    /// release build can neither panic on the array index nor silently
+    /// corrupt a neighbouring slot under a dense layout.
     #[inline]
     pub fn offset(self, n: u8) -> ShadowAddr {
         match self {
             ShadowAddr::Mem(a) => ShadowAddr::Mem(a.wrapping_add(n as u32)),
             ShadowAddr::Reg { index, off } => {
-                debug_assert!(off + n < 4, "register shadow overflow");
-                ShadowAddr::Reg { index, off: off + n }
+                ShadowAddr::Reg { index, off: off.saturating_add(n).min(3) }
             }
         }
     }
 }
 
-/// The shadow state: a sparse map for memory plus a dense register bank.
+/// The shadow state: paged shadow memory plus a dense register bank.
 ///
 /// # Examples
 ///
@@ -57,11 +65,15 @@ impl ShadowAddr {
 ///
 /// let mut shadow = ShadowState::new();
 /// assert_eq!(shadow.get(ShadowAddr::Mem(0x1000)), ListId::EMPTY);
+/// assert!(shadow.is_clean());
 /// ```
 #[derive(Debug, Default)]
 pub struct ShadowState {
-    mem: HashMap<u32, ListId>,
+    mem: PagedShadow,
     regs: [[ListId; 4]; SHADOW_REGS],
+    /// Count of non-empty register shadow bytes, kept exact by `set` /
+    /// `clear_regs` / `restore_regs`.
+    reg_tainted: u32,
 }
 
 impl ShadowState {
@@ -74,39 +86,60 @@ impl ShadowState {
     #[inline]
     pub fn get(&self, addr: ShadowAddr) -> ListId {
         match addr {
-            ShadowAddr::Mem(a) => self.mem.get(&a).copied().unwrap_or(ListId::EMPTY),
+            ShadowAddr::Mem(a) => self.mem.get(a),
             ShadowAddr::Reg { index, off } => self.regs[index as usize][off as usize],
         }
     }
 
     /// Writes the provenance list id of a shadow byte. Writing
-    /// [`ListId::EMPTY`] removes any existing memory entry, keeping the map
-    /// sparse.
+    /// [`ListId::EMPTY`] clears the cell; a fully-cleared memory page is
+    /// freed (see [`PagedShadow::set`]).
     #[inline]
     pub fn set(&mut self, addr: ShadowAddr, id: ListId) {
         match addr {
-            ShadowAddr::Mem(a) => {
-                if id.is_empty() {
-                    self.mem.remove(&a);
-                } else {
-                    self.mem.insert(a, id);
-                }
-            }
+            ShadowAddr::Mem(a) => self.mem.set(a, id),
             ShadowAddr::Reg { index, off } => {
-                self.regs[index as usize][off as usize] = id;
+                let cell = &mut self.regs[index as usize][off as usize];
+                match (cell.is_empty(), id.is_empty()) {
+                    (true, false) => self.reg_tainted += 1,
+                    (false, true) => self.reg_tainted -= 1,
+                    _ => {}
+                }
+                *cell = id;
             }
         }
     }
 
-    /// Number of tainted memory bytes.
+    /// Number of tainted memory bytes (exact, maintained incrementally).
+    #[inline]
     pub fn tainted_mem_bytes(&self) -> usize {
-        self.mem.len()
+        self.mem.tainted_bytes()
+    }
+
+    /// Number of tainted register shadow bytes.
+    #[inline]
+    pub fn tainted_reg_bytes(&self) -> usize {
+        self.reg_tainted as usize
+    }
+
+    /// Returns `true` when *nothing* is tainted — no memory byte and no
+    /// register byte. This is the zero-taint fast-path predicate: while it
+    /// holds (e.g. before the first `label_fresh` of a replay), every
+    /// `copy`/`union`/`delete` is a provable no-op.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.mem.is_clean() && self.reg_tainted == 0
+    }
+
+    /// Number of resident shadow-memory pages (diagnostics / benches).
+    pub fn resident_pages(&self) -> usize {
+        self.mem.resident_pages()
     }
 
     /// Iterates over tainted memory bytes as `(phys_addr, list)` pairs in
-    /// unspecified order.
+    /// ascending physical-address order.
     pub fn iter_mem(&self) -> impl Iterator<Item = (u32, ListId)> + '_ {
-        self.mem.iter().map(|(&a, &l)| (a, l))
+        self.mem.iter()
     }
 
     /// Clears all register shadows (e.g. on a context switch if per-thread
@@ -114,6 +147,7 @@ impl ShadowState {
     /// per thread, so this is only used by tests and resets).
     pub fn clear_regs(&mut self) {
         self.regs = [[ListId::EMPTY; 4]; SHADOW_REGS];
+        self.reg_tainted = 0;
     }
 
     /// Takes a snapshot of the register shadow bank.
@@ -128,6 +162,8 @@ impl ShadowState {
     /// whole-system DIFT sees register state move to/from the KTRAP frame.
     pub fn restore_regs(&mut self, regs: [[ListId; 4]; SHADOW_REGS]) {
         self.regs = regs;
+        self.reg_tainted =
+            self.regs.iter().flatten().filter(|id| !id.is_empty()).count() as u32;
     }
 }
 
@@ -145,6 +181,7 @@ mod tests {
         assert_eq!(s.get(ShadowAddr::Mem(123)), ListId::EMPTY);
         assert_eq!(s.get(ShadowAddr::Reg { index: 3, off: 2 }), ListId::EMPTY);
         assert_eq!(s.tainted_mem_bytes(), 0);
+        assert!(s.is_clean());
     }
 
     #[test]
@@ -156,6 +193,8 @@ mod tests {
         assert_eq!(s.get(ShadowAddr::Reg { index: 0, off: 1 }), lid(7));
         assert_eq!(s.get(ShadowAddr::Reg { index: 0, off: 0 }), ListId::EMPTY);
         assert_eq!(s.tainted_mem_bytes(), 1);
+        assert_eq!(s.tainted_reg_bytes(), 1);
+        assert!(!s.is_clean());
     }
 
     #[test]
@@ -164,6 +203,8 @@ mod tests {
         s.set(ShadowAddr::Mem(0x40), lid(5));
         s.set(ShadowAddr::Mem(0x40), ListId::EMPTY);
         assert_eq!(s.tainted_mem_bytes(), 0);
+        assert!(s.is_clean());
+        assert_eq!(s.resident_pages(), 0, "fully-cleared page is freed");
     }
 
     #[test]
@@ -176,23 +217,39 @@ mod tests {
     }
 
     #[test]
+    fn reg_offset_overflow_clamps_in_all_builds() {
+        // Regression: this used to be a debug_assert!, so a release build
+        // indexed `regs[i][off]` out of range. The guard is unconditional
+        // now and saturates at the register's last byte.
+        assert_eq!(
+            ShadowAddr::Reg { index: 1, off: 2 }.offset(5),
+            ShadowAddr::Reg { index: 1, off: 3 }
+        );
+        assert_eq!(
+            ShadowAddr::Reg { index: 1, off: 3 }.offset(u8::MAX),
+            ShadowAddr::Reg { index: 1, off: 3 }
+        );
+    }
+
+    #[test]
     fn reg_bank_save_restore() {
         let mut s = ShadowState::new();
         s.set(ShadowAddr::Reg { index: 1, off: 0 }, lid(9));
         let saved = s.save_regs();
         s.clear_regs();
         assert_eq!(s.get(ShadowAddr::Reg { index: 1, off: 0 }), ListId::EMPTY);
+        assert!(s.is_clean());
         s.restore_regs(saved);
         assert_eq!(s.get(ShadowAddr::Reg { index: 1, off: 0 }), lid(9));
+        assert_eq!(s.tainted_reg_bytes(), 1, "restore recounts the bank");
     }
 
     #[test]
-    fn iter_mem_sees_all_entries() {
+    fn iter_mem_sees_all_entries_in_order() {
         let mut s = ShadowState::new();
-        s.set(ShadowAddr::Mem(1), lid(1));
         s.set(ShadowAddr::Mem(2), lid(2));
-        let mut got: Vec<(u32, ListId)> = s.iter_mem().collect();
-        got.sort_by_key(|&(a, _)| a);
+        s.set(ShadowAddr::Mem(1), lid(1));
+        let got: Vec<(u32, ListId)> = s.iter_mem().collect();
         assert_eq!(got, vec![(1, lid(1)), (2, lid(2))]);
     }
 }

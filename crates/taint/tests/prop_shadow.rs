@@ -1,0 +1,343 @@
+//! Differential property test: the paged shadow memory against the original
+//! per-byte `HashMap` shadow kept here as a reference oracle.
+//!
+//! Random label/copy/union/delete sequences — including page-boundary-
+//! crossing loads and stores whose translated bytes land on scrambled,
+//! non-adjacent frames — are applied to a real [`TaintEngine`] (paged
+//! shadow, zero-taint fast path, batched ops) and to the oracle, which
+//! replicates the pre-paging semantics byte by byte over a
+//! `HashMap<u32, ListId>`. Afterwards the two must agree on the exact
+//! tainted-byte set, the coalesced `tainted_regions()` boundaries, and the
+//! provenance tags of every region and register byte.
+//!
+//! Both sides intern into their own [`ProvInterner`]; since interning is
+//! canonical (same tag history ⇒ same id), regions are compared by
+//! boundaries plus rendered tag sequences rather than raw ids.
+
+use faros_support::prop::{check, Config, Rng, Shrink};
+use faros_support::{prop_assert, prop_assert_eq};
+use faros_taint::arb::prov_tag;
+use faros_taint::engine::{PropagationMode, TaintEngine};
+use faros_taint::provlist::{ListId, ProvInterner};
+use faros_taint::shadow::ShadowAddr;
+use faros_taint::tag::ProvTag;
+use std::collections::HashMap;
+
+const PAGE: u32 = 4096;
+const REGS: u8 = 8;
+
+/// One shadow operation, expressed so it can drive both implementations.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `label_range_fresh` — a taint source over a physical range.
+    LabelRange { phys: u32, len: usize, tag: ProvTag },
+    /// `append_tag_range` — process/file tag appended over a range.
+    AppendRange { phys: u32, len: usize, tag: ProvTag },
+    /// Plain contiguous mem→mem copy (kernel-mediated `guest_copy` shape).
+    CopyMem { dst: u32, src: u32, len: u8 },
+    /// A load: per-byte translated run into a register, with
+    /// zero-extension for sub-word widths. The run may cross a page
+    /// boundary onto a non-adjacent frame.
+    Load { reg: u8, phys: Vec<u32> },
+    /// A store: register bytes out to a per-byte translated run.
+    Store { phys: Vec<u32>, reg: u8 },
+    /// Union of memory source ranges into a destination (ALU shape).
+    Union { dst: u32, dst_len: u8, srcs: Vec<(u32, u8)>, keep: bool },
+    /// Contiguous delete (immediate writes).
+    Delete { dst: u32, len: u8 },
+    /// Batched delete over a translated run (`push imm` across pages).
+    DeleteMem { phys: Vec<u32> },
+}
+
+impl Shrink for Op {
+    fn shrink(&self) -> Vec<Op> {
+        Vec::new() // Vec<Op> already shrinks by dropping whole ops.
+    }
+}
+
+/// The reference oracle: the original per-byte `HashMap` shadow with its
+/// own interner, applying every rule exactly as the pre-paging engine did.
+#[derive(Default)]
+struct Oracle {
+    interner: ProvInterner,
+    mem: HashMap<u32, ListId>,
+    regs: [[ListId; 4]; REGS as usize],
+}
+
+impl Oracle {
+    fn get_mem(&self, a: u32) -> ListId {
+        self.mem.get(&a).copied().unwrap_or(ListId::EMPTY)
+    }
+
+    fn set_mem(&mut self, a: u32, id: ListId) {
+        if id.is_empty() {
+            self.mem.remove(&a);
+        } else {
+            self.mem.insert(a, id);
+        }
+    }
+
+    fn clamp(phys: u32, len: usize) -> usize {
+        len.min((u32::MAX - phys) as usize + 1)
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::LabelRange { phys, len, tag } => {
+                let id = self.interner.append(ListId::EMPTY, *tag);
+                for i in 0..Self::clamp(*phys, *len) {
+                    self.set_mem(phys + i as u32, id);
+                }
+            }
+            Op::AppendRange { phys, len, tag } => {
+                for i in 0..Self::clamp(*phys, *len) {
+                    let a = phys + i as u32;
+                    let id = self.interner.append(self.get_mem(a), *tag);
+                    self.set_mem(a, id);
+                }
+            }
+            Op::CopyMem { dst, src, len } => {
+                for i in 0..u32::from(*len) {
+                    let id = self.get_mem(src.wrapping_add(i));
+                    self.set_mem(dst.wrapping_add(i), id);
+                }
+            }
+            Op::Load { reg, phys } => {
+                for (i, &p) in phys.iter().enumerate() {
+                    self.regs[*reg as usize][i] = self.get_mem(p);
+                }
+                for i in phys.len()..4 {
+                    self.regs[*reg as usize][i] = ListId::EMPTY;
+                }
+            }
+            Op::Store { phys, reg } => {
+                for (i, &p) in phys.iter().enumerate() {
+                    self.set_mem(p, self.regs[*reg as usize][i]);
+                }
+            }
+            Op::Union { dst, dst_len, srcs, keep } => {
+                let mut acc = ListId::EMPTY;
+                for &(src, len) in srcs {
+                    for i in 0..u32::from(len) {
+                        let id = self.get_mem(src.wrapping_add(i));
+                        acc = self.interner.union(acc, id);
+                    }
+                }
+                for i in 0..u32::from(*dst_len) {
+                    let a = dst.wrapping_add(i);
+                    let merged = if *keep {
+                        let cur = self.get_mem(a);
+                        self.interner.union(cur, acc)
+                    } else {
+                        acc
+                    };
+                    self.set_mem(a, merged);
+                }
+            }
+            Op::Delete { dst, len } => {
+                for i in 0..u32::from(*len) {
+                    self.set_mem(dst.wrapping_add(i), ListId::EMPTY);
+                }
+            }
+            Op::DeleteMem { phys } => {
+                for &p in phys {
+                    self.set_mem(p, ListId::EMPTY);
+                }
+            }
+        }
+    }
+
+    /// Tainted regions as `(phys, len, tags)`, coalesced like the engine's
+    /// `tainted_regions` (adjacent bytes with the identical list).
+    fn regions(&self) -> Vec<(u32, u32, Vec<ProvTag>)> {
+        let mut bytes: Vec<(u32, ListId)> = self.mem.iter().map(|(&a, &id)| (a, id)).collect();
+        bytes.sort_unstable_by_key(|&(a, _)| a);
+        let mut out: Vec<(u32, u32, ListId)> = Vec::new();
+        for (addr, list) in bytes {
+            match out.last_mut() {
+                Some((phys, len, l))
+                    if u64::from(*phys) + u64::from(*len) == u64::from(addr) && *l == list =>
+                {
+                    *len += 1;
+                }
+                _ => out.push((addr, 1, list)),
+            }
+        }
+        out.into_iter()
+            .map(|(phys, len, l)| (phys, len, self.interner.tags(l).to_vec()))
+            .collect()
+    }
+}
+
+fn engine_regions(engine: &TaintEngine) -> Vec<(u32, u32, Vec<ProvTag>)> {
+    engine
+        .tainted_regions()
+        .into_iter()
+        .map(|r| (r.phys, r.len, engine.interner().tags(r.list).to_vec()))
+        .collect()
+}
+
+fn apply_to_engine(engine: &mut TaintEngine, op: &Op) {
+    match op {
+        Op::LabelRange { phys, len, tag } => engine.label_range_fresh(*phys, *len, *tag),
+        Op::AppendRange { phys, len, tag } => engine.append_tag_range(*phys, *len, *tag),
+        Op::CopyMem { dst, src, len } => {
+            engine.copy(ShadowAddr::Mem(*dst), ShadowAddr::Mem(*src), *len);
+        }
+        Op::Load { reg, phys } => {
+            engine.copy_mem_to_reg(*reg, phys);
+            let w = phys.len();
+            if w < 4 {
+                engine.delete(ShadowAddr::Reg { index: *reg, off: w as u8 }, (4 - w) as u8);
+            }
+        }
+        Op::Store { phys, reg } => engine.copy_reg_to_mem(phys, *reg),
+        Op::Union { dst, dst_len, srcs, keep } => {
+            let srcs: Vec<(ShadowAddr, u8)> =
+                srcs.iter().map(|&(a, l)| (ShadowAddr::Mem(a), l)).collect();
+            engine.union_into(ShadowAddr::Mem(*dst), *dst_len, &srcs, *keep);
+        }
+        Op::Delete { dst, len } => engine.delete(ShadowAddr::Mem(*dst), *len),
+        Op::DeleteMem { phys } => engine.delete_mem(phys),
+    }
+}
+
+/// A physical byte address, biased toward page boundaries and the very top
+/// of the address space (where the old wrapping bugs lived).
+fn addr(rng: &mut Rng) -> u32 {
+    match rng.range_u32(0, 10) {
+        0 => u32::MAX - rng.range_u32(0, 64),
+        1..=4 => {
+            let page = rng.range_u32(1, 8);
+            page * PAGE - rng.range_u32(0, 8)
+        }
+        _ => rng.range_u32(0, 8 * PAGE),
+    }
+}
+
+/// A translated per-byte physical run of width 1/2/4: starts near the end
+/// of one frame and, when it crosses, continues on an unrelated frame —
+/// exactly what an MMU hands back for a page-crossing virtual access.
+fn translated_run(rng: &mut Rng) -> Vec<u32> {
+    let w = *rng.pick(&[1usize, 2, 4]);
+    let start = rng.range_u32(PAGE - 4, PAGE); // offset within the first frame
+    let f1 = rng.range_u32(0, 8) * PAGE;
+    let f2 = rng.range_u32(0, 8) * PAGE; // independent: frames need not be adjacent
+    (0..w as u32)
+        .map(|i| {
+            let off = start + i;
+            if off < PAGE {
+                f1 + off
+            } else {
+                f2 + (off - PAGE)
+            }
+        })
+        .collect()
+}
+
+fn op(rng: &mut Rng) -> Op {
+    match rng.range_u32(0, 8) {
+        0 => Op::LabelRange {
+            phys: addr(rng),
+            len: rng.range_usize(1, 64),
+            tag: prov_tag(rng),
+        },
+        1 => Op::AppendRange {
+            phys: addr(rng),
+            len: rng.range_usize(1, 32),
+            tag: prov_tag(rng),
+        },
+        2 => Op::CopyMem {
+            dst: addr(rng),
+            src: addr(rng),
+            len: rng.range_u32(1, 9) as u8,
+        },
+        3 => Op::Load { reg: rng.range_u32(0, u32::from(REGS)) as u8, phys: translated_run(rng) },
+        4 => Op::Store { phys: translated_run(rng), reg: rng.range_u32(0, u32::from(REGS)) as u8 },
+        5 => Op::Union {
+            dst: addr(rng),
+            dst_len: rng.range_u32(1, 5) as u8,
+            srcs: rng.vec_of(1, 3, |r| (addr(r), r.range_u32(1, 5) as u8)),
+            keep: rng.next_bool(),
+        },
+        6 => Op::Delete { dst: addr(rng), len: rng.range_u32(1, 9) as u8 },
+        _ => Op::DeleteMem { phys: translated_run(rng) },
+    }
+}
+
+#[test]
+fn paged_shadow_matches_hashmap_oracle() {
+    check(
+        "paged_shadow_matches_hashmap_oracle",
+        Config::default(),
+        |rng| rng.vec_of(0, 48, op),
+        |ops| {
+            let mut engine = TaintEngine::new(PropagationMode::direct_only());
+            let mut oracle = Oracle::default();
+            for op in ops {
+                apply_to_engine(&mut engine, op);
+                oracle.apply(op);
+            }
+            prop_assert_eq!(
+                engine.shadow().tainted_mem_bytes(),
+                oracle.mem.len(),
+                "global tainted-byte count"
+            );
+            prop_assert_eq!(engine_regions(&engine), oracle.regions(), "tainted_regions");
+            for r in 0..REGS {
+                for off in 0..4u8 {
+                    let got = engine.prov_tags(ShadowAddr::Reg { index: r, off });
+                    let want =
+                        oracle.interner.tags(oracle.regs[r as usize][off as usize]);
+                    prop_assert_eq!(got, want, "register {r} byte {off}");
+                }
+            }
+            // The fast path must be an optimization, not a behaviour: a
+            // clean engine and a clean oracle agree too.
+            prop_assert!(
+                engine.shadow().tainted_mem_bytes() > 0 || engine_regions(&engine).is_empty()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Focused page-boundary differential: long label runs spanning frames,
+/// then page-crossing loads/stores shuffling them, then deletes freeing
+/// pages — the allocation/free lifecycle of the paged shadow.
+#[test]
+fn page_lifecycle_matches_oracle() {
+    check(
+        "page_lifecycle_matches_oracle",
+        Config::default(),
+        |rng| {
+            let seed_tag = prov_tag(rng);
+            let start = rng.range_u32(1, 4) * PAGE - rng.range_u32(1, 16);
+            let len = rng.range_usize(8, 2 * PAGE as usize);
+            let moves = rng.vec_of(1, 12, |r| {
+                (translated_run(r), r.range_u32(0, u32::from(REGS)) as u8, translated_run(r))
+            });
+            (seed_tag, start, len, moves)
+        },
+        |(seed_tag, start, len, moves)| {
+            let mut engine = TaintEngine::new(PropagationMode::direct_only());
+            let mut oracle = Oracle::default();
+            let label = Op::LabelRange { phys: *start, len: *len, tag: *seed_tag };
+            apply_to_engine(&mut engine, &label);
+            oracle.apply(&label);
+            for (src_run, reg, dst_run) in moves {
+                for o in [
+                    Op::Load { reg: *reg, phys: src_run.clone() },
+                    Op::Store { phys: dst_run.clone(), reg: *reg },
+                    Op::DeleteMem { phys: src_run.clone() },
+                ] {
+                    apply_to_engine(&mut engine, &o);
+                    oracle.apply(&o);
+                }
+            }
+            prop_assert_eq!(engine_regions(&engine), oracle.regions());
+            prop_assert_eq!(engine.shadow().tainted_mem_bytes(), oracle.mem.len());
+            Ok(())
+        },
+    );
+}

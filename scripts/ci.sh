@@ -53,6 +53,9 @@ FAROS_BENCH_WRITE="$PWD" cargo bench --offline -p faros-bench --bench replay >/d
 cargo run --release --offline -p faros-bench --bin faros-cli -- json-check BENCH_replay.json
 test -s BENCH_replay.json
 
+echo "==> bench regression gate (replay_faros <= 4x replay_base)"
+cargo run --release --offline -p faros-bench --bin faros-cli -- bench-gate BENCH_replay.json
+
 echo "==> hermeticity check: no external dependencies in any manifest"
 if grep -rn "crates-io\|serde\|proptest\|criterion\|parking_lot" crates/*/Cargo.toml Cargo.toml; then
     echo "error: external dependency reference found in a manifest" >&2

@@ -69,6 +69,10 @@ pub struct ModuleCfg {
     pub call_edges: Vec<(u32, u32)>,
     /// Indirect control-flow sites.
     pub indirect_sites: Vec<IndirectSite>,
+    /// Statically resolved target sets for indirect sites, keyed by site
+    /// VA — filled in by [`ModuleCfg::splice_resolved`] (targets may lie
+    /// outside the image, e.g. a JIT buffer or another module).
+    pub resolved_targets: BTreeMap<u32, Vec<u32>>,
     instr_starts: BTreeSet<u32>,
     reachable_starts: BTreeSet<u32>,
 }
@@ -192,7 +196,15 @@ impl ModuleCfg {
             let is_leader = leaders.contains(&va);
             let continues = current.is_some() && va == expected_next && !is_leader;
             if !continues {
-                if let Some(b) = current.take() {
+                if let Some(mut b) = current.take() {
+                    // A block cut short by a leader (not by a block-ending
+                    // instruction) falls through into that leader.
+                    if b.succs.is_empty()
+                        && b.end == va
+                        && !b.instrs.last().is_some_and(|(_, i)| i.ends_block())
+                    {
+                        b.succs = vec![va];
+                    }
                     blocks.insert(b.start, b);
                 }
                 current = Some(BasicBlock {
@@ -233,7 +245,117 @@ impl ModuleCfg {
                 reachable: reachable_starts.contains(&va),
             })
             .collect();
-        ModuleCfg { name: name.to_string(), blocks, call_edges, indirect_sites, instr_starts, reachable_starts }
+        ModuleCfg {
+            name: name.to_string(),
+            blocks,
+            call_edges,
+            indirect_sites,
+            resolved_targets: BTreeMap::new(),
+            instr_starts,
+            reachable_starts,
+        }
+    }
+
+    /// Start VA of the block whose byte range contains `va`.
+    fn block_containing(&self, va: u32) -> Option<u32> {
+        let (&start, b) = self.blocks.range(..=va).next_back()?;
+        (va < b.end).then_some(start)
+    }
+
+    /// Splits the block containing `va` so that `va` becomes a block
+    /// start (a new leader discovered after recovery — e.g. a resolved
+    /// indirect-branch target landing mid-block). Returns `true` if a
+    /// split happened.
+    fn split_block_at(&mut self, va: u32) -> bool {
+        if self.blocks.contains_key(&va) || !self.instr_starts.contains(&va) {
+            return false;
+        }
+        let Some(bstart) = self.block_containing(va) else { return false };
+        let b = self.blocks.get_mut(&bstart).expect("block_containing returned a key");
+        let Some(idx) = b.instrs.iter().position(|(v, _)| *v == va) else { return false };
+        let tail = BasicBlock {
+            start: va,
+            end: b.end,
+            instrs: b.instrs.split_off(idx),
+            succs: std::mem::take(&mut b.succs),
+            reachable: b.reachable,
+        };
+        b.end = va;
+        b.succs = vec![va];
+        self.blocks.insert(va, tail);
+        true
+    }
+
+    /// Splices statically resolved indirect-branch target sets back into
+    /// the model: records them in [`resolved_targets`](Self::resolved_targets),
+    /// turns in-image targets into real successor / call edges (splitting
+    /// blocks where a target lands mid-block), and extends
+    /// descent-reachability through the new edges, so `is_reachable`,
+    /// `unreachable_blocks` and the lint layer all see the resolved flow.
+    pub fn splice_resolved(&mut self, resolved: &BTreeMap<u32, Vec<u32>>) {
+        let mut new_roots: Vec<u32> = Vec::new();
+        for (&site, targets) in resolved {
+            self.resolved_targets.insert(site, targets.clone());
+            let in_image: Vec<u32> =
+                targets.iter().copied().filter(|&t| self.instr_starts.contains(&t)).collect();
+            for &t in &in_image {
+                self.split_block_at(t);
+            }
+            let Some(bstart) = self.block_containing(site) else { continue };
+            let b = self.blocks.get_mut(&bstart).expect("block_containing returned a key");
+            match b.instrs.last() {
+                Some(&(last_va, Instr::JmpReg { .. })) if last_va == site => {
+                    for &t in &in_image {
+                        if !b.succs.contains(&t) {
+                            b.succs.push(t);
+                        }
+                    }
+                }
+                Some(&(last_va, Instr::CallReg { .. })) if last_va == site => {
+                    for &t in &in_image {
+                        if !self.call_edges.contains(&(site, t)) {
+                            self.call_edges.push((site, t));
+                        }
+                    }
+                }
+                _ => continue,
+            }
+            if self.reachable_starts.contains(&site) {
+                new_roots.extend(in_image);
+            }
+        }
+        self.extend_reachability(new_roots);
+    }
+
+    /// Propagates descent-reachability from `roots` through block
+    /// successors, direct call edges, and already-resolved indirect edges.
+    fn extend_reachability(&mut self, roots: Vec<u32>) {
+        let mut work: VecDeque<u32> = roots
+            .into_iter()
+            .filter(|r| self.blocks.contains_key(r) && !self.reachable_starts.contains(r))
+            .collect();
+        while let Some(bva) = work.pop_front() {
+            if self.reachable_starts.contains(&bva) {
+                continue;
+            }
+            let Some(b) = self.blocks.get_mut(&bva) else { continue };
+            b.reachable = true;
+            // Block succs already carry direct-call targets and
+            // fall-throughs; only resolved indirect edges need adding.
+            let mut next: Vec<u32> = b.succs.clone();
+            for &(va, instr) in &b.instrs {
+                self.reachable_starts.insert(va);
+                if matches!(instr, Instr::CallReg { .. } | Instr::JmpReg { .. }) {
+                    if let Some(ts) = self.resolved_targets.get(&va) {
+                        next.extend(ts.iter().copied());
+                    }
+                }
+            }
+            work.extend(next.into_iter().filter(|t| self.blocks.contains_key(t)));
+        }
+        for site in &mut self.indirect_sites {
+            site.reachable = self.reachable_starts.contains(&site.va);
+        }
     }
 
     /// Returns `true` if `va` is the start of a statically recovered
@@ -246,6 +368,12 @@ impl ModuleCfg {
     /// Returns `true` if recursive descent reached the instruction at `va`.
     pub fn is_reachable(&self, va: u32) -> bool {
         self.reachable_starts.contains(&va)
+    }
+
+    /// The recovered instruction starting at `va`, if any.
+    pub fn instr_at(&self, va: u32) -> Option<Instr> {
+        let bstart = self.block_containing(va)?;
+        self.blocks[&bstart].instrs.iter().find(|(v, _)| *v == va).map(|&(_, i)| i)
     }
 
     /// The reachable instructions, as `(va, instr)` pairs in address order.
@@ -400,6 +528,65 @@ mod tests {
         assert_eq!(cfg.unreachable_blocks().count(), 0);
         // ...but the padding is still charted.
         assert!(cfg.accounts_for(BASE + 1));
+    }
+
+    #[test]
+    fn splicing_resolved_targets_extends_reachability() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.mov_ri(Reg::Ebp, 0);
+        asm.call_reg(Reg::Ebp);
+        asm.hlt();
+        asm.label("helper"); // only reachable through the indirect call
+        asm.mov_ri(Reg::Eax, 1);
+        asm.ret();
+        let (code, labels) = asm.assemble_with_labels().unwrap();
+        let helper = labels["helper"];
+        let image = FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data: code, perms: Perms::RX }],
+            exports: vec![],
+        };
+        let mut cfg = ModuleCfg::recover("t", &image);
+        let site = cfg.indirect_sites[0].va;
+        assert!(!cfg.is_reachable(helper));
+
+        let resolved = BTreeMap::from([(site, vec![helper])]);
+        cfg.splice_resolved(&resolved);
+        assert!(cfg.is_reachable(helper), "spliced callee becomes reachable");
+        assert!(cfg.call_edges.contains(&(site, helper)), "call edge spliced");
+        assert_eq!(cfg.resolved_targets[&site], vec![helper]);
+        assert_eq!(cfg.unreachable_blocks().count(), 0);
+    }
+
+    #[test]
+    fn splicing_a_mid_block_target_splits_the_block() {
+        use faros_emu::isa::Reg;
+        let mut asm = Asm::new(BASE);
+        asm.mov_ri(Reg::Edi, 0);
+        asm.jmp_reg(Reg::Edi);
+        asm.label("run"); // swept as one straight-line block
+        asm.mov_ri(Reg::Eax, 1);
+        asm.label("mid");
+        asm.mov_ri(Reg::Ebx, 2);
+        asm.hlt();
+        let (code, labels) = asm.assemble_with_labels().unwrap();
+        let mid = labels["mid"];
+        let image = FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data: code, perms: Perms::RX }],
+            exports: vec![],
+        };
+        let mut cfg = ModuleCfg::recover("t", &image);
+        assert!(!cfg.blocks.contains_key(&mid), "target starts mid-block");
+        let site = cfg.indirect_sites[0].va;
+        cfg.splice_resolved(&BTreeMap::from([(site, vec![mid])]));
+        assert!(cfg.blocks.contains_key(&mid), "block split at resolved target");
+        assert!(cfg.is_reachable(mid));
+        let site_block = cfg.blocks.range(..=site).next_back().unwrap().1;
+        assert!(site_block.succs.contains(&mid), "jmp edge spliced");
     }
 
     #[test]

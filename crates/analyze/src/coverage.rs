@@ -205,6 +205,7 @@ mod tests {
                 exports: vec![],
             }],
             block_starts: blocks.iter().copied().collect::<BTreeSet<u32>>(),
+            indirect_targets: BTreeMap::new(),
         }
     }
 

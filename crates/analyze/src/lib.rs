@@ -12,6 +12,18 @@
 //!   structured [`Finding`](lint::Finding)s: W^X sections, reachable
 //!   writes into code, statically unresolvable indirect control flow,
 //!   unreachable code, dangling exports, export-hash collisions;
+//! * [`vsa`] — worklist-based intra-procedural value-set analysis over
+//!   the FE32 registers and stack slots (strided-interval domain), the
+//!   abstract interpreter behind indirect-branch resolution;
+//! * [`dataflow`] — drives [`vsa`] to a whole-image fixpoint: resolves
+//!   indirect call/jump targets (spliced back into the [`ModuleCfg`]),
+//!   computes per-function taint summaries composed into an
+//!   inter-procedural source→sink flow map, and cross-checks dynamic
+//!   taint alerts against the static model (`statically explainable` vs
+//!   `statically impossible-per-model` — the latter an injection signal);
+//! * [`report`] — the one-call bundle behind `faros-cli analyze <image>`:
+//!   CFG + dataflow + lints over a single image rendered to a stable JSON
+//!   wire format;
 //! * [`coverage`] — the static-vs-dynamic cross-check: diff the basic
 //!   blocks a replay actually executed (recorded by
 //!   [`faros_replay::BlockCoverage`]) against the union of static models
@@ -23,8 +35,18 @@
 
 pub mod cfg;
 pub mod coverage;
+pub mod dataflow;
 pub mod lint;
+pub mod report;
+pub mod vsa;
 
 pub use cfg::{BasicBlock, ModuleCfg};
 pub use coverage::{diff, image_map, CoverageReport, ProcessCoverage};
+pub use dataflow::{
+    analyze_image, taint_cross_check, taint_cross_check_with_stats, DataflowStats, DynamicAlert,
+    ImageDataflow, ImageFlowMap, ProcessTaintCheck, ResidualFlow, SinkKind, SourceKind,
+    StaticFlow, TaintCrossCheck,
+};
 pub use lint::{lint_image, render_findings, Finding, FindingKind, Severity};
+pub use report::StaticReport;
+pub use vsa::{AVal, StridedInterval};

@@ -38,8 +38,9 @@ impl fmt::Display for Severity {
     }
 }
 
-/// What a finding is about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What a finding is about. The derived order (declaration order) is part
+/// of the deterministic sort key for rendered findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FindingKind {
     /// A section mapped both writable and executable.
     WxSection,
@@ -180,9 +181,12 @@ pub fn lint_with_cfg(name: &str, image: &FdlImage, cfg: &ModuleCfg) -> Vec<Findi
         }
     }
 
-    // Advisory: statically unresolvable control flow.
+    // Advisory: statically unresolvable control flow. Sites the dataflow
+    // engine resolved (`ModuleCfg::splice_resolved` recorded a finite
+    // target set) are discharged — pass a CFG out of
+    // `dataflow::analyze_image` to get the discharge.
     for site in &cfg.indirect_sites {
-        if site.reachable {
+        if site.reachable && !cfg.resolved_targets.contains_key(&site.va) {
             out.push(finding(
                 name,
                 FindingKind::UnresolvedIndirect,
@@ -202,7 +206,19 @@ pub fn lint_with_cfg(name: &str, image: &FdlImage, cfg: &ModuleCfg) -> Vec<Findi
         ));
     }
 
-    out.sort_by_key(|f| (f.severity, f.va));
+    // Deterministic output: total order over every field, then dedup —
+    // two lints anchoring an identical finding at the same VA (or one
+    // lint walking a shared block twice) must render once.
+    out.sort_by(|a, b| {
+        (a.severity, a.kind, a.va, &a.module, &a.detail).cmp(&(
+            b.severity,
+            b.kind,
+            b.va,
+            &b.module,
+            &b.detail,
+        ))
+    });
+    out.dedup();
     out
 }
 
@@ -342,6 +358,54 @@ mod tests {
         assert!(
             findings2.iter().any(|f| f.kind == FindingKind::ExportHashCollision),
             "{findings2:?}"
+        );
+    }
+
+    #[test]
+    fn findings_sort_by_severity_kind_va_and_dedup() {
+        // Duplicate exports produce byte-identical findings; an RWX section
+        // plus sweep-only code give one error and one advisory to order.
+        let mut asm = Asm::new(BASE);
+        asm.hlt();
+        asm.mov_ri(Reg::Eax, 1); // after hlt: sweep-only, unreachable
+        asm.hlt();
+        let mut image = rx_image(asm);
+        image.sections[0].perms = Perms::RWX;
+        image.exports = vec![
+            Export { name: "dup".into(), va: 0x0900_0000 },
+            Export { name: "dup".into(), va: 0x0900_0000 },
+        ];
+        let findings = lint_image("m", &image);
+        let dups: Vec<_> =
+            findings.iter().filter(|f| f.kind == FindingKind::ExportOutsideCode).collect();
+        assert_eq!(dups.len(), 1, "identical findings must dedup: {findings:?}");
+        let keys: Vec<_> =
+            findings.iter().map(|f| (f.severity, f.kind, f.va, &f.module, &f.detail)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "findings must come out in total order");
+        assert!(findings.iter().any(|f| f.kind == FindingKind::UnreachableBlock));
+    }
+
+    #[test]
+    fn dataflow_resolved_indirects_are_discharged() {
+        // `mov ebx, helper; call ebx` is an unresolved-indirect advisory
+        // for the plain recovered CFG, but the dataflow engine resolves it
+        // to a constant and the lint discharges the finding.
+        let mut asm = Asm::new(BASE);
+        asm.mov_label(Reg::Ebx, "helper");
+        asm.call_reg(Reg::Ebx);
+        asm.hlt();
+        asm.label("helper");
+        asm.ret();
+        let image = rx_image(asm);
+        let plain = lint_image("m", &image);
+        assert!(plain.iter().any(|f| f.kind == FindingKind::UnresolvedIndirect));
+        let df = crate::dataflow::analyze_image("m", &image);
+        let resolved = lint_with_cfg("m", &image, &df.cfg);
+        assert!(
+            resolved.iter().all(|f| f.kind != FindingKind::UnresolvedIndirect),
+            "{resolved:?}"
         );
     }
 

@@ -1,0 +1,219 @@
+//! The analyst-facing static report for one FDL image.
+//!
+//! [`StaticReport::build`] is the one-call entry the `faros-cli analyze
+//! <image>` subcommand uses: CFG recovery, the dataflow engine
+//! (value-set analysis, indirect-branch resolution, taint summaries) and
+//! the lint catalogue over a single image, bundled into one stable JSON
+//! wire format. The rendering is byte-deterministic — findings and flows
+//! are totally ordered, and [`StaticReport::to_json`] always produces the
+//! same bytes for the same image (the golden-fixture test relies on it).
+
+use crate::dataflow::{self, DataflowStats, ImageFlowMap};
+use crate::lint::{lint_with_cfg, Finding, FindingKind, Severity};
+use faros_kernel::module::FdlImage;
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
+
+impl ToJson for Severity {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl FromJson for Severity {
+    fn from_json_value(v: &JsonValue) -> Result<Severity, JsonError> {
+        match v.as_str() {
+            Some("error") => Ok(Severity::Error),
+            Some("advisory") => Ok(Severity::Advisory),
+            _ => Err(JsonError::decode("unknown Severity")),
+        }
+    }
+}
+
+impl ToJson for FindingKind {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl FromJson for FindingKind {
+    fn from_json_value(v: &JsonValue) -> Result<FindingKind, JsonError> {
+        match v.as_str() {
+            Some("w^x-section") => Ok(FindingKind::WxSection),
+            Some("write-to-code") => Ok(FindingKind::WriteToCode),
+            Some("unresolved-indirect") => Ok(FindingKind::UnresolvedIndirect),
+            Some("unreachable-block") => Ok(FindingKind::UnreachableBlock),
+            Some("export-outside-code") => Ok(FindingKind::ExportOutsideCode),
+            Some("export-hash-collision") => Ok(FindingKind::ExportHashCollision),
+            _ => Err(JsonError::decode("unknown FindingKind")),
+        }
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("module", self.module.to_json_value()),
+            ("kind", self.kind.to_json_value()),
+            ("severity", self.severity.to_json_value()),
+            ("va", self.va.to_json_value()),
+            ("detail", self.detail.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Finding {
+    fn from_json_value(v: &JsonValue) -> Result<Finding, JsonError> {
+        Ok(Finding {
+            module: json::field(v, "module")?,
+            kind: json::field(v, "kind")?,
+            severity: json::field(v, "severity")?,
+            va: json::field(v, "va")?,
+            detail: json::field(v, "detail")?,
+        })
+    }
+}
+
+/// The full static verdict for one image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticReport {
+    /// Module name the report is about.
+    pub module: String,
+    /// Lint findings (after dataflow discharge), totally ordered.
+    pub findings: Vec<Finding>,
+    /// Indirect sites the dataflow engine resolved: `(site VA, sorted
+    /// target set)`.
+    pub resolved_sites: Vec<(u32, Vec<u32>)>,
+    /// The inter-procedural source→sink flow map.
+    pub flows: ImageFlowMap,
+    /// Dataflow cost/outcome counters.
+    pub stats: DataflowStats,
+}
+
+impl StaticReport {
+    /// Runs the whole static pipeline over one image.
+    pub fn build(name: &str, image: &FdlImage) -> StaticReport {
+        let analysis = dataflow::analyze_image(name, image);
+        let findings = lint_with_cfg(name, image, &analysis.cfg);
+        let resolved_sites = analysis
+            .cfg
+            .resolved_targets
+            .iter()
+            .map(|(&va, targets)| (va, targets.clone()))
+            .collect();
+        StaticReport {
+            module: name.to_string(),
+            findings,
+            resolved_sites,
+            flows: analysis.flows,
+            stats: analysis.stats,
+        }
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Serializes to pretty-printed, byte-stable JSON.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; the `Result` is kept for API stability.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_value().to_pretty())
+    }
+
+    /// Deserializes a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed input.
+    pub fn from_json(text: &str) -> Result<StaticReport, JsonError> {
+        StaticReport::from_json_value(&JsonValue::parse(text)?)
+    }
+}
+
+impl ToJson for StaticReport {
+    fn to_json_value(&self) -> JsonValue {
+        let resolved: Vec<JsonValue> = self
+            .resolved_sites
+            .iter()
+            .map(|(va, targets)| {
+                JsonValue::object(vec![
+                    ("va", va.to_json_value()),
+                    ("targets", targets.to_json_value()),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("module", self.module.to_json_value()),
+            ("findings", self.findings.to_json_value()),
+            ("resolved_sites", JsonValue::Array(resolved)),
+            ("flows", self.flows.to_json_value()),
+            ("stats", self.stats.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for StaticReport {
+    fn from_json_value(v: &JsonValue) -> Result<StaticReport, JsonError> {
+        let raw = v
+            .get("resolved_sites")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| JsonError::decode("missing resolved_sites array"))?;
+        let mut resolved_sites = Vec::with_capacity(raw.len());
+        for s in raw {
+            resolved_sites.push((json::field(s, "va")?, json::field(s, "targets")?));
+        }
+        Ok(StaticReport {
+            module: json::field(v, "module")?,
+            findings: json::field(v, "findings")?,
+            resolved_sites,
+            flows: json::field(v, "flows")?,
+            stats: json::field(v, "stats")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_emu::asm::Asm;
+    use faros_emu::isa::Reg;
+    use faros_emu::mmu::Perms;
+    use faros_kernel::module::Section;
+
+    const BASE: u32 = 0x40_0000;
+
+    fn demo_image() -> FdlImage {
+        let mut asm = Asm::new(BASE);
+        asm.mov_label(Reg::Ebx, "helper");
+        asm.call_reg(Reg::Ebx);
+        asm.hlt();
+        asm.label("helper");
+        asm.ret();
+        FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section {
+                va: BASE,
+                data: asm.assemble().unwrap(),
+                perms: Perms::RX,
+            }],
+            exports: vec![],
+        }
+    }
+
+    #[test]
+    fn report_resolves_the_indirect_and_round_trips() {
+        let report = StaticReport::build("demo", &demo_image());
+        assert_eq!(report.resolved_sites.len(), 1);
+        assert!(report.findings.iter().all(|f| f.kind != FindingKind::UnresolvedIndirect));
+        assert_eq!(report.errors().count(), 0);
+        let json = report.to_json().unwrap();
+        let restored = StaticReport::from_json(&json).unwrap();
+        assert_eq!(restored, report);
+        // Byte-stable: re-serializing is the identity.
+        assert_eq!(restored.to_json().unwrap(), json);
+    }
+}

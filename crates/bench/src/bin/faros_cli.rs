@@ -4,6 +4,13 @@
 //! faros-cli list                      list every corpus sample
 //! faros-cli record <sample> -o FILE   run live, save the recording (JSON)
 //! faros-cli analyze <sample> [opts]   record + replay under FAROS, print report
+//!                                     (with the static coverage + taint
+//!                                     cross-checks attached)
+//! faros-cli analyze <image.fdl>       static-only: CFG + dataflow (VSA,
+//!                                     indirect-branch resolution, taint flow
+//!                                     map) + lints over one FDL image file
+//! faros-cli analyze --corpus          run the static/dynamic cross-check
+//!                                     truth-table gate over the whole corpus
 //! faros-cli replay <sample> -i FILE   replay a saved recording under FAROS
 //! faros-cli compare <sample>          Cuckoo vs malfind vs FAROS
 //! faros-cli trace <sample>            record and print the event timeline
@@ -22,12 +29,15 @@
 //!   --json                                 emit the report as JSON
 //!   --taint-map                            dump the coalesced taint map
 //!   --dot                                  emit provenance chains as Graphviz
+//!   --trace FILE                           (static analyze) write the
+//!                                          analyze.* counters as a Chrome trace
 //! ```
 
-use faros::{Faros, Policy};
+use faros::{Faros, FarosReport, Policy};
+use faros_analyze::{DynamicAlert, StaticReport};
 use faros_baselines::comparison;
-use faros_corpus::{find_sample, sample_registry};
-use faros_replay::{record, replay, Recording, TracePlugin};
+use faros_corpus::{families, find_sample, sample_registry, Sample};
+use faros_replay::{record, replay, BlockCoverage, Recording, TracePlugin};
 use faros_taint::engine::PropagationMode;
 use std::path::PathBuf;
 use std::process::exit;
@@ -57,6 +67,7 @@ struct Opts {
     dot: bool,
     taint_map: bool,
     file: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -67,6 +78,7 @@ fn parse_opts(args: &[String]) -> Opts {
         dot: false,
         taint_map: false,
         file: None,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -90,6 +102,10 @@ fn parse_opts(args: &[String]) -> Opts {
                 Some(path) => opts.file = Some(PathBuf::from(path)),
                 None => usage(),
             },
+            "--trace" => match it.next() {
+                Some(path) => opts.trace = Some(PathBuf::from(path)),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -105,8 +121,36 @@ fn make_faros(opts: &Opts) -> Faros {
     Faros::with_mode(opts.policy.clone(), mode)
 }
 
-fn print_report(faros: &Faros, opts: &Opts) {
-    let report = faros.report();
+/// Replays the recording once more under the block-coverage plugin and
+/// attaches both static-vs-dynamic cross-checks (coverage diff and taint
+/// flow classification) plus the merged metrics to the report.
+fn enrich_report(faros: &mut Faros, sample: &Sample, recording: &Recording) -> FarosReport {
+    let mut report = faros.report();
+    let mut blocks = BlockCoverage::new();
+    replay(&sample.scenario, recording, BUDGET, &mut blocks)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let images = faros_analyze::image_map(
+        sample.scenario.programs().iter().map(|(p, i)| (p.as_str(), i.clone())),
+    );
+    let observed = blocks.into_processes();
+    report.attach_coverage(&faros_analyze::diff(&observed, &images));
+    let alerts: Vec<DynamicAlert> = report
+        .detections
+        .iter()
+        .map(|d| DynamicAlert { process: d.process.clone(), va: d.insn_vaddr })
+        .collect();
+    let (taint, stats) =
+        faros_analyze::taint_cross_check_with_stats(&alerts, &observed, &images);
+    report.attach_taint(taint);
+    let mut reg = faros_obs::metrics::MetricsRegistry::new();
+    stats.record_into(&mut reg);
+    let mut snap = faros.metrics_snapshot();
+    snap.merge(&reg.snapshot());
+    report.attach_metrics(snap);
+    report
+}
+
+fn print_report(faros: &Faros, report: &FarosReport, opts: &Opts) {
     if opts.json {
         println!("{}", report.to_json().expect("report serializes"));
         return;
@@ -198,6 +242,142 @@ fn bench_gate(file: &str) {
     println!("bench-gate: ok");
 }
 
+/// Static-only analysis of one FDL image file: CFG recovery, the dataflow
+/// engine (VSA, indirect-branch resolution, taint flow map) and the lint
+/// catalogue, rendered as a stable JSON report or a table.
+fn analyze_static(path: &str, opts: &Opts) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let image = faros_kernel::FdlImage::parse(&bytes)
+        .unwrap_or_else(|e| fail(&format!("{path}: not an FDL image: {e}")));
+    let name = path.rsplit(['/', '\\']).next().unwrap_or(path);
+    let report = StaticReport::build(name, &image);
+    if let Some(out) = &opts.trace {
+        let rec = faros_obs::trace::RecorderHandle::new(16);
+        report.stats.trace_into(&rec, 0, name);
+        std::fs::write(out, rec.export_chrome())
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", out.display())));
+    }
+    if opts.json {
+        println!("{}", report.to_json().expect("report serializes"));
+        return;
+    }
+    print!("{}", faros_analyze::render_findings(&report.findings));
+    println!(
+        "\n[i] {} indirect site(s) resolved, {} left unresolved",
+        report.stats.indirects_resolved, report.stats.indirects_unresolved
+    );
+    for (va, targets) in &report.resolved_sites {
+        let rendered: Vec<String> = targets.iter().map(|t| format!("{t:#010x}")).collect();
+        println!("    {va:#010x} -> {{{}}}", rendered.join(", "));
+    }
+    println!("[i] {} statically feasible source->sink flow(s):", report.flows.flows.len());
+    for f in &report.flows.flows {
+        println!("    {} -> {} at {:#010x}", f.source, f.sink, f.sink_va);
+    }
+    println!(
+        "[i] dataflow cost: {} worklist iteration(s), {} widening(s), {} function(s)",
+        report.stats.worklist_iterations, report.stats.widenings, report.stats.functions_analyzed
+    );
+    if report.errors().count() > 0 {
+        exit(1);
+    }
+}
+
+/// Pinned truth-table numbers for `analyze --corpus`. The unresolved
+/// counts are the total `unresolved-indirect` advisories over every
+/// program image in the registry, before and after the dataflow engine's
+/// indirect-branch resolution; a change in either is a behavior change
+/// that must be acknowledged here.
+const GATE_UNRESOLVED_BASELINE: u64 = 26;
+const GATE_UNRESOLVED_AFTER: u64 = 4;
+
+/// Records and replays one sample, classifying its dynamic taint alerts
+/// against the static flow model of its own program images.
+fn cross_check_sample(sample: &Sample) -> faros_analyze::TaintCrossCheck {
+    let (recording, _) =
+        record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut faros = Faros::new(Policy::paper());
+    replay(&sample.scenario, &recording, BUDGET, &mut faros)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let mut blocks = BlockCoverage::new();
+    replay(&sample.scenario, &recording, BUDGET, &mut blocks)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let images = faros_analyze::image_map(
+        sample.scenario.programs().iter().map(|(p, i)| (p.as_str(), i.clone())),
+    );
+    let alerts: Vec<DynamicAlert> = faros
+        .report()
+        .detections
+        .iter()
+        .map(|d| DynamicAlert { process: d.process.clone(), va: d.insn_vaddr })
+        .collect();
+    faros_analyze::taint_cross_check(&alerts, &blocks.into_processes(), &images)
+}
+
+/// The static/dynamic cross-check truth table over the whole corpus:
+/// every injecting sample must raise at least one statically
+/// impossible-per-model alert, every non-injecting family variant none,
+/// and the corpus-wide `unresolved-indirect` advisory counts must match
+/// the pinned values (the dataflow engine's resolution rate is a gated
+/// behavior, not a best-effort extra).
+fn corpus_gate() {
+    let mut bad = 0usize;
+    for sample in faros_corpus::attacks::all_injecting_samples() {
+        let cc = cross_check_sample(&sample);
+        let ok = cc.impossible_total() >= 1;
+        println!(
+            "corpus-gate: {:<28} impossible={} {}",
+            sample.name(),
+            cc.impossible_total(),
+            if ok { "ok" } else { "FAIL (expected >=1)" }
+        );
+        if !ok {
+            bad += 1;
+        }
+    }
+    for family in families::malware_rows().into_iter().chain(families::benign_rows()) {
+        let sample = families::build_family_sample(&family, 0, 1);
+        let cc = cross_check_sample(&sample);
+        let ok = cc.impossible_total() == 0;
+        println!(
+            "corpus-gate: {:<28} impossible={} {}",
+            family.name,
+            cc.impossible_total(),
+            if ok { "ok" } else { "FAIL (expected 0)" }
+        );
+        if !ok {
+            bad += 1;
+        }
+    }
+
+    let (mut baseline, mut after) = (0u64, 0u64);
+    for sample in sample_registry() {
+        for (path, image) in sample.scenario.programs() {
+            baseline += faros_analyze::lint_image(path, image)
+                .iter()
+                .filter(|f| f.kind == faros_analyze::FindingKind::UnresolvedIndirect)
+                .count() as u64;
+            after += StaticReport::build(path, image)
+                .findings
+                .iter()
+                .filter(|f| f.kind == faros_analyze::FindingKind::UnresolvedIndirect)
+                .count() as u64;
+        }
+    }
+    println!(
+        "corpus-gate: unresolved-indirect advisories: {baseline} before dataflow, {after} \
+         after (pinned {GATE_UNRESOLVED_BASELINE}/{GATE_UNRESOLVED_AFTER})"
+    );
+    if baseline != GATE_UNRESOLVED_BASELINE || after != GATE_UNRESOLVED_AFTER {
+        println!("corpus-gate: FAIL (unresolved-indirect counts moved off the pins)");
+        bad += 1;
+    }
+    if bad > 0 {
+        fail(&format!("corpus-gate: {bad} truth-table violation(s)"));
+    }
+    println!("corpus-gate: ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else { usage() };
@@ -227,7 +407,15 @@ fn main() {
         }
         "analyze" => {
             let name = args.get(1).unwrap_or_else(|| usage());
+            if name == "--corpus" {
+                corpus_gate();
+                return;
+            }
             let opts = parse_opts(&args[2..]);
+            if std::path::Path::new(name).is_file() {
+                analyze_static(name, &opts);
+                return;
+            }
             let sample = find_sample(name)
                 .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
             let (recording, _) =
@@ -235,7 +423,8 @@ fn main() {
             let mut faros = make_faros(&opts);
             replay(&sample.scenario, &recording, BUDGET, &mut faros)
                 .unwrap_or_else(|e| fail(&e.to_string()));
-            print_report(&faros, &opts);
+            let report = enrich_report(&mut faros, &sample, &recording);
+            print_report(&faros, &report, &opts);
         }
         "replay" => {
             let name = args.get(1).unwrap_or_else(|| usage());
@@ -248,7 +437,8 @@ fn main() {
             let mut faros = make_faros(&opts);
             replay(&sample.scenario, &recording, BUDGET, &mut faros)
                 .unwrap_or_else(|e| fail(&e.to_string()));
-            print_report(&faros, &opts);
+            let report = enrich_report(&mut faros, &sample, &recording);
+            print_report(&faros, &report, &opts);
         }
         "run-asm" => {
             let file = args.get(1).unwrap_or_else(|| usage());
@@ -284,7 +474,8 @@ fn main() {
             for (pid, line) in machine.console() {
                 println!("  {pid}: {line}");
             }
-            print_report(&faros, &opts);
+            let report = faros.report();
+            print_report(&faros, &report, &opts);
         }
         "trace" => {
             let name = args.get(1).unwrap_or_else(|| usage());

@@ -219,8 +219,9 @@ impl Faros {
             detections: self.detections.clone(),
             whitelisted: self.whitelisted.clone(),
             // Filled in by `FarosReport::attach_coverage` /
-            // `FarosReport::attach_metrics` when the caller opts in.
+            // `attach_taint` / `attach_metrics` when the caller opts in.
             coverage: Vec::new(),
+            taint: Default::default(),
             metrics: MetricsSnapshot::default(),
         }
     }

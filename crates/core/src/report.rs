@@ -88,6 +88,11 @@ pub struct FarosReport {
     /// Static-vs-dynamic coverage cross-check results, one per process
     /// (empty when the replay ran without the coverage plugin).
     pub coverage: Vec<CoverageSummary>,
+    /// Static-vs-dynamic *taint* cross-check: every dynamic alert
+    /// classified against the static source→sink flow model, plus the
+    /// statically feasible flows the replay never exercised (empty when
+    /// the replay ran without the dataflow cross-check).
+    pub taint: faros_analyze::TaintCrossCheck,
     /// Deterministic run metrics (empty when the replay ran without
     /// metrics collection).
     pub metrics: MetricsSnapshot,
@@ -132,6 +137,18 @@ impl FarosReport {
         self.coverage.iter().any(|c| !c.unaccounted.is_empty())
     }
 
+    /// Imports the static-vs-dynamic taint cross-check computed by
+    /// `faros-analyze`'s dataflow engine.
+    pub fn attach_taint(&mut self, taint: faros_analyze::TaintCrossCheck) {
+        self.taint = taint;
+    }
+
+    /// Returns `true` if the taint cross-check classified any dynamic
+    /// alert as statically impossible-per-model (injection signal).
+    pub fn taint_suspicious(&self) -> bool {
+        self.taint.injection_suspected()
+    }
+
     /// Attaches a metrics snapshot (typically the merge of the FAROS
     /// engine's, the trace recorder's, and the plugin manager's snapshots).
     pub fn attach_metrics(&mut self, metrics: MetricsSnapshot) {
@@ -162,6 +179,19 @@ impl FarosReport {
                     c.unaccounted.len()
                 ));
             }
+        }
+        if !self.taint.is_empty() {
+            s.push_str("\nProcess            | Explainable Alerts | Impossible-per-model\n");
+            s.push_str("-------------------+--------------------+---------------------\n");
+            for p in &self.taint.processes {
+                s.push_str(&format!(
+                    "{:<18} | {:>18} | {:>20}\n",
+                    p.process,
+                    p.explainable.len(),
+                    p.impossible.len()
+                ));
+            }
+            s.push_str(&format!("residual static flows never exercised: {}\n", self.taint.residual.len()));
         }
         s
     }
@@ -315,6 +345,9 @@ impl ToJson for FarosReport {
         if !self.coverage.is_empty() {
             fields.push(("coverage", self.coverage.to_json_value()));
         }
+        if !self.taint.is_empty() {
+            fields.push(("taint", self.taint.to_json_value()));
+        }
         if !self.metrics.is_empty() {
             fields.push(("metrics", self.metrics.to_json_value()));
         }
@@ -327,8 +360,9 @@ impl FromJson for FarosReport {
         Ok(FarosReport {
             detections: json::field(v, "detections")?,
             whitelisted: json::field(v, "whitelisted")?,
-            // Absent in pre-coverage / pre-metrics reports.
+            // Absent in pre-coverage / pre-taint / pre-metrics reports.
             coverage: json::field_or_default(v, "coverage")?,
+            taint: json::field_or_default(v, "taint")?,
             metrics: json::field_or_default(v, "metrics")?,
         })
     }
@@ -418,6 +452,36 @@ mod tests {
         assert!(!old.coverage_suspicious());
         // The table gains a coverage section.
         assert!(r.to_table().contains("Unaccounted"));
+    }
+
+    #[test]
+    fn taint_crosscheck_round_trips_and_is_omitted_when_empty() {
+        use faros_analyze::{ProcessTaintCheck, TaintCrossCheck};
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(1, "notepad.exe"));
+        let bare = r.to_json().unwrap();
+        assert!(!bare.contains("\"taint\""), "empty taint check must not serialize");
+
+        r.attach_taint(TaintCrossCheck {
+            processes: vec![ProcessTaintCheck {
+                process: "notepad.exe".into(),
+                explainable: vec![0x40_0010],
+                impossible: vec![0x0100_0000],
+            }],
+            residual: vec![],
+        });
+        assert!(r.taint_suspicious());
+        let json = r.to_json().unwrap();
+        assert!(json.contains("\"taint\""));
+        assert!(json.contains("impossible"));
+        let restored = FarosReport::from_json(&json).unwrap();
+        assert_eq!(restored, r);
+        // Pre-taint reports (no field) still parse.
+        let old = FarosReport::from_json(&bare).unwrap();
+        assert!(old.taint.is_empty());
+        assert!(!old.taint_suspicious());
+        // The table gains a taint section.
+        assert!(r.to_table().contains("Impossible-per-model"));
     }
 
     #[test]

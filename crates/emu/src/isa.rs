@@ -524,6 +524,107 @@ impl Instr {
     }
 }
 
+impl Instr {
+    /// Registers whose *values* this instruction reads — data operands plus
+    /// every register an address computation uses, including the implicit
+    /// `esp` of the stack forms. Static transfer functions (value-set
+    /// analysis, taint summaries) key on this instead of re-matching every
+    /// variant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faros_emu::isa::{Instr, Mem, Reg, Width};
+    /// let ld = Instr::Load { dst: Reg::Eax, mem: Mem::table(Reg::Ebx, Reg::Ecx, 4), width: Width::B4 };
+    /// assert_eq!(ld.regs_read(), vec![Reg::Ebx, Reg::Ecx]);
+    /// assert_eq!(Instr::Push { src: Reg::Edi }.regs_read(), vec![Reg::Edi, Reg::Esp]);
+    /// ```
+    pub fn regs_read(&self) -> Vec<Reg> {
+        match *self {
+            Instr::MovRR { src, .. } => vec![src],
+            Instr::MovRI { .. } => Vec::new(),
+            Instr::PushImm { .. } => vec![Reg::Esp],
+            Instr::Load { mem, .. } | Instr::Lea { mem, .. } => mem.regs_used().collect(),
+            Instr::Store { mem, src, .. } => {
+                let mut v: Vec<Reg> = mem.regs_used().collect();
+                v.push(src);
+                v
+            }
+            Instr::Alu { dst, src, .. } => match src {
+                Operand::Reg(r) => vec![dst, r],
+                Operand::Imm(_) => vec![dst],
+            },
+            Instr::Cmp { a, b } | Instr::Test { a, b } => match b {
+                Operand::Reg(r) => vec![a, r],
+                Operand::Imm(_) => vec![a],
+            },
+            Instr::Call { .. } => vec![Reg::Esp],
+            Instr::CallReg { target } => vec![target, Reg::Esp],
+            Instr::JmpReg { target } => vec![target],
+            Instr::Ret | Instr::Pop { .. } => vec![Reg::Esp],
+            Instr::Push { src } => vec![src, Reg::Esp],
+            Instr::Jmp { .. }
+            | Instr::Jcc { .. }
+            | Instr::Int { .. }
+            | Instr::Hlt
+            | Instr::Nop => Vec::new(),
+        }
+    }
+
+    /// Registers this instruction (re)defines, including the implicit `esp`
+    /// adjustment of the stack forms. `Int` reports the kernel-written
+    /// result registers (`eax` carries the status on return).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faros_emu::isa::{Instr, Reg};
+    /// assert_eq!(Instr::Pop { dst: Reg::Ebx }.regs_written(), vec![Reg::Ebx, Reg::Esp]);
+    /// assert!(Instr::Ret.regs_written().contains(&Reg::Esp));
+    /// ```
+    pub fn regs_written(&self) -> Vec<Reg> {
+        match *self {
+            Instr::MovRR { dst, .. }
+            | Instr::MovRI { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::Lea { dst, .. }
+            | Instr::Alu { dst, .. } => vec![dst],
+            Instr::Pop { dst } => vec![dst, Reg::Esp],
+            Instr::Push { .. } | Instr::PushImm { .. } | Instr::Ret => vec![Reg::Esp],
+            Instr::Call { .. } | Instr::CallReg { .. } => vec![Reg::Esp],
+            Instr::Int { .. } => vec![Reg::Eax],
+            Instr::Store { .. }
+            | Instr::Cmp { .. }
+            | Instr::Test { .. }
+            | Instr::Jmp { .. }
+            | Instr::Jcc { .. }
+            | Instr::JmpReg { .. }
+            | Instr::Hlt
+            | Instr::Nop => Vec::new(),
+        }
+    }
+
+    /// The explicit memory operand this instruction loads from, with its
+    /// access width. The implicit stack reads of `pop`/`ret` are reported
+    /// via [`Instr::regs_read`] on `esp`, not here.
+    pub fn mem_read(&self) -> Option<(Mem, Width)> {
+        match *self {
+            Instr::Load { mem, width, .. } => Some((mem, width)),
+            _ => None,
+        }
+    }
+
+    /// The explicit memory operand this instruction stores to, with its
+    /// access width. The implicit stack writes of `push`/`call` are not
+    /// reported here.
+    pub fn mem_written(&self) -> Option<(Mem, Width)> {
+        match *self {
+            Instr::Store { mem, width, .. } => Some((mem, width)),
+            _ => None,
+        }
+    }
+}
+
 /// The syscall interrupt vector used by the guest ABI (mirrors NT's
 /// `int 0x2e` system-service dispatch on 32-bit Windows).
 pub const SYSCALL_VECTOR: u8 = 0x2e;
@@ -585,6 +686,46 @@ mod tests {
         assert!(Instr::Int { vector: SYSCALL_VECTOR }.ends_block());
         assert!(!Instr::Nop.ends_block());
         assert!(!Instr::MovRR { dst: Reg::Eax, src: Reg::Ebx }.ends_block());
+    }
+
+    #[test]
+    fn operand_metadata_covers_every_variant() {
+        use Instr as I;
+        let mem = Mem::table(Reg::Ebx, Reg::Ecx, 4);
+        // Reads.
+        assert_eq!(I::MovRR { dst: Reg::Eax, src: Reg::Ebx }.regs_read(), vec![Reg::Ebx]);
+        assert!(I::MovRI { dst: Reg::Eax, imm: 1 }.regs_read().is_empty());
+        assert_eq!(
+            I::Store { mem, src: Reg::Edx, width: Width::B4 }.regs_read(),
+            vec![Reg::Ebx, Reg::Ecx, Reg::Edx]
+        );
+        assert_eq!(
+            I::Alu { op: AluOp::Add, dst: Reg::Eax, src: Operand::Reg(Reg::Ebx) }.regs_read(),
+            vec![Reg::Eax, Reg::Ebx]
+        );
+        assert_eq!(I::Cmp { a: Reg::Eax, b: Operand::Imm(1) }.regs_read(), vec![Reg::Eax]);
+        assert_eq!(I::CallReg { target: Reg::Ebp }.regs_read(), vec![Reg::Ebp, Reg::Esp]);
+        assert_eq!(I::JmpReg { target: Reg::Edi }.regs_read(), vec![Reg::Edi]);
+        assert_eq!(I::Ret.regs_read(), vec![Reg::Esp]);
+        assert!(I::Jmp { rel: 0 }.regs_read().is_empty());
+        assert!(I::Int { vector: SYSCALL_VECTOR }.regs_read().is_empty());
+        // Writes.
+        assert_eq!(I::Lea { dst: Reg::Esi, mem }.regs_written(), vec![Reg::Esi]);
+        assert_eq!(I::Push { src: Reg::Eax }.regs_written(), vec![Reg::Esp]);
+        assert_eq!(I::Call { rel: 0 }.regs_written(), vec![Reg::Esp]);
+        assert_eq!(I::Int { vector: SYSCALL_VECTOR }.regs_written(), vec![Reg::Eax]);
+        assert!(I::Store { mem, src: Reg::Edx, width: Width::B4 }.regs_written().is_empty());
+        // Memory operands.
+        assert_eq!(
+            I::Load { dst: Reg::Eax, mem, width: Width::B2 }.mem_read(),
+            Some((mem, Width::B2))
+        );
+        assert_eq!(I::Load { dst: Reg::Eax, mem, width: Width::B2 }.mem_written(), None);
+        assert_eq!(
+            I::Store { mem, src: Reg::Eax, width: Width::B1 }.mem_written(),
+            Some((mem, Width::B1))
+        );
+        assert_eq!(I::Nop.mem_read(), None);
     }
 
     #[test]

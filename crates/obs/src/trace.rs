@@ -58,6 +58,8 @@ pub enum TraceCategory {
     Insn,
     /// Plugin-framework events.
     Plugin,
+    /// Static-analysis activity (dataflow engine counters).
+    Analysis,
 }
 
 impl TraceCategory {
@@ -73,6 +75,7 @@ impl TraceCategory {
             TraceCategory::Taint => "taint",
             TraceCategory::Insn => "insn",
             TraceCategory::Plugin => "plugin",
+            TraceCategory::Analysis => "analysis",
         }
     }
 }

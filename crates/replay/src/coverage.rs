@@ -12,6 +12,7 @@
 
 use crate::plugin::Plugin;
 use faros_emu::cpu::{CpuHooks, InsnCtx};
+use faros_emu::isa::Instr;
 use faros_kernel::event::{ByteRange, KernelEvents};
 use faros_kernel::module::ModuleInfo;
 use faros_kernel::process::ProcessInfo;
@@ -29,6 +30,12 @@ pub struct ProcessBlocks {
     pub modules: Vec<ModuleInfo>,
     /// Virtual addresses where executed basic blocks started.
     pub block_starts: BTreeSet<u32>,
+    /// Observed indirect-branch targets: for every executed `call reg` /
+    /// `jmp reg` site, the set of VAs control actually transferred to —
+    /// the dynamic ground truth the static value-set analysis is checked
+    /// against (every observed target must lie inside the statically
+    /// resolved set).
+    pub indirect_targets: BTreeMap<u32, BTreeSet<u32>>,
 }
 
 /// The block-coverage recording plugin.
@@ -36,6 +43,7 @@ pub struct ProcessBlocks {
 pub struct BlockCoverage {
     current: Option<(Pid, Tid)>,
     at_block_start: BTreeMap<(Pid, Tid), bool>,
+    pending_indirect: BTreeMap<(Pid, Tid), u32>,
     procs: BTreeMap<Pid, ProcessBlocks>,
 }
 
@@ -77,6 +85,13 @@ impl CpuHooks for BlockCoverage {
         if starting {
             self.entry(key.0).block_starts.insert(ctx.vaddr);
         }
+        // The instruction after an indirect branch is its observed target.
+        if let Some(site) = self.pending_indirect.remove(&key) {
+            self.entry(key.0).indirect_targets.entry(site).or_default().insert(ctx.vaddr);
+        }
+        if matches!(ctx.instr, Instr::CallReg { .. } | Instr::JmpReg { .. }) {
+            self.pending_indirect.insert(key, ctx.vaddr);
+        }
         self.at_block_start.insert(key, ctx.instr.ends_block());
     }
 }
@@ -109,7 +124,6 @@ impl Plugin for BlockCoverage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faros_emu::isa::Instr;
 
     fn ctx(vaddr: u32, instr: Instr) -> InsnCtx {
         InsnCtx {
@@ -148,6 +162,33 @@ mod tests {
         cov.on_insn(&ctx(0x1001, Instr::Nop)); // p1 resumes mid-block: no start
         assert_eq!(cov.process(Pid(1)).unwrap().block_starts.len(), 1);
         assert_eq!(cov.process(Pid(2)).unwrap().block_starts.len(), 1);
+    }
+
+    #[test]
+    fn indirect_branch_targets_are_recorded_per_site() {
+        use faros_emu::isa::Reg;
+        let mut cov = BlockCoverage::new();
+        cov.context_switch(None, (Pid(1), Tid(1)));
+        cov.on_insn(&ctx(0x1000, Instr::CallReg { target: Reg::Ebp }));
+        cov.on_insn(&ctx(0x5000, Instr::Nop)); // the observed target
+        cov.on_insn(&ctx(0x5001, Instr::Ret));
+        cov.on_insn(&ctx(0x1001, Instr::JmpReg { target: Reg::Edi }));
+        // The jmp's target lands in another thread's interleaved slice:
+        // the per-(pid,tid) cursor must not mix the two up.
+        cov.context_switch(Some((Pid(1), Tid(1))), (Pid(2), Tid(2)));
+        cov.on_insn(&ctx(0x9000, Instr::Nop));
+        cov.context_switch(Some((Pid(2), Tid(2))), (Pid(1), Tid(1)));
+        cov.on_insn(&ctx(0x6000, Instr::Hlt));
+        let p = cov.process(Pid(1)).unwrap();
+        assert_eq!(
+            p.indirect_targets[&0x1000].iter().copied().collect::<Vec<_>>(),
+            vec![0x5000]
+        );
+        assert_eq!(
+            p.indirect_targets[&0x1001].iter().copied().collect::<Vec<_>>(),
+            vec![0x6000]
+        );
+        assert!(cov.process(Pid(2)).unwrap().indirect_targets.is_empty());
     }
 
     #[test]

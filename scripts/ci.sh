@@ -56,6 +56,21 @@ test -s BENCH_replay.json
 echo "==> bench regression gate (replay_faros <= 4x replay_base)"
 cargo run --release --offline -p faros-bench --bin faros-cli -- bench-gate BENCH_replay.json
 
+echo "==> static analyze golden check (CLI output == checked-in fixture)"
+# Drive the actual CLI binary over the archived demo image; the library
+# path is covered by tests/analyze_cli.rs, this covers the binary glue.
+cli_report="$(cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    analyze tests/fixtures/analyze_demo.fdl --json)"
+if [ "$cli_report" != "$(cat tests/fixtures/analyze_demo_report.json)" ]; then
+    echo "error: faros-cli analyze output drifted from tests/fixtures/analyze_demo_report.json" >&2
+    exit 1
+fi
+
+echo "==> static/dynamic cross-check truth-table gate over the corpus"
+# Injectors keep >=1 statically-impossible alert, family variants zero,
+# and the corpus-wide unresolved-indirect counts stay on their pins.
+cargo run --release --offline -p faros-bench --bin faros-cli -- analyze --corpus
+
 echo "==> hermeticity check: no external dependencies in any manifest"
 if grep -rn "crates-io\|serde\|proptest\|criterion\|parking_lot" crates/*/Cargo.toml Cargo.toml; then
     echo "error: external dependency reference found in a manifest" >&2

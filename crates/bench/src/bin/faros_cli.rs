@@ -20,6 +20,20 @@
 //!                                     traces also need a traceEvents array)
 //! faros-cli bench-gate FILE           read BENCH_replay.json and fail if the
 //!                                     FAROS replay regressed past 4x baseline
+//! faros-cli serve --socket PATH       run the detonation service on a Unix
+//!                                     socket (--workers N, --queue N)
+//! faros-cli submit <sample> --socket PATH
+//!                                     submit a job (or -i FILE for a saved
+//!                                     recording), wait, print the verdict
+//! faros-cli stop --socket PATH        drain and stop a running service
+//!                                     (--now cancels queued jobs instead)
+//! faros-cli soak [--jobs N] [--workers N]
+//!                                     in-process soak: push N jobs through
+//!                                     the pool, check the queue drains and
+//!                                     the merged metrics balance exactly
+//! faros-cli service-gate FILE         read BENCH_service.json and fail if
+//!                                     worker scaling fell below the
+//!                                     core-count-aware floor
 //!
 //! analyze/replay options:
 //!   --policy paper|netflow|cross-process   trigger configuration
@@ -33,11 +47,11 @@
 //!                                          analyze.* counters as a Chrome trace
 //! ```
 
-use faros::{Faros, FarosReport, Policy};
-use faros_analyze::{DynamicAlert, StaticReport};
+use faros::{AnalysisConfig, Faros, FarosReport, Policy};
+use faros_analyze::StaticReport;
 use faros_baselines::comparison;
 use faros_corpus::{families, find_sample, sample_registry, Sample};
-use faros_replay::{record, replay, BlockCoverage, Recording, TracePlugin};
+use faros_replay::{record, replay, Recording, Scenario as _, TracePlugin};
 use faros_taint::engine::PropagationMode;
 use std::path::PathBuf;
 use std::process::exit;
@@ -48,7 +62,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: faros-cli <list | record <sample> -o FILE | analyze <sample> [opts] \
          | replay <sample> -i FILE [opts] | compare <sample> | trace <sample>\n\
-         | run-asm FILE [opts] | json-check FILE... | bench-gate FILE>\n\
+         | run-asm FILE [opts] | json-check FILE... | bench-gate FILE\n\
+         | serve --socket PATH [--workers N] [--queue N]\n\
+         | submit <sample> --socket PATH [-i FILE] [--json]\n\
+         | stop --socket PATH [--now] | soak [--jobs N] [--workers N]\n\
+         | service-gate FILE>\n\
          opts: --policy paper|netflow|cross-process, --minos, --conservative,\n\
                --whitelist NAME, --json"
     );
@@ -68,6 +86,11 @@ struct Opts {
     taint_map: bool,
     file: Option<PathBuf>,
     trace: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    jobs: Option<usize>,
+    now: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -79,6 +102,11 @@ fn parse_opts(args: &[String]) -> Opts {
         taint_map: false,
         file: None,
         trace: None,
+        socket: None,
+        workers: None,
+        queue: None,
+        jobs: None,
+        now: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -106,6 +134,23 @@ fn parse_opts(args: &[String]) -> Opts {
                 Some(path) => opts.trace = Some(PathBuf::from(path)),
                 None => usage(),
             },
+            "--socket" => match it.next() {
+                Some(path) => opts.socket = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--workers" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => opts.workers = Some(n),
+                _ => usage(),
+            },
+            "--queue" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => opts.queue = Some(n),
+                _ => usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => opts.jobs = Some(n),
+                _ => usage(),
+            },
+            "--now" => opts.now = true,
             _ => usage(),
         }
     }
@@ -121,33 +166,27 @@ fn make_faros(opts: &Opts) -> Faros {
     Faros::with_mode(opts.policy.clone(), mode)
 }
 
-/// Replays the recording once more under the block-coverage plugin and
-/// attaches both static-vs-dynamic cross-checks (coverage diff and taint
-/// flow classification) plus the merged metrics to the report.
-fn enrich_report(faros: &mut Faros, sample: &Sample, recording: &Recording) -> FarosReport {
-    let mut report = faros.report();
-    let mut blocks = BlockCoverage::new();
-    replay(&sample.scenario, recording, BUDGET, &mut blocks)
-        .unwrap_or_else(|e| fail(&e.to_string()));
-    let images = faros_analyze::image_map(
-        sample.scenario.programs().iter().map(|(p, i)| (p.as_str(), i.clone())),
-    );
-    let observed = blocks.into_processes();
-    report.attach_coverage(&faros_analyze::diff(&observed, &images));
-    let alerts: Vec<DynamicAlert> = report
-        .detections
-        .iter()
-        .map(|d| DynamicAlert { process: d.process.clone(), va: d.insn_vaddr })
-        .collect();
-    let (taint, stats) =
-        faros_analyze::taint_cross_check_with_stats(&alerts, &observed, &images);
-    report.attach_taint(taint);
-    let mut reg = faros_obs::metrics::MetricsRegistry::new();
-    stats.record_into(&mut reg);
-    let mut snap = faros.metrics_snapshot();
-    snap.merge(&reg.snapshot());
-    report.attach_metrics(snap);
-    report
+/// The job-scoped pipeline configuration for the given CLI options.
+fn analysis_config(opts: &Opts) -> AnalysisConfig {
+    let mode = if opts.conservative {
+        PropagationMode::conservative()
+    } else {
+        PropagationMode::direct_only()
+    };
+    AnalysisConfig {
+        policy: opts.policy.clone(),
+        mode,
+        budget: BUDGET,
+        ..AnalysisConfig::default()
+    }
+}
+
+/// Runs the shared job pipeline (`faros::pipeline::analyze_recording`) —
+/// the exact assembly the detonation service workers execute, which is
+/// what keeps service reports byte-identical to CLI runs.
+fn analyze_job(sample: &Sample, recording: &Recording, opts: &Opts) -> faros::pipeline::AnalyzedJob {
+    faros::analyze_recording(&sample.scenario, recording, &analysis_config(opts))
+        .unwrap_or_else(|e| fail(&e.to_string()))
 }
 
 fn print_report(faros: &Faros, report: &FarosReport, opts: &Opts) {
@@ -291,27 +330,15 @@ fn analyze_static(path: &str, opts: &Opts) {
 const GATE_UNRESOLVED_BASELINE: u64 = 26;
 const GATE_UNRESOLVED_AFTER: u64 = 4;
 
-/// Records and replays one sample, classifying its dynamic taint alerts
-/// against the static flow model of its own program images.
+/// Records and replays one sample through the shared job pipeline,
+/// classifying its dynamic taint alerts against the static flow model of
+/// its own program images.
 fn cross_check_sample(sample: &Sample) -> faros_analyze::TaintCrossCheck {
     let (recording, _) =
         record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
-    let mut faros = Faros::new(Policy::paper());
-    replay(&sample.scenario, &recording, BUDGET, &mut faros)
+    let job = faros::analyze_recording(&sample.scenario, &recording, &AnalysisConfig::default())
         .unwrap_or_else(|e| fail(&e.to_string()));
-    let mut blocks = BlockCoverage::new();
-    replay(&sample.scenario, &recording, BUDGET, &mut blocks)
-        .unwrap_or_else(|e| fail(&e.to_string()));
-    let images = faros_analyze::image_map(
-        sample.scenario.programs().iter().map(|(p, i)| (p.as_str(), i.clone())),
-    );
-    let alerts: Vec<DynamicAlert> = faros
-        .report()
-        .detections
-        .iter()
-        .map(|d| DynamicAlert { process: d.process.clone(), va: d.insn_vaddr })
-        .collect();
-    faros_analyze::taint_cross_check(&alerts, &blocks.into_processes(), &images)
+    job.report.taint
 }
 
 /// The static/dynamic cross-check truth table over the whole corpus:
@@ -378,6 +405,219 @@ fn corpus_gate() {
     println!("corpus-gate: ok");
 }
 
+/// Runs the detonation service on a Unix socket until a client stops it.
+fn serve_cmd(opts: &Opts) {
+    let Some(socket) = &opts.socket else { usage() };
+    let config = faros_service::ServiceConfig {
+        workers: opts.workers.unwrap_or(4),
+        queue_capacity: opts.queue.unwrap_or(64),
+        ..faros_service::ServiceConfig::default()
+    };
+    let workers = config.workers;
+    let server = faros_service::serve(socket, config)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", socket.display())));
+    println!(
+        "serving on {} with {workers} worker(s); stop with `faros-cli stop --socket {}`",
+        server.path().display(),
+        server.path().display()
+    );
+    server.join();
+    println!("service stopped");
+}
+
+/// Submits one job over the socket, waits for the verdict, prints it.
+fn submit_cmd(name: &str, opts: &Opts) {
+    let Some(socket) = &opts.socket else { usage() };
+    let spec = match &opts.file {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+            faros_service::JobSpec::Recording { json }
+        }
+        None => faros_service::JobSpec::Scenario { name: name.to_string() },
+    };
+    let mut client = faros_service::Client::connect(socket)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", socket.display())));
+    let id = match client.submit(spec) {
+        Ok(Ok(id)) => id,
+        Ok(Err(refusal)) => fail(&format!("submission refused: {refusal:?}")),
+        Err(e) => fail(&format!("protocol error: {e}")),
+    };
+    let view = client.wait(id).unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
+    match view.status {
+        faros_service::JobStatus::Done(result) => {
+            if opts.json {
+                println!("{}", result.report_json);
+                return;
+            }
+            println!(
+                "job {id} ({}): {} — {} instruction(s) analyzed",
+                view.label,
+                if result.flagged { "IN-MEMORY INJECTION FLAGGED" } else { "clean" },
+                result.instructions
+            );
+        }
+        faros_service::JobStatus::Failed(f) => {
+            fail(&format!("job {id} ({}) failed [{}]: {}", view.label, f.kind, f.detail))
+        }
+        other => fail(&format!("job {id} ended non-terminal: {other:?}")),
+    }
+}
+
+/// Stops a running service over the socket and prints its final stats.
+fn stop_cmd(opts: &Opts) {
+    let Some(socket) = &opts.socket else { usage() };
+    let mut client = faros_service::Client::connect(socket)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", socket.display())));
+    let stats = client
+        .shutdown(!opts.now)
+        .unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
+    println!(
+        "service stopped: {} completed, {} failed, {} cancelled, {} worker(s) replaced",
+        stats.completed, stats.failed, stats.cancelled, stats.workers_replaced
+    );
+}
+
+/// In-process soak: push `--jobs` recordings through a `--workers` pool and
+/// check the accounting balances exactly — the queue drains to zero, every
+/// job lands terminal, the merged metrics equal the fold of the per-job
+/// snapshots, and the flight recorder dropped nothing.
+fn soak_cmd(opts: &Opts) {
+    use faros_service::{Detonator, JobSpec, JobStatus, ServiceConfig};
+    let jobs = opts.jobs.unwrap_or(200);
+    let workers = opts.workers.unwrap_or(4);
+
+    // Alternate a benign family variant with a real injection so both
+    // report shapes flow through the pool.
+    let specs: Vec<(&str, String)> = ["teamviewer_v209", "process_hollowing"]
+        .into_iter()
+        .map(|name| {
+            let sample = find_sample(name).unwrap_or_else(|| fail("soak corpus name"));
+            let (recording, _) =
+                record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
+            (name, recording.to_json().unwrap_or_else(|e| fail(&e.to_string())))
+        })
+        .collect();
+
+    let svc = Detonator::start(ServiceConfig {
+        workers,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    let started = std::time::Instant::now();
+    let ids: Vec<u64> = (0..jobs)
+        .map(|i| {
+            let (_, json) = &specs[i % specs.len()];
+            svc.submit_wait(JobSpec::Recording { json: json.clone() })
+                .unwrap_or_else(|e| fail(&format!("submit: {e}")))
+        })
+        .collect();
+    svc.drain();
+
+    let mut folded = faros_obs::metrics::MetricsSnapshot::default();
+    let mut flagged = 0usize;
+    for id in ids {
+        match svc.wait(id).status {
+            JobStatus::Done(result) => {
+                folded.merge(&result.metrics);
+                flagged += usize::from(result.flagged);
+            }
+            other => fail(&format!("soak job {id} did not complete: {other:?}")),
+        }
+    }
+    let stats = svc.shutdown();
+    let elapsed = started.elapsed();
+    println!(
+        "soak: {jobs} job(s) on {workers} worker(s) in {:.2}s ({:.1} jobs/s), {} flagged",
+        elapsed.as_secs_f64(),
+        jobs as f64 / elapsed.as_secs_f64().max(1e-9),
+        flagged
+    );
+
+    let mut bad = 0usize;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!("soak: {name}: {}", if ok { "ok".to_string() } else { format!("FAIL ({detail})") });
+        if !ok {
+            bad += 1;
+        }
+    };
+    check("all jobs completed", stats.completed == jobs as u64, format!("{}/{jobs}", stats.completed));
+    check("no failures", stats.failed == 0, format!("{} failed", stats.failed));
+    check("queue drained", stats.queue_depth == 0, format!("depth {}", stats.queue_depth));
+    check(
+        "merged metrics balance",
+        stats.merged == folded,
+        "merged snapshot != fold of per-job snapshots".to_string(),
+    );
+    check(
+        "no workers lost",
+        stats.workers_replaced == 0 && stats.live_workers == 0,
+        format!("{} replaced, {} live after shutdown", stats.workers_replaced, stats.live_workers),
+    );
+    check(
+        "flight recorder kept up",
+        stats.trace_dropped == 0,
+        format!("{} event(s) dropped", stats.trace_dropped),
+    );
+    check(
+        "expected verdict mix",
+        flagged == jobs / 2,
+        format!("{flagged} flagged, expected {}", jobs / 2),
+    );
+    if bad > 0 {
+        fail(&format!("soak: {bad} invariant violation(s)"));
+    }
+    println!("soak: ok");
+}
+
+/// Minimum 4-worker-over-1-worker batch speedup demanded by
+/// `service-gate`, per available core count. The 16-job bench batch is
+/// embarrassingly parallel, so on >=4 cores a 4-worker pool must run the
+/// batch at least 3x faster than a single worker. Below 4 cores that
+/// speedup is physically impossible — a 1-core runner executes the same
+/// instructions either way, plus real OS context-switch and cache
+/// overhead from oversubscription (measured ~1.3-1.5x slowdown at 4
+/// threads on 1 core) — so the gate only rules out *pathological*
+/// scheduler cost: 0.5x per usable core, i.e. "oversubscription never
+/// worse than a 2x-per-core tax".
+fn service_gate_floor(cores: usize) -> f64 {
+    if cores >= 4 {
+        3.0
+    } else {
+        0.5 * cores as f64
+    }
+}
+
+fn service_gate(file: &str) {
+    let text =
+        std::fs::read_to_string(file).unwrap_or_else(|e| fail(&format!("{file}: {e}")));
+    let doc = faros_support::json::JsonValue::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("{file}: invalid JSON: {e}")));
+    let one = bench_median(&doc, "detonate_batch/workers_1");
+    let four = bench_median(&doc, "detonate_batch/workers_4");
+    let sixteen = bench_median(&doc, "detonate_batch/workers_16");
+    if four == 0 {
+        fail("workers_4 median is zero; cannot compute a speedup");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let floor = service_gate_floor(cores);
+    let speedup = one as f64 / four as f64;
+    println!(
+        "service-gate: workers_1 {one} ns / workers_4 {four} ns = {speedup:.2}x speedup \
+         (floor {floor:.2}x on {cores} core(s))"
+    );
+    println!(
+        "service-gate: workers_16 median {sixteen} ns ({:.2}x vs workers_4, informational)",
+        four as f64 / sixteen.max(1) as f64
+    );
+    if speedup < floor {
+        fail(&format!(
+            "4-worker speedup {speedup:.2}x fell below the {floor:.2}x floor for {cores} core(s)"
+        ));
+    }
+    println!("service-gate: ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else { usage() };
@@ -420,11 +660,8 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
             let (recording, _) =
                 record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
-            let mut faros = make_faros(&opts);
-            replay(&sample.scenario, &recording, BUDGET, &mut faros)
-                .unwrap_or_else(|e| fail(&e.to_string()));
-            let report = enrich_report(&mut faros, &sample, &recording);
-            print_report(&faros, &report, &opts);
+            let job = analyze_job(&sample, &recording, &opts);
+            print_report(&job.faros, &job.report, &opts);
         }
         "replay" => {
             let name = args.get(1).unwrap_or_else(|| usage());
@@ -434,11 +671,8 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
             let recording =
                 Recording::load(&path).unwrap_or_else(|e| fail(&e.to_string()));
-            let mut faros = make_faros(&opts);
-            replay(&sample.scenario, &recording, BUDGET, &mut faros)
-                .unwrap_or_else(|e| fail(&e.to_string()));
-            let report = enrich_report(&mut faros, &sample, &recording);
-            print_report(&faros, &report, &opts);
+            let job = analyze_job(&sample, &recording, &opts);
+            print_report(&job.faros, &job.report, &opts);
         }
         "run-asm" => {
             let file = args.get(1).unwrap_or_else(|| usage());
@@ -514,6 +748,20 @@ fn main() {
         "bench-gate" => {
             let file = args.get(1).unwrap_or_else(|| usage());
             bench_gate(file);
+        }
+        "serve" => serve_cmd(&parse_opts(&args[1..])),
+        "submit" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            if name.starts_with('-') {
+                usage();
+            }
+            submit_cmd(name, &parse_opts(&args[2..]));
+        }
+        "stop" => stop_cmd(&parse_opts(&args[1..])),
+        "soak" => soak_cmd(&parse_opts(&args[1..])),
+        "service-gate" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            service_gate(file);
         }
         "compare" => {
             let name = args.get(1).unwrap_or_else(|| usage());

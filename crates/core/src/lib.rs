@@ -47,9 +47,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod faros;
+pub mod pipeline;
 pub mod policy;
 pub mod report;
 
 pub use crate::faros::{Faros, FarosStats};
+pub use pipeline::{analyze_recording, AnalysisConfig, AnalyzedJob, TraceCapture};
 pub use policy::Policy;
 pub use report::{CoverageSummary, Detection, DetectionKind, FarosReport};

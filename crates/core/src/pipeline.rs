@@ -1,0 +1,205 @@
+//! Job-scoped report assembly — the one detonation pipeline shared by the
+//! CLI (`faros-cli analyze`/`replay`) and the detonation service
+//! (`faros-service` workers).
+//!
+//! A *job* is one recording analyzed end to end: replay under FAROS
+//! (optionally with the flight recorder attached), replay again under the
+//! block-coverage plugin, then attach the static-vs-dynamic coverage diff,
+//! the taint cross-check, and the merged metrics to the [`FarosReport`].
+//! Keeping the assembly in one place is what makes the service's parallel
+//! reports *byte-identical* to sequential CLI runs: both sides call
+//! [`analyze_recording`], so there is no second pipeline to drift.
+//!
+//! Trace capture is deliberately kept out of the report: the per-job
+//! flight-recorder ring and its counters live in [`TraceCapture`], so a
+//! job analyzed with tracing on produces the same report bytes as one
+//! analyzed with tracing off.
+
+use crate::faros::Faros;
+use crate::policy::Policy;
+use crate::report::FarosReport;
+use faros_analyze::DynamicAlert;
+use faros_obs::metrics::{MetricsRegistry, MetricsSnapshot};
+use faros_obs::trace::RecorderHandle;
+use faros_replay::{
+    replay, BlockCoverage, PluginManager, Recording, ReplayError, Scenario, TraceRecorder,
+};
+use faros_taint::engine::PropagationMode;
+
+/// Configuration of one analysis job.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Detection policy (trigger configuration).
+    pub policy: Policy,
+    /// Taint propagation mode.
+    pub mode: PropagationMode,
+    /// Instruction budget per replay.
+    pub budget: u64,
+    /// Capture a per-job flight-recorder trace (spans, instants, taint
+    /// alerts). Never changes the report bytes — see [`TraceCapture`].
+    pub capture_trace: bool,
+    /// Ring capacity of the per-job flight recorder (events kept).
+    pub trace_capacity: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            policy: Policy::paper(),
+            mode: PropagationMode::direct_only(),
+            budget: faros_replay::DEFAULT_BUDGET,
+            capture_trace: false,
+            trace_capacity: faros_obs::trace::FlightRecorder::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// The per-job flight-recorder capture: the post-mortem story of one job,
+/// kept *outside* the report so tracing never perturbs report bytes.
+#[derive(Debug, Clone)]
+pub struct TraceCapture {
+    /// Events held in the ring at the end of the replay.
+    pub events: u64,
+    /// Events the bounded ring evicted.
+    pub dropped: u64,
+    /// The ring rendered as Chrome `trace_event` JSON (Perfetto-loadable).
+    pub chrome_json: String,
+    /// The trace recorder's own counters (syscall counts, event totals) —
+    /// deterministic, merged into service-level stats, never into the
+    /// job report.
+    pub recorder_metrics: MetricsSnapshot,
+}
+
+/// Everything one analysis job produces.
+#[derive(Debug)]
+pub struct AnalyzedJob {
+    /// The assembled report: detections, coverage diff, taint cross-check,
+    /// merged metrics.
+    pub report: FarosReport,
+    /// The FAROS plugin in its post-run state (taint map and engine
+    /// inspection — the CLI's human-facing summary lines read from here).
+    pub faros: Faros,
+    /// Instructions retired by the replay.
+    pub instructions: u64,
+    /// The per-job flight-recorder capture, when requested.
+    pub trace: Option<TraceCapture>,
+}
+
+/// Analyzes one recording end to end and assembles the job report.
+///
+/// Pipeline: replay under FAROS (inside a [`PluginManager`], with the
+/// trace recorder registered when capture is on), replay under
+/// [`BlockCoverage`], compute the static coverage diff and taint
+/// cross-check against the scenario's program images, and attach both plus
+/// the merged FAROS + cross-check metrics.
+///
+/// # Errors
+///
+/// Propagates [`ReplayError`] from either replay pass.
+pub fn analyze_recording<S: Scenario + ?Sized>(
+    scenario: &S,
+    recording: &Recording,
+    cfg: &AnalysisConfig,
+) -> Result<AnalyzedJob, ReplayError> {
+    let mut faros = Faros::with_mode(cfg.policy.clone(), cfg.mode.clone());
+    let ring = if cfg.capture_trace {
+        let ring = RecorderHandle::new(cfg.trace_capacity);
+        faros.attach_recorder(ring.clone());
+        Some(ring)
+    } else {
+        None
+    };
+
+    // Replay #1: FAROS (plus the trace recorder when capture is on). The
+    // manager wrapping is unconditional so the dispatch path is identical
+    // with and without tracing.
+    let mut plugins = PluginManager::new();
+    if let Some(ring) = &ring {
+        plugins.register(Box::new(TraceRecorder::new(ring.clone())));
+    }
+    plugins.register(Box::new(faros));
+    let outcome = replay(scenario, recording, cfg.budget, &mut plugins)?;
+    let mut faros = *plugins
+        .take_as::<Faros>("faros")
+        .expect("the faros plugin was registered above");
+    let trace = ring.map(|ring| {
+        let tracer = plugins
+            .take_as::<TraceRecorder>("trace-recorder")
+            .expect("the trace recorder was registered above");
+        TraceCapture {
+            events: ring.len() as u64,
+            dropped: ring.dropped(),
+            chrome_json: ring.export_chrome(),
+            recorder_metrics: tracer.metrics_snapshot(),
+        }
+    });
+
+    // Replay #2: block coverage for the static-vs-dynamic cross-checks.
+    let mut blocks = BlockCoverage::new();
+    replay(scenario, recording, cfg.budget, &mut blocks)?;
+
+    let mut report = faros.report();
+    let images = faros_analyze::image_map(
+        scenario.programs().iter().map(|(p, i)| (p.as_str(), i.clone())),
+    );
+    let observed = blocks.into_processes();
+    report.attach_coverage(&faros_analyze::diff(&observed, &images));
+    let alerts: Vec<DynamicAlert> = report
+        .detections
+        .iter()
+        .map(|d| DynamicAlert { process: d.process.clone(), va: d.insn_vaddr })
+        .collect();
+    let (taint, stats) = faros_analyze::taint_cross_check_with_stats(&alerts, &observed, &images);
+    report.attach_taint(taint);
+    let mut reg = MetricsRegistry::new();
+    stats.record_into(&mut reg);
+    let mut snap = faros.metrics_snapshot();
+    snap.merge(&reg.snapshot());
+    report.attach_metrics(snap);
+
+    Ok(AnalyzedJob { report, faros, instructions: outcome.instructions, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_kernel::event::Observer;
+    use faros_kernel::machine::{Machine, MachineConfig, MachineError};
+    use faros_kernel::net::NetworkFabric;
+
+    /// A minimal scenario with no programs: the pipeline must still run
+    /// and produce an empty-but-valid report.
+    struct Empty;
+    impl Scenario for Empty {
+        fn name(&self) -> &str {
+            "empty"
+        }
+        fn build(
+            &self,
+            fabric: NetworkFabric,
+            _obs: &mut dyn Observer,
+        ) -> Result<Machine, MachineError> {
+            Ok(Machine::with_fabric(MachineConfig::default(), fabric))
+        }
+    }
+
+    #[test]
+    fn trace_capture_does_not_change_report_bytes() {
+        let (recording, _) = faros_replay::record(&Empty, 100_000).unwrap();
+        let plain = analyze_recording(&Empty, &recording, &AnalysisConfig::default()).unwrap();
+        let traced = analyze_recording(
+            &Empty,
+            &recording,
+            &AnalysisConfig { capture_trace: true, ..AnalysisConfig::default() },
+        )
+        .unwrap();
+        assert!(plain.trace.is_none());
+        let capture = traced.trace.expect("trace requested");
+        assert_eq!(capture.dropped, 0);
+        assert_eq!(
+            plain.report.to_json().unwrap(),
+            traced.report.to_json().unwrap(),
+            "tracing must never perturb the report"
+        );
+    }
+}

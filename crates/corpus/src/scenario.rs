@@ -160,12 +160,6 @@ impl SampleScenario {
         self
     }
 
-    /// The scenario's guest program images, as `(path, image)` pairs — the
-    /// module set the static analyzer lints without executing anything.
-    pub fn programs(&self) -> &[(String, FdlImage)] {
-        &self.programs
-    }
-
     /// Adds a plain data file to the guest filesystem (device feeds,
     /// documents to exfiltrate, ...).
     pub fn seed_file(mut self, path: &str, data: Vec<u8>) -> SampleScenario {
@@ -232,6 +226,12 @@ impl Scenario for SampleScenario {
 
     fn config(&self) -> MachineConfig {
         self.config.clone()
+    }
+
+    /// The scenario's guest program images, as `(path, image)` pairs — the
+    /// module set the static analyzer lints without executing anything.
+    fn programs(&self) -> &[(String, FdlImage)] {
+        &self.programs
     }
 }
 

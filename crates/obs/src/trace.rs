@@ -60,6 +60,9 @@ pub enum TraceCategory {
     Plugin,
     /// Static-analysis activity (dataflow engine counters).
     Analysis,
+    /// Detonation-service lifecycle: job submit/start/finish, worker
+    /// spawn/replacement, queue pressure.
+    Service,
 }
 
 impl TraceCategory {
@@ -76,6 +79,7 @@ impl TraceCategory {
             TraceCategory::Insn => "insn",
             TraceCategory::Plugin => "plugin",
             TraceCategory::Analysis => "analysis",
+            TraceCategory::Service => "service",
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use faros_kernel::event::Observer;
 use faros_kernel::machine::{Machine, MachineConfig, MachineError};
+use faros_kernel::module::FdlImage;
 use faros_kernel::net::NetworkFabric;
 
 /// The default guest IP (matches the victim address in the paper's
@@ -43,6 +44,15 @@ pub trait Scenario {
     /// Machine configuration (override for bigger RAM etc.).
     fn config(&self) -> MachineConfig {
         MachineConfig { guest_ip: self.guest_ip(), ..MachineConfig::default() }
+    }
+
+    /// The guest program images the scenario installs, as `(path, image)`
+    /// pairs — the module set static analysis lints without executing
+    /// anything. Scenarios that build their machines some other way may
+    /// return an empty slice; job-scoped report assembly then skips the
+    /// static cross-checks.
+    fn programs(&self) -> &[(String, FdlImage)] {
+        &[]
     }
 }
 

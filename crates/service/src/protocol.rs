@@ -1,0 +1,383 @@
+//! The wire protocol: length-prefixed JSON frames and the request/response
+//! vocabulary spoken over the service socket.
+//!
+//! Framing is a little-endian `u32` byte length followed by that many
+//! bytes of UTF-8 JSON. The length prefix is capped at [`MAX_FRAME`]: an
+//! oversized prefix is refused *before* any allocation, so a hostile or
+//! corrupt client cannot balloon the server. Truncated frames, garbage
+//! payloads, and unknown request types all decode into structured errors —
+//! the malformed-input test suite pins that none of them can panic the
+//! server or leak a worker.
+
+use crate::job::{JobSpec, JobView};
+use crate::service::ServiceStats;
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Largest frame either side will read or write (16 MiB — comfortably
+/// above any report, far below an allocation bomb).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended mid-frame (inside the prefix or the payload).
+    Truncated {
+        /// Bytes expected (payload length, or 4 for the prefix).
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The payload is not UTF-8 or not the JSON shape expected.
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<JsonError> for FrameError {
+    fn from(e: JsonError) -> FrameError {
+        FrameError::Malformed(e.to_string())
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the payload exceeds [`MAX_FRAME`];
+/// otherwise I/O errors from the stream.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::TooLarge(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer hung up between frames); EOF *inside* a frame is
+/// [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// See [`FrameError`]. An oversized length prefix is refused before any
+/// payload allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated { expected: 4, got: filled }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated { expected: payload.len(), got: filled }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job; answered by [`Response::Submitted`],
+    /// [`Response::QueueFull`], or [`Response::ShuttingDown`].
+    Submit(JobSpec),
+    /// Current view of one job; answered by [`Response::Job`] or
+    /// [`Response::UnknownJob`].
+    Status {
+        /// Job id returned by submit.
+        id: u64,
+    },
+    /// Like `Status`, but blocks until the job is terminal.
+    Wait {
+        /// Job id returned by submit.
+        id: u64,
+    },
+    /// Service-wide stats; answered by [`Response::Stats`].
+    Stats,
+    /// Drain the queue and stop; answered (after the drain) by
+    /// [`Response::Shutdown`] carrying the final stats.
+    Shutdown {
+        /// `true` drains queued jobs first; `false` cancels them.
+        drain: bool,
+    },
+    /// Liveness probe; answered by [`Response::Pong`].
+    Ping,
+}
+
+impl ToJson for Request {
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = Vec::new();
+        match self {
+            Request::Submit(spec) => {
+                fields.push(("type", "submit".to_json_value()));
+                fields.push(("spec", spec.to_json_value()));
+            }
+            Request::Status { id } => {
+                fields.push(("type", "status".to_json_value()));
+                fields.push(("id", id.to_json_value()));
+            }
+            Request::Wait { id } => {
+                fields.push(("type", "wait".to_json_value()));
+                fields.push(("id", id.to_json_value()));
+            }
+            Request::Stats => fields.push(("type", "stats".to_json_value())),
+            Request::Shutdown { drain } => {
+                fields.push(("type", "shutdown".to_json_value()));
+                fields.push(("drain", drain.to_json_value()));
+            }
+            Request::Ping => fields.push(("type", "ping".to_json_value())),
+        }
+        JsonValue::object(fields)
+    }
+}
+
+impl FromJson for Request {
+    fn from_json_value(v: &JsonValue) -> Result<Request, JsonError> {
+        let ty: String = json::field(v, "type")?;
+        match ty.as_str() {
+            "submit" => Ok(Request::Submit(json::field(v, "spec")?)),
+            "status" => Ok(Request::Status { id: json::field(v, "id")? }),
+            "wait" => Ok(Request::Wait { id: json::field(v, "id")? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown { drain: json::field(v, "drain")? }),
+            "ping" => Ok(Request::Ping),
+            other => Err(JsonError::decode(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The job was admitted.
+    Submitted {
+        /// Its id, for status/wait.
+        id: u64,
+    },
+    /// Backpressure: the queue is at capacity. Retry after jobs drain.
+    QueueFull {
+        /// The queue capacity that was hit.
+        capacity: u64,
+    },
+    /// The service no longer admits jobs.
+    ShuttingDown,
+    /// One job's view.
+    Job(JobView),
+    /// No job has this id.
+    UnknownJob {
+        /// The id asked about.
+        id: u64,
+    },
+    /// Service-wide stats.
+    Stats(ServiceStats),
+    /// Final stats, sent once the shutdown finished.
+    Shutdown(ServiceStats),
+    /// Liveness answer.
+    Pong,
+    /// The request could not be decoded or handled; the connection stays
+    /// usable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl ToJson for Response {
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = Vec::new();
+        match self {
+            Response::Submitted { id } => {
+                fields.push(("type", "submitted".to_json_value()));
+                fields.push(("id", id.to_json_value()));
+            }
+            Response::QueueFull { capacity } => {
+                fields.push(("type", "queue-full".to_json_value()));
+                fields.push(("capacity", capacity.to_json_value()));
+            }
+            Response::ShuttingDown => {
+                fields.push(("type", "shutting-down".to_json_value()));
+            }
+            Response::Job(view) => {
+                fields.push(("type", "job".to_json_value()));
+                fields.push(("job", view.to_json_value()));
+            }
+            Response::UnknownJob { id } => {
+                fields.push(("type", "unknown-job".to_json_value()));
+                fields.push(("id", id.to_json_value()));
+            }
+            Response::Stats(stats) => {
+                fields.push(("type", "stats".to_json_value()));
+                fields.push(("stats", stats.to_json_value()));
+            }
+            Response::Shutdown(stats) => {
+                fields.push(("type", "shutdown".to_json_value()));
+                fields.push(("stats", stats.to_json_value()));
+            }
+            Response::Pong => fields.push(("type", "pong".to_json_value())),
+            Response::Error { message } => {
+                fields.push(("type", "error".to_json_value()));
+                fields.push(("message", message.to_json_value()));
+            }
+        }
+        JsonValue::object(fields)
+    }
+}
+
+impl FromJson for Response {
+    fn from_json_value(v: &JsonValue) -> Result<Response, JsonError> {
+        let ty: String = json::field(v, "type")?;
+        match ty.as_str() {
+            "submitted" => Ok(Response::Submitted { id: json::field(v, "id")? }),
+            "queue-full" => Ok(Response::QueueFull { capacity: json::field(v, "capacity")? }),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            "job" => Ok(Response::Job(json::field(v, "job")?)),
+            "unknown-job" => Ok(Response::UnknownJob { id: json::field(v, "id")? }),
+            "stats" => Ok(Response::Stats(json::field(v, "stats")?)),
+            "shutdown" => Ok(Response::Shutdown(json::field(v, "stats")?)),
+            "pong" => Ok(Response::Pong),
+            "error" => Ok(Response::Error { message: json::field(v, "message")? }),
+            other => Err(JsonError::decode(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] for anything that is not a valid request.
+pub fn decode_request(payload: &str) -> Result<Request, FrameError> {
+    Ok(Request::from_json_value(&JsonValue::parse(payload)?)?)
+}
+
+/// Decodes a response frame payload.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] for anything that is not a valid response.
+pub fn decode_response(payload: &str) -> Result<Response, FrameError> {
+    Ok(Response::from_json_value(&JsonValue::parse(payload)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), Some("hello".to_string()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(String::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_structured_errors() {
+        let mut r = Cursor::new(vec![5u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Truncated { expected: 4, got: 2 })
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Truncated { expected: 5, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"whatever");
+        let mut r = Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(u32::MAX))));
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        let reqs = vec![
+            Request::Submit(JobSpec::Scenario { name: "x".into() }),
+            Request::Status { id: 3 },
+            Request::Wait { id: 4 },
+            Request::Stats,
+            Request::Shutdown { drain: true },
+            Request::Ping,
+        ];
+        for req in reqs {
+            let payload = req.to_json_value().to_compact();
+            assert_eq!(decode_request(&payload).unwrap(), req);
+        }
+        let resps = vec![
+            Response::Submitted { id: 9 },
+            Response::QueueFull { capacity: 64 },
+            Response::ShuttingDown,
+            Response::UnknownJob { id: 12 },
+            Response::Pong,
+            Response::Error { message: "nope".into() },
+        ];
+        for resp in resps {
+            let payload = resp.to_json_value().to_compact();
+            assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_errors_not_panics() {
+        for garbage in ["", "{", "[1,2", "{\"type\":\"warp\"}", "{\"no_type\":1}", "\u{0}"] {
+            assert!(decode_request(garbage).is_err(), "{garbage:?} must be refused");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The socket server and its blocking client.
+//!
+//! [`serve`] binds a Unix-domain socket, starts a [`Detonator`], and
+//! accepts connections on a background thread; each connection gets its
+//! own handler thread speaking the framed protocol of
+//! [`crate::protocol`]. A malformed frame or request produces a
+//! structured [`Response::Error`] (then the connection closes on framing
+//! damage) — the server never panics on client input and never leaks a
+//! worker over it, which the protocol test suite pins.
+//!
+//! A [`Request::Shutdown`] drains (or cancels) the detonator, answers
+//! with the final stats, and stops the accept loop; [`ServerHandle::join`]
+//! then returns. The socket file is removed on the way out.
+
+use crate::job::{JobSpec, JobView};
+use crate::protocol::{
+    decode_request, decode_response, read_frame, write_frame, FrameError, Request, Response,
+};
+use crate::service::{Detonator, ServiceConfig, ServiceStats, SubmitError};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+struct ServerState {
+    det: Detonator,
+    stop: AtomicBool,
+}
+
+impl ServerState {
+    /// Handles one request; the `bool` asks the accept loop to stop.
+    fn handle(&self, req: Request) -> (Response, bool) {
+        match req {
+            Request::Submit(spec) => {
+                let resp = match self.det.submit(spec) {
+                    Ok(id) => Response::Submitted { id },
+                    Err(SubmitError::QueueFull) => Response::QueueFull {
+                        capacity: self.det.queue_capacity() as u64,
+                    },
+                    Err(SubmitError::ShuttingDown) => Response::ShuttingDown,
+                };
+                (resp, false)
+            }
+            Request::Status { id } => match self.det.status(id) {
+                Some(view) => (Response::Job(view), false),
+                None => (Response::UnknownJob { id }, false),
+            },
+            Request::Wait { id } => {
+                if self.det.status(id).is_none() {
+                    (Response::UnknownJob { id }, false)
+                } else {
+                    (Response::Job(self.det.wait(id)), false)
+                }
+            }
+            Request::Stats => (Response::Stats(self.det.stats()), false),
+            Request::Shutdown { drain } => {
+                let stats = if drain { self.det.shutdown() } else { self.det.shutdown_now() };
+                self.stop.store(true, Ordering::SeqCst);
+                (Response::Shutdown(stats), true)
+            }
+            Request::Ping => (Response::Pong, false),
+        }
+    }
+}
+
+/// A running server: the accept thread plus the socket path it owns.
+#[derive(Debug)]
+pub struct ServerHandle {
+    path: PathBuf,
+    accept: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState").finish()
+    }
+}
+
+impl ServerHandle {
+    /// The socket path the server listens on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Blocks until the server stops (a client sent `Shutdown`, or
+    /// [`ServerHandle::stop`] ran).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the server from this side: cancels queued jobs, finishes
+    /// in-flight ones, and joins the accept loop.
+    pub fn stop(mut self) -> ServiceStats {
+        let stats = self.state.det.shutdown_now();
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        stats
+    }
+}
+
+/// Binds `path`, starts a [`Detonator`] with `config`, and serves until a
+/// shutdown request arrives. A stale socket file at `path` is replaced.
+///
+/// # Errors
+///
+/// I/O errors from binding the socket.
+pub fn serve(path: &Path, config: ServiceConfig) -> io::Result<ServerHandle> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let state = Arc::new(ServerState {
+        det: Detonator::start(config),
+        stop: AtomicBool::new(false),
+    });
+    let accept_state = Arc::clone(&state);
+    let socket_path = path.to_path_buf();
+    let accept = thread::spawn(move || {
+        accept_loop(&listener, &accept_state);
+        let _ = std::fs::remove_file(&socket_path);
+    });
+    Ok(ServerHandle { path: path.to_path_buf(), accept: Some(accept), state })
+}
+
+fn accept_loop(listener: &UnixListener, state: &Arc<ServerState>) {
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let _ = stream.set_nonblocking(false);
+                let conn_state = Arc::clone(state);
+                // Handlers are detached: an idle connection parks in
+                // `read_frame` and exits on EOF when the client drops.
+                thread::spawn(move || handle_connection(&conn_state, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: UnixStream) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let (response, stop) = match decode_request(&payload) {
+                    Ok(req) => state.handle(req),
+                    Err(e) => (Response::Error { message: e.to_string() }, false),
+                };
+                let encoded = response.to_compact();
+                if write_frame(&mut stream, &encoded).is_err() {
+                    break;
+                }
+                if stop {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Framing damage (truncation, oversized prefix, bad UTF-8):
+                // answer with a structured error, then drop the connection —
+                // resynchronizing a broken byte stream is not possible.
+                // Discard unread input first: closing with pending bytes
+                // resets the socket and would destroy the error frame
+                // before the client reads it.
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+                let encoded = Response::Error { message: e.to_string() }.to_compact();
+                let _ = write_frame(&mut stream, &encoded);
+                break;
+            }
+        }
+    }
+}
+
+trait ToCompact {
+    fn to_compact(&self) -> String;
+}
+
+impl ToCompact for Response {
+    fn to_compact(&self) -> String {
+        use faros_support::json::ToJson;
+        self.to_json_value().to_compact()
+    }
+}
+
+/// A blocking client for the service socket.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a server socket.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from connecting.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        Ok(Client { stream: UnixStream::connect(path)? })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Framing or I/O errors; a server that hung up mid-exchange surfaces
+    /// as [`FrameError::Truncated`] or an empty stream error.
+    pub fn request(&mut self, req: &Request) -> Result<Response, FrameError> {
+        use faros_support::json::ToJson;
+        write_frame(&mut self.stream, &req.to_json_value().to_compact())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => decode_response(&payload),
+            None => Err(FrameError::Truncated { expected: 4, got: 0 }),
+        }
+    }
+
+    /// Submits a job and returns its id (or the refusal).
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or the structured refusal as
+    /// `Err(FrameError::Malformed)`-free `Ok(Err(response))`.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<Result<u64, Response>, FrameError> {
+        match self.request(&Request::Submit(spec))? {
+            Response::Submitted { id } => Ok(Ok(id)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// Blocks until job `id` is terminal and returns its view.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] if the server answers
+    /// with anything but a job view.
+    pub fn wait(&mut self, id: u64) -> Result<JobView, FrameError> {
+        match self.request(&Request::Wait { id })? {
+            Response::Job(view) => Ok(view),
+            other => Err(FrameError::Malformed(format!("expected a job view, got {other:?}"))),
+        }
+    }
+
+    /// Fetches service stats.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] on an unexpected
+    /// response shape.
+    pub fn stats(&mut self) -> Result<ServiceStats, FrameError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(FrameError::Malformed(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down (draining when `drain`) and returns
+    /// the final stats.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] on an unexpected
+    /// response shape.
+    pub fn shutdown(&mut self, drain: bool) -> Result<ServiceStats, FrameError> {
+        match self.request(&Request::Shutdown { drain })? {
+            Response::Shutdown(stats) => Ok(stats),
+            other => Err(FrameError::Malformed(format!("expected final stats, got {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] if the answer is not
+    /// a pong.
+    pub fn ping(&mut self) -> Result<(), FrameError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(FrameError::Malformed(format!("expected pong, got {other:?}"))),
+        }
+    }
+}

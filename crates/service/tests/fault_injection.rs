@@ -1,0 +1,248 @@
+//! Fault-injection suite: prove the pool's containment story.
+//!
+//! Each test poisons specific jobs via a [`FaultPlan`] and asserts the
+//! blast radius: the poisoned job fails with the right structured error,
+//! its worker is replaced, every *other* job still completes, and the
+//! queue drains to zero. No fault may wedge the service or corrupt a
+//! healthy job's result.
+
+use faros_service::fault::quiet_fault_panics;
+use faros_service::{
+    Detonator, Fault, FailureKind, FaultPlan, JobSpec, JobStatus, ServiceConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec() -> JobSpec {
+    // Small, fast, deterministic: a benign family variant.
+    JobSpec::Scenario { name: "teamviewer_v209".into() }
+}
+
+fn config(workers: usize) -> ServiceConfig {
+    ServiceConfig { workers, queue_capacity: 32, ..ServiceConfig::default() }
+}
+
+fn failure_kind(status: &JobStatus) -> Option<FailureKind> {
+    match status {
+        JobStatus::Failed(f) => Some(f.kind),
+        _ => None,
+    }
+}
+
+#[test]
+fn panic_mid_replay_is_contained() {
+    quiet_fault_panics();
+    let faults = Arc::new(FaultPlan::new());
+    faults.set(1, Fault::PanicMidReplay(50));
+    let svc = Detonator::start_with_faults(config(2), faults);
+    let ids: Vec<u64> = (0..6).map(|_| svc.submit_wait(spec()).unwrap()).collect();
+    svc.drain();
+
+    for &id in &ids {
+        let view = svc.wait(id);
+        if id == 1 {
+            let failure = match view.status {
+                JobStatus::Failed(f) => f,
+                other => panic!("poisoned job must fail, got {other:?}"),
+            };
+            assert_eq!(failure.kind, FailureKind::WorkerPanic);
+            assert!(
+                failure.detail.contains("injected panic"),
+                "failure carries the panic payload: {}",
+                failure.detail
+            );
+        } else {
+            assert!(
+                matches!(view.status, JobStatus::Done(_)),
+                "healthy job {id} must complete, got {:?}",
+                view.status
+            );
+        }
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.queue_depth, 0, "queue drained");
+    assert!(stats.workers_replaced >= 1, "the panicking worker was replaced");
+    assert_eq!(
+        stats.workers_spawned,
+        2 + stats.workers_replaced,
+        "every replacement spawned a fresh worker"
+    );
+}
+
+#[test]
+fn corrupt_report_is_caught_by_validation() {
+    let faults = Arc::new(FaultPlan::new());
+    faults.set(0, Fault::CorruptReport);
+    let svc = Detonator::start_with_faults(config(2), faults);
+    let poisoned = svc.submit_wait(spec()).unwrap();
+    let healthy = svc.submit_wait(spec()).unwrap();
+    svc.drain();
+
+    let view = svc.wait(poisoned);
+    assert_eq!(
+        failure_kind(&view.status),
+        Some(FailureKind::CorruptReport),
+        "truncated report must fail validation, got {:?}",
+        view.status
+    );
+    let healthy_view = svc.wait(healthy);
+    let result = match healthy_view.status {
+        JobStatus::Done(r) => r,
+        other => panic!("healthy job must complete, got {other:?}"),
+    };
+    assert!(!result.report_json.is_empty());
+
+    let stats = svc.shutdown();
+    assert_eq!((stats.completed, stats.failed), (1, 1));
+    // Report validation happens server-side, after execution: no worker
+    // was harmed producing the corrupt report.
+    assert_eq!(stats.workers_replaced, 0);
+}
+
+// Deadlines need headroom: a healthy debug-build job is ~60-100ms of CPU,
+// and on a single-core runner N contending workers inflate that by ~N×.
+// Stalls are several multiples of the deadline so the verdicts stay
+// unambiguous even on a loaded machine.
+const DEADLINE: Duration = Duration::from_millis(600);
+const STALL: Duration = Duration::from_millis(2_000);
+
+#[test]
+fn stall_past_deadline_retires_the_worker() {
+    let faults = Arc::new(FaultPlan::new());
+    faults.set(0, Fault::Stall(STALL));
+    let svc = Detonator::start_with_faults(
+        ServiceConfig { deadline: Some(DEADLINE), ..config(2) },
+        faults,
+    );
+    let stalled = svc.submit_wait(spec()).unwrap();
+    let ids: Vec<u64> = (0..4).map(|_| svc.submit_wait(spec()).unwrap()).collect();
+
+    let view = svc.wait(stalled);
+    let failure = match view.status {
+        JobStatus::Failed(f) => f,
+        other => panic!("stalled job must fail, got {other:?}"),
+    };
+    assert_eq!(failure.kind, FailureKind::DeadlineExceeded);
+
+    // The queue keeps draining on the replacement worker while the stalled
+    // thread sleeps.
+    svc.drain();
+    for &id in &ids {
+        assert!(
+            matches!(svc.wait(id).status, JobStatus::Done(_)),
+            "job {id} must complete on a live worker"
+        );
+    }
+
+    // Give the detached stalled thread time to wake and try its (stale)
+    // publish, then confirm it changed nothing.
+    std::thread::sleep(STALL);
+    assert_eq!(
+        failure_kind(&svc.wait(stalled).status),
+        Some(FailureKind::DeadlineExceeded),
+        "the stale worker's late result must be dropped"
+    );
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.failed, 1);
+    assert!(stats.workers_replaced >= 1, "the stalled worker was retired");
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn every_fault_class_in_one_run() {
+    quiet_fault_panics();
+    let faults = Arc::new(FaultPlan::new());
+    faults.set(1, Fault::PanicMidReplay(10));
+    faults.set(3, Fault::CorruptReport);
+    faults.set(5, Fault::Stall(STALL));
+    let svc = Detonator::start_with_faults(
+        ServiceConfig { deadline: Some(DEADLINE), ..config(3) },
+        faults,
+    );
+    let total = 9;
+    for _ in 0..total {
+        svc.submit_wait(spec()).unwrap();
+    }
+    svc.drain();
+
+    let expected = [
+        (1, FailureKind::WorkerPanic),
+        (3, FailureKind::CorruptReport),
+        (5, FailureKind::DeadlineExceeded),
+    ];
+    for (id, kind) in expected {
+        assert_eq!(
+            failure_kind(&svc.wait(id).status),
+            Some(kind),
+            "job {id} must fail as {kind}"
+        );
+    }
+    for id in [0u64, 2, 4, 6, 7, 8] {
+        assert!(
+            matches!(svc.wait(id).status, JobStatus::Done(_)),
+            "healthy job {id} must complete"
+        );
+    }
+    // Let the stalled thread finish its nap before shutdown counts workers.
+    std::thread::sleep(STALL);
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.queue_depth, 0, "the queue drained through all faults");
+    assert!(stats.workers_replaced >= 2, "panic and stall each cost a worker");
+}
+
+#[test]
+fn invalid_specs_fail_structurally() {
+    let svc = Detonator::start(config(2));
+    let unknown = svc.submit(JobSpec::Scenario { name: "no_such_scenario".into() }).unwrap();
+    let garbage = svc.submit(JobSpec::Recording { json: "not json at all".into() }).unwrap();
+    let wrong_name = svc
+        .submit(JobSpec::Recording {
+            json: r#"{"scenario":"ghost","net_log":{"events":[]},"instructions":0,"clean_exit":true}"#
+                .into(),
+        })
+        .unwrap();
+    svc.drain();
+    for id in [unknown, garbage, wrong_name] {
+        assert_eq!(
+            failure_kind(&svc.wait(id).status),
+            Some(FailureKind::InvalidSpec),
+            "job {id} must fail as invalid-spec"
+        );
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.workers_replaced, 0, "bad input never costs a worker");
+}
+
+#[test]
+fn shutdown_now_cancels_queued_jobs() {
+    let faults = Arc::new(FaultPlan::new());
+    faults.set(0, Fault::Stall(Duration::from_millis(250)));
+    let svc = Detonator::start_with_faults(
+        ServiceConfig { workers: 1, queue_capacity: 16, ..ServiceConfig::default() },
+        faults,
+    );
+    let stalled = svc.submit_wait(spec()).unwrap();
+    while !matches!(svc.status(stalled).unwrap().status, JobStatus::Running) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let queued: Vec<u64> = (0..3).map(|_| svc.submit_wait(spec()).unwrap()).collect();
+    let stats = svc.shutdown_now();
+    assert_eq!(stats.cancelled, 3, "queued jobs were cancelled, not run");
+    for id in queued {
+        assert_eq!(failure_kind(&svc_status(&svc, id)), Some(FailureKind::Cancelled));
+    }
+    // The in-flight job was allowed to finish.
+    assert!(matches!(svc.wait(stalled).status, JobStatus::Done(_)));
+}
+
+fn svc_status(svc: &Detonator, id: u64) -> JobStatus {
+    svc.status(id).expect("known job").status
+}

@@ -1,0 +1,100 @@
+//! Determinism property: the service's parallel reports are byte-identical
+//! to sequential pipeline runs.
+//!
+//! A 30-scenario corpus (the 9 injecting attacks + 21 Table IV family
+//! variants) is recorded once, analyzed sequentially through
+//! `faros::analyze_recording` (the baseline bytes), then submitted to
+//! services at 1, 4, and 16 workers — each time in a differently shuffled
+//! order under a pinned seed. Every worker-count/order combination must
+//! reproduce the sequential report bytes exactly, and the merged metrics
+//! (an order-independent fold) must be identical across all runs.
+
+use faros::AnalysisConfig;
+use faros_replay::{record, Recording};
+use faros_service::{Detonator, JobSpec, JobStatus, ServiceConfig};
+use faros_support::prop::Rng;
+use std::collections::HashMap;
+
+/// The 30-scenario corpus, by registry name: all 9 injecting samples plus
+/// the first 21 entries of the Table IV false-positive dataset.
+fn corpus_names() -> Vec<String> {
+    let mut names: Vec<String> = faros_corpus::attacks::all_injecting_samples()
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    names.extend(
+        faros_corpus::families::fp_dataset().iter().take(21).map(|s| s.name().to_string()),
+    );
+    assert_eq!(names.len(), 30, "the determinism corpus is pinned at 30 scenarios");
+    names
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn parallel_reports_are_byte_identical_to_sequential() {
+    let cfg = AnalysisConfig::default();
+    let names = corpus_names();
+
+    // Record each scenario once; every run (sequential and service) then
+    // analyzes the *same* recording bytes.
+    let mut recordings: Vec<(String, Recording)> = Vec::new();
+    let mut baseline: HashMap<String, String> = HashMap::new();
+    for name in &names {
+        let sample = faros_corpus::find_sample(name).expect("corpus name resolves");
+        let (recording, _) = record(&sample.scenario, cfg.budget).expect("record");
+        let job = faros::analyze_recording(&sample.scenario, &recording, &cfg).expect("analyze");
+        baseline.insert(name.clone(), job.report.to_json().expect("report json"));
+        recordings.push((name.clone(), recording));
+    }
+
+    let mut merged_reference = None;
+    for (workers, seed) in [(1usize, 11u64), (4, 22), (16, 33)] {
+        let mut order: Vec<usize> = (0..recordings.len()).collect();
+        let mut rng = Rng::new(seed);
+        shuffle(&mut order, &mut rng);
+
+        let svc = Detonator::start(ServiceConfig {
+            workers,
+            queue_capacity: recordings.len(),
+            ..ServiceConfig::default()
+        });
+        let mut submitted: Vec<(u64, &str)> = Vec::new();
+        for &idx in &order {
+            let (name, recording) = &recordings[idx];
+            let id = svc
+                .submit_wait(JobSpec::Recording { json: recording.to_json().unwrap() })
+                .expect("admit");
+            submitted.push((id, name));
+        }
+        svc.drain();
+        for (id, name) in submitted {
+            let view = svc.wait(id);
+            let result = match view.status {
+                JobStatus::Done(r) => r,
+                other => panic!("{name} must complete at {workers} workers, got {other:?}"),
+            };
+            assert_eq!(
+                &result.report_json, &baseline[name],
+                "{name}: report bytes at {workers} workers differ from the sequential run"
+            );
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, recordings.len() as u64);
+        assert_eq!(stats.failed, 0);
+        // The merged metrics fold is order-independent, so every worker
+        // count and submission order lands on the same snapshot.
+        match &merged_reference {
+            None => merged_reference = Some(stats.merged),
+            Some(reference) => assert_eq!(
+                &stats.merged, reference,
+                "merged metrics at {workers} workers diverged"
+            ),
+        }
+    }
+}

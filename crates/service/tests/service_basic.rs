@@ -1,0 +1,168 @@
+//! End-to-end service tests over the Unix socket: submit/wait/stats
+//! round-trips, hostile framing, and shutdown semantics.
+
+use faros_service::protocol::{read_frame, write_frame, FrameError, Request, Response, MAX_FRAME};
+use faros_service::server::{serve, Client};
+use faros_service::{JobSpec, JobStatus, ServiceConfig};
+use faros_support::json::ToJson;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+fn socket_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("faros-service-tests");
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    dir.join(format!("{tag}-{}.sock", std::process::id()))
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig { workers: 2, queue_capacity: 16, ..ServiceConfig::default() }
+}
+
+#[test]
+fn submit_wait_stats_shutdown_over_the_socket() {
+    let path = socket_path("basic");
+    let server = serve(&path, config()).expect("bind");
+    let mut client = Client::connect(&path).expect("connect");
+    client.ping().expect("ping");
+
+    let id = client
+        .submit(JobSpec::Scenario { name: "process_hollowing".into() })
+        .expect("protocol")
+        .expect("admitted");
+    let view = client.wait(id).expect("wait");
+    let result = match view.status {
+        JobStatus::Done(r) => r,
+        other => panic!("hollowing must complete, got {other:?}"),
+    };
+    assert!(result.flagged, "process hollowing must be flagged");
+    assert!(result.report_json.contains("detections"));
+
+    let benign = client
+        .submit(JobSpec::Scenario { name: "teamviewer_v209".into() })
+        .expect("protocol")
+        .expect("admitted");
+    let view = client.wait(benign).expect("wait");
+    match view.status {
+        JobStatus::Done(r) => assert!(!r.flagged, "teamviewer must stay clean"),
+        other => panic!("benign job must complete, got {other:?}"),
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.live_workers, 2);
+
+    let finals = client.shutdown(true).expect("shutdown");
+    assert_eq!(finals.completed, 2);
+    assert_eq!(finals.queue_depth, 0);
+    server.join();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn unknown_ids_and_unknown_scenarios_are_structured() {
+    let path = socket_path("unknown");
+    let server = serve(&path, config()).expect("bind");
+    let mut client = Client::connect(&path).expect("connect");
+
+    match client.request(&Request::Status { id: 42 }).expect("protocol") {
+        Response::UnknownJob { id: 42 } => {}
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    match client.request(&Request::Wait { id: 7 }).expect("protocol") {
+        Response::UnknownJob { id: 7 } => {}
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    let id = client
+        .submit(JobSpec::Scenario { name: "definitely_not_a_scenario".into() })
+        .expect("protocol")
+        .expect("admitted — validation happens at execution");
+    let view = client.wait(id).expect("wait");
+    assert!(
+        matches!(view.status, JobStatus::Failed(ref f) if f.detail.contains("unknown scenario")),
+        "got {:?}",
+        view.status
+    );
+    server.stop();
+}
+
+#[test]
+fn hostile_framing_never_kills_the_server_or_a_worker() {
+    let path = socket_path("hostile");
+    let server = serve(&path, config()).expect("bind");
+
+    // 1. Valid frame, garbage JSON payload: structured error, connection
+    //    stays usable.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    write_frame(&mut stream, "this is not json {{{").expect("write");
+    match read_frame(&mut stream).expect("read").as_deref() {
+        Some(payload) => assert!(payload.contains("error"), "got {payload}"),
+        None => panic!("server must answer garbage with an error frame"),
+    }
+    write_frame(&mut stream, &Request::Ping.to_json_value().to_compact()).expect("write");
+    let pong = read_frame(&mut stream).expect("read").expect("pong frame");
+    assert!(pong.contains("pong"), "connection survives a malformed request: {pong}");
+
+    // 2. Oversized length prefix: refused before allocation, structured
+    //    error, connection closed.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream.write_all(&(MAX_FRAME + 1).to_le_bytes()).expect("write");
+    stream.write_all(b"boom").expect("write");
+    let err = read_frame(&mut stream).expect("read").expect("error frame");
+    assert!(err.contains("exceeds"), "got {err}");
+    // The connection is torn down. With the trailing garbage still unread
+    // on the server side the kernel may reset instead of delivering a
+    // graceful EOF — both count as closed.
+    match read_frame(&mut stream) {
+        Ok(None) => {}
+        Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        other => panic!("connection must be closed, got {other:?}"),
+    }
+
+    // 3. Truncated frame: declare 100 bytes, send 3, hang up.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream.write_all(&100u32.to_le_bytes()).expect("write");
+    stream.write_all(b"abc").expect("write");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let err = read_frame(&mut stream).expect("read").expect("error frame");
+    assert!(err.contains("truncated"), "got {err}");
+
+    // 4. A frame that *is* valid JSON but an unknown request type.
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    write_frame(&mut stream, "{\"type\":\"warp-core\"}").expect("write");
+    let err = read_frame(&mut stream).expect("read").expect("error frame");
+    assert!(err.contains("unknown request type"), "got {err}");
+
+    // After all of that: the server still works and no worker was lost.
+    let mut client = Client::connect(&path).expect("connect");
+    client.ping().expect("server alive");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.live_workers, 2, "hostile framing must not cost workers");
+    assert_eq!(stats.workers_replaced, 0);
+    let id = client
+        .submit(JobSpec::Scenario { name: "teamviewer_v209".into() })
+        .expect("protocol")
+        .expect("admitted");
+    assert!(matches!(client.wait(id).expect("wait").status, JobStatus::Done(_)));
+    server.stop();
+}
+
+#[test]
+fn submissions_after_shutdown_are_refused() {
+    let path = socket_path("after-shutdown");
+    let server = serve(&path, config()).expect("bind");
+    let mut client = Client::connect(&path).expect("connect");
+    // Drain-shutdown from a second client while the first stays connected.
+    let mut closer = Client::connect(&path).expect("connect");
+    closer.shutdown(true).expect("shutdown");
+    match client.submit(JobSpec::Scenario { name: "teamviewer_v209".into() }) {
+        Ok(Err(Response::ShuttingDown)) => {}
+        Ok(Err(other)) => panic!("expected shutting-down, got {other:?}"),
+        Ok(Ok(id)) => panic!("admitted job {id} after shutdown"),
+        Err(e) => {
+            // Also acceptable: the accept loop already tore the stream down.
+            let _ = e;
+        }
+    }
+    server.join();
+}

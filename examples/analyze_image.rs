@@ -13,6 +13,7 @@
 
 use faros_repro::analyze::{lint_image, render_findings, ModuleCfg, Severity};
 use faros_repro::corpus::{attacks, dll, families, jit, Sample};
+use faros_repro::replay::Scenario as _;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scenarios: Vec<Sample> = attacks::all_injecting_samples();

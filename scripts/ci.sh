@@ -21,8 +21,8 @@ fi
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
 
 # The analyst-facing examples double as smoke tests: each must build and
 # exit 0 end-to-end (record, replay, detect, report — and, for
@@ -55,6 +55,36 @@ test -s BENCH_replay.json
 
 echo "==> bench regression gate (replay_faros <= 4x replay_base)"
 cargo run --release --offline -p faros-bench --bin faros-cli -- bench-gate BENCH_replay.json
+
+echo "==> detonation service bench (FAROS_BENCH_WRITE -> BENCH_service.json)"
+FAROS_BENCH_WRITE="$PWD" cargo bench --offline -p faros-bench --bench service >/dev/null
+cargo run --release --offline -p faros-bench --bin faros-cli -- json-check BENCH_service.json
+test -s BENCH_service.json
+
+echo "==> service scaling gate (core-count-aware 4-worker speedup floor)"
+cargo run --release --offline -p faros-bench --bin faros-cli -- service-gate BENCH_service.json
+
+echo "==> bounded service soak (200 jobs, 4 workers, exact accounting)"
+# The pool must drain to zero, lose no workers, drop no trace events, and
+# the merged metrics must equal the fold of the per-job snapshots.
+cargo run --release --offline -p faros-bench --bin faros-cli -- soak --jobs 200 --workers 4
+
+echo "==> service socket smoke (serve / submit / stop over target/faros.sock)"
+SOCK="target/faros.sock"
+cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    serve --socket "$SOCK" --workers 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "error: service socket never appeared" >&2; exit 1; }
+cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    submit process_hollowing --socket "$SOCK" | grep -q "FLAGGED"
+cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    submit teamviewer_v209 --socket "$SOCK" | grep -q "clean"
+cargo run --release --offline -p faros-bench --bin faros-cli -- stop --socket "$SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+[ ! -S "$SOCK" ] || { echo "error: socket file not removed on shutdown" >&2; exit 1; }
 
 echo "==> static analyze golden check (CLI output == checked-in fixture)"
 # Drive the actual CLI binary over the archived demo image; the library

@@ -18,7 +18,9 @@
 //! * [`analyze`] — static FE32 image analysis (CFG recovery, W^X lints,
 //!   static-vs-dynamic coverage cross-check);
 //! * [`obs`] — the observability layer (flight-recorder trace spans,
-//!   metrics registry, Chrome `trace_event` export).
+//!   metrics registry, Chrome `trace_event` export);
+//! * [`service`] — the detonation service (bounded job queue, replay+
+//!   analyze worker pool, framed Unix-socket protocol).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! substitution statement, and `EXPERIMENTS.md` for paper-vs-measured
@@ -35,5 +37,6 @@ pub use faros_emu as emu;
 pub use faros_kernel as kernel;
 pub use faros_obs as obs;
 pub use faros_replay as replay;
+pub use faros_service as service;
 pub use faros_support as support;
 pub use faros_taint as taint;

@@ -1,0 +1,216 @@
+//! Golden-file tests for the detonation-service wire protocol, plus
+//! malformed-input coverage at the frame and payload layers.
+//!
+//! The framed request/response JSON is a load-bearing interface: analysts
+//! script against a long-running `faros-cli serve`, so the wire shapes
+//! must stay *byte-stable* across refactors. One fixture pins every
+//! request variant, one pins every response variant. If an intentional
+//! format change invalidates them, regenerate with:
+//!
+//! ```sh
+//! FAROS_REGEN_GOLDEN=1 cargo test --test service_protocol
+//! ```
+//!
+//! and review the resulting diff like any other API change.
+
+use faros_repro::service::protocol::{decode_request, decode_response, MAX_FRAME};
+use faros_repro::service::{
+    read_frame, write_frame, FrameError, JobSpec, Request, Response,
+};
+use faros_repro::support::json::{JsonValue, ToJson};
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name)
+}
+
+/// Compares `actual` against the checked-in fixture, or rewrites the
+/// fixture when `FAROS_REGEN_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var("FAROS_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with FAROS_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "serialized {name} drifted from the golden fixture; if the wire \
+         change is intentional, regenerate with FAROS_REGEN_GOLDEN=1 and \
+         review the diff"
+    );
+}
+
+/// Every request variant the protocol knows, in a fixed order.
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Submit(JobSpec::Scenario { name: "process_hollowing".into() }),
+        Request::Submit(JobSpec::Recording {
+            json: r#"{"scenario":"demo","net_log":{"events":[]},"instructions":0,"clean_exit":true}"#.into(),
+        }),
+        Request::Status { id: 7 },
+        Request::Wait { id: 7 },
+        Request::Stats,
+        Request::Shutdown { drain: true },
+        Request::Shutdown { drain: false },
+    ]
+}
+
+/// A representative of every response variant, in a fixed order. Variants
+/// carrying rich payloads (job views, stats) are covered structurally by
+/// the service tests; here a default-shaped value pins the envelope.
+fn all_responses() -> Vec<Response> {
+    use faros_repro::service::{ServiceStats, FailureKind, JobFailure, JobResult, JobStatus, JobView};
+    vec![
+        Response::Pong,
+        Response::Submitted { id: 7 },
+        Response::QueueFull { capacity: 64 },
+        Response::ShuttingDown,
+        Response::Job(JobView {
+            id: 7,
+            label: "process_hollowing".into(),
+            status: JobStatus::Queued,
+        }),
+        Response::Job(JobView {
+            id: 8,
+            label: "teamviewer_v209".into(),
+            status: JobStatus::Done(JobResult {
+                report_json: "{}".into(),
+                instructions: 42,
+                flagged: false,
+                ..JobResult::default()
+            }),
+        }),
+        Response::Job(JobView {
+            id: 9,
+            label: "ghost".into(),
+            status: JobStatus::Failed(JobFailure {
+                kind: FailureKind::InvalidSpec,
+                detail: "unknown scenario `ghost`".into(),
+            }),
+        }),
+        Response::UnknownJob { id: 404 },
+        Response::Stats(ServiceStats::default()),
+        Response::Shutdown(ServiceStats::default()),
+        Response::Error { message: "frame of 100 bytes truncated".into() },
+    ]
+}
+
+#[test]
+fn request_wire_format_is_byte_stable_and_lossless() {
+    let requests = all_requests();
+    let doc = JsonValue::Array(requests.iter().map(ToJson::to_json_value).collect());
+    check_golden("service_requests.json", &doc.to_pretty());
+
+    // Lossless: every compact serialization decodes back to its variant.
+    for req in &requests {
+        let restored = decode_request(&req.to_json_value().to_compact()).unwrap();
+        assert_eq!(req, &restored);
+    }
+}
+
+#[test]
+fn response_wire_format_is_byte_stable_and_lossless() {
+    let responses = all_responses();
+    let doc = JsonValue::Array(responses.iter().map(ToJson::to_json_value).collect());
+    check_golden("service_responses.json", &doc.to_pretty());
+
+    for resp in &responses {
+        let restored = decode_response(&resp.to_json_value().to_compact()).unwrap();
+        assert_eq!(resp, &restored);
+    }
+}
+
+#[test]
+fn checked_in_fixtures_decode_under_this_build() {
+    // The fixtures themselves (not just this build's serialization) must
+    // stay decodable — they stand in for clients scripted against earlier
+    // builds.
+    if std::env::var("FAROS_REGEN_GOLDEN").is_ok() {
+        return; // fixtures are being rewritten by the sibling tests
+    }
+    let requests = std::fs::read_to_string(fixture_path("service_requests.json"))
+        .expect("fixture must exist; regenerate with FAROS_REGEN_GOLDEN=1");
+    let doc = JsonValue::parse(&requests).unwrap();
+    let entries = doc.as_array().expect("fixture is an array");
+    assert_eq!(entries.len(), all_requests().len());
+    for entry in entries {
+        decode_request(&entry.to_compact()).expect("archived request decodes");
+    }
+
+    let responses = std::fs::read_to_string(fixture_path("service_responses.json"))
+        .expect("fixture must exist; regenerate with FAROS_REGEN_GOLDEN=1");
+    let doc = JsonValue::parse(&responses).unwrap();
+    let entries = doc.as_array().expect("fixture is an array");
+    assert_eq!(entries.len(), all_responses().len());
+    for entry in entries {
+        decode_response(&entry.to_compact()).expect("archived response decodes");
+    }
+}
+
+#[test]
+fn malformed_payloads_decode_to_structured_errors() {
+    // Payload-layer damage: every case must be a structured decode error,
+    // never a panic.
+    let cases = [
+        "",
+        "not json at all",
+        "[]",
+        "42",
+        "{}",
+        r#"{"type":"warp-core"}"#,
+        r#"{"type":"submit"}"#,
+        r#"{"type":"status"}"#,
+        r#"{"type":"status","id":"seven"}"#,
+        r#"{"type":"shutdown"}"#,
+    ];
+    for case in cases {
+        assert!(
+            decode_request(case).is_err(),
+            "hostile payload {case:?} must be rejected, not accepted"
+        );
+        assert!(decode_response(case).is_err());
+    }
+}
+
+#[test]
+fn frame_layer_rejects_damage_without_panicking() {
+    // A healthy frame round-trips through an in-memory pipe.
+    let mut buf = Vec::new();
+    write_frame(&mut buf, "hello").unwrap();
+    let mut cursor = &buf[..];
+    assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("hello"));
+    assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF after the frame");
+
+    // Truncated mid-prefix and mid-payload.
+    let mut cursor = &buf[..2];
+    assert!(matches!(read_frame(&mut cursor), Err(FrameError::Truncated { .. })));
+    let mut cursor = &buf[..6];
+    assert!(matches!(read_frame(&mut cursor), Err(FrameError::Truncated { .. })));
+
+    // Oversized length prefix: refused before any allocation happens.
+    let huge = (MAX_FRAME + 1).to_le_bytes();
+    let mut cursor = &huge[..];
+    assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge(_))));
+
+    // Payload bytes that are not UTF-8.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&2u32.to_le_bytes());
+    bad.extend_from_slice(&[0xff, 0xfe]);
+    let mut cursor = &bad[..];
+    assert!(matches!(read_frame(&mut cursor), Err(FrameError::Malformed(_))));
+
+    // A frame larger than the cap cannot be written either.
+    let oversized = "x".repeat(MAX_FRAME as usize + 1);
+    let mut sink = Vec::new();
+    assert!(matches!(write_frame(&mut sink, &oversized), Err(FrameError::TooLarge(_))));
+    assert!(sink.is_empty(), "nothing written for a refused frame");
+}

@@ -13,7 +13,7 @@
 use faros_repro::analyze;
 use faros_repro::corpus::{attacks, dll, families, jit, Sample};
 use faros_repro::faros::{Faros, Policy};
-use faros_repro::replay::{record, replay, BlockCoverage};
+use faros_repro::replay::{record, replay, BlockCoverage, Scenario as _};
 
 const BUDGET: u64 = 20_000_000;
 

@@ -102,7 +102,7 @@ impl fmt::Display for CoverageReport {
 
 /// The final path component, so `C:/notepad.exe` and `notepad.exe` key the
 /// same image.
-fn basename(path: &str) -> &str {
+pub(crate) fn basename(path: &str) -> &str {
     path.rsplit(['/', '\\']).next().unwrap_or(path)
 }
 

@@ -8,7 +8,9 @@
 //! are totally ordered, and [`StaticReport::to_json`] always produces the
 //! same bytes for the same image (the golden-fixture test relies on it).
 
+use crate::cfi::CfiModel;
 use crate::dataflow::{self, DataflowStats, ImageFlowMap};
+use crate::gadgets::{self, GadgetReport};
 use crate::lint::{lint_with_cfg, Finding, FindingKind, Severity};
 use faros_kernel::module::FdlImage;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
@@ -87,6 +89,12 @@ pub struct StaticReport {
     pub flows: ImageFlowMap,
     /// Dataflow cost/outcome counters.
     pub stats: DataflowStats,
+    /// The gadget-surface scan: free-branch endpoints and short gadget
+    /// bodies per executable section, with density scoring.
+    pub gadgets: GadgetReport,
+    /// The static CFI model (resolved target sets, call-preceded return
+    /// sites, function entries) the dynamic cross-check enforces.
+    pub cfi: CfiModel,
 }
 
 impl StaticReport {
@@ -100,12 +108,16 @@ impl StaticReport {
             .iter()
             .map(|(&va, targets)| (va, targets.clone()))
             .collect();
+        let gadgets = gadgets::scan_image(name, image, &analysis.cfg);
+        let cfi = CfiModel::from_cfg(name, image, &analysis.cfg);
         StaticReport {
             module: name.to_string(),
             findings,
             resolved_sites,
             flows: analysis.flows,
             stats: analysis.stats,
+            gadgets,
+            cfi,
         }
     }
 
@@ -151,6 +163,8 @@ impl ToJson for StaticReport {
             ("resolved_sites", JsonValue::Array(resolved)),
             ("flows", self.flows.to_json_value()),
             ("stats", self.stats.to_json_value()),
+            ("gadgets", self.gadgets.to_json_value()),
+            ("cfi", self.cfi.to_json_value()),
         ])
     }
 }
@@ -171,6 +185,9 @@ impl FromJson for StaticReport {
             resolved_sites,
             flows: json::field(v, "flows")?,
             stats: json::field(v, "stats")?,
+            // Absent in pre-CFI reports.
+            gadgets: json::field_or_default(v, "gadgets")?,
+            cfi: json::field_or_default(v, "cfi")?,
         })
     }
 }

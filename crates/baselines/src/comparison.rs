@@ -31,6 +31,11 @@ pub struct ComparisonRow {
     /// The static-vs-dynamic coverage cross-check found executed blocks
     /// unaccounted for by any loaded module's static CFG.
     pub coverage_gap: bool,
+    /// The dynamic CFI cross-check found an indirect transfer or return
+    /// violating the static control-flow model — the only signal that
+    /// sees pure code reuse (ROP/JOP), which executes image-backed bytes
+    /// exclusively.
+    pub cfi_violation: bool,
 }
 
 impl fmt::Display for ComparisonRow {
@@ -44,11 +49,12 @@ impl fmt::Display for ComparisonRow {
         }
         write!(
             f,
-            "{:<24} | {:^6} | {:^7} | {:^8} | {:^5} | {:^10}",
+            "{:<24} | {:^6} | {:^7} | {:^8} | {:^3} | {:^5} | {:^10}",
             self.sample,
             mark(self.cuckoo),
             mark(self.malfind),
             mark(self.coverage_gap),
+            mark(self.cfi_violation),
             mark(self.faros),
             mark(self.faros_provenance),
         )
@@ -120,9 +126,21 @@ pub fn compare(sample: &Sample, budget: u64) -> Result<ComparisonRow, Comparison
     let images = faros_analyze::image_map(on_disk);
     let coverage = faros_analyze::diff(&blocks.into_processes(), &images);
 
+    // 5. The CFI cross-check: observe every indirect transfer and return,
+    //    then validate each against the static control-flow model of the
+    //    same image set (fused with FAROS's taint view of the transfer
+    //    targets). Code reuse is invisible to every view above — no
+    //    foreign bytes to dump, no unaccounted blocks — but not to this
+    //    one.
+    let mut monitor = faros_replay::CfiMonitor::new();
+    replay(&sample.scenario, &recording, budget, &mut monitor)
+        .map_err(|e| ComparisonError(e.to_string()))?;
+    let cfi =
+        faros_analyze::cfi::check(&monitor.into_processes(), &images, faros.tainted_transfers());
+
     Ok(ComparisonRow {
         sample: sample.scenario.name().to_string(),
-        is_attack: sample.category.should_flag(),
+        is_attack: sample.category.is_attack(),
         cuckoo: cuckoo_detected,
         malfind: malfind_report.detects_injection(),
         faros: faros_report.attack_flagged(),
@@ -131,6 +149,7 @@ pub fn compare(sample: &Sample, budget: u64) -> Result<ComparisonRow, Comparison
             .iter()
             .any(|d| d.code_provenance.contains("->")),
         coverage_gap: coverage.injection_suspected(),
+        cfi_violation: cfi.violation_found(),
     })
 }
 
@@ -138,10 +157,10 @@ pub fn compare(sample: &Sample, budget: u64) -> Result<ComparisonRow, Comparison
 pub fn render_table(rows: &[ComparisonRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "Sample                   | Cuckoo | malfind | coverage | FAROS | provenance\n",
+        "Sample                   | Cuckoo | malfind | coverage | CFI | FAROS | provenance\n",
     );
     out.push_str(
-        "-------------------------+--------+---------+----------+-------+-----------\n",
+        "-------------------------+--------+---------+----------+-----+-------+-----------\n",
     );
     for row in rows {
         out.push_str(&row.to_string());
@@ -190,11 +209,48 @@ mod tests {
             faros: true,
             faros_provenance: true,
             coverage_gap: true,
+            cfi_violation: false,
         }];
         let table = render_table(&rows);
         assert!(table.contains("Cuckoo"));
         assert!(table.contains("coverage"));
+        assert!(table.contains("CFI"));
         assert!(table.contains('x'));
+    }
+}
+
+#[cfg(test)]
+mod reuse_tests {
+    use super::*;
+    use faros_corpus::reuse;
+
+    const BUDGET: u64 = 20_000_000;
+
+    #[test]
+    fn only_the_cfi_check_sees_code_reuse() {
+        // ROP/JOP is the blind spot of every byte-centric view: no foreign
+        // bytes exist for malfind to dump, no unaccounted blocks for the
+        // coverage diff, no write-then-execute confluence for FAROS's
+        // taint verdict. The CFI cross-check alone flags it.
+        for sample in reuse::reuse_attack_samples() {
+            let row = compare(&sample, BUDGET).unwrap();
+            assert!(row.is_attack, "{}: reuse is ground-truth attack", row.sample);
+            assert!(!row.cuckoo, "{}: no suspicious event sequence", row.sample);
+            assert!(!row.malfind, "{}: no foreign bytes in the dump", row.sample);
+            assert!(!row.coverage_gap, "{}: every block is image-backed", row.sample);
+            assert!(!row.faros, "{}: no write-then-execute confluence", row.sample);
+            assert!(row.cfi_violation, "{}: the CFI check must catch it", row.sample);
+        }
+    }
+
+    #[test]
+    fn dense_indirect_foils_draw_no_cfi_column() {
+        for sample in reuse::reuse_benign_samples() {
+            let row = compare(&sample, BUDGET).unwrap();
+            assert!(!row.is_attack);
+            assert!(!row.cfi_violation, "{}: benign foil tripped CFI", row.sample);
+            assert!(!row.faros && !row.malfind, "{}: benign foil flagged", row.sample);
+        }
     }
 }
 

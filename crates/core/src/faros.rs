@@ -18,7 +18,7 @@ use faros_taint::engine::{PropagationMode, TaintEngine};
 use faros_taint::provlist::ListId;
 use faros_taint::shadow::{ShadowAddr, SHADOW_REGS};
 use faros_taint::tag::{NetflowTag, ProvTag, TagKind};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Converts the emulator's shadow location into the taint engine's.
 #[inline]
@@ -127,6 +127,10 @@ pub struct Faros {
     detections: Vec<Detection>,
     whitelisted: Vec<Detection>,
     seen_insns: HashSet<u32>,
+    /// `(process name, site VA)` pairs whose indirect-transfer target was
+    /// read from netflow-tainted data — the taint-fusion input to the CFI
+    /// cross-check, recorded independently of the Minos alert policy.
+    tainted_transfers: BTreeSet<(String, u32)>,
     ctr: FarosCounters,
     /// Shared flight-recorder ring for taint-event instants; `None` (the
     /// default) keeps tracing entirely off the FAROS hot path.
@@ -160,6 +164,7 @@ impl Faros {
             detections: Vec::new(),
             whitelisted: Vec::new(),
             seen_insns: HashSet::new(),
+            tainted_transfers: BTreeSet::new(),
             ctr,
             recorder: None,
             now: 0,
@@ -181,6 +186,14 @@ impl Faros {
     /// The underlying DIFT engine (for inspection and tests).
     pub fn engine(&self) -> &TaintEngine {
         &self.engine
+    }
+
+    /// `(process name, site VA)` pairs whose indirect-transfer target was
+    /// read from netflow-tainted data. Fed to `faros_analyze::cfi::check`
+    /// as its taint-fusion input: a CFI violation at one of these sites
+    /// means *attacker data decided the escaping control transfer*.
+    pub fn tainted_transfers(&self) -> &BTreeSet<(String, u32)> {
+        &self.tainted_transfers
     }
 
     /// Run counters (a read-out of the `faros.*` registry counters).
@@ -222,6 +235,7 @@ impl Faros {
             // `attach_taint` / `attach_metrics` when the caller opts in.
             coverage: Vec::new(),
             taint: Default::default(),
+            cfi: Default::default(),
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -463,14 +477,23 @@ impl CpuHooks for Faros {
     }
 
     fn on_control(&mut self, ctx: &InsnCtx, target: u32, target_src: Option<ShadowLoc>) {
+        let Some(src) = target_src else { return };
+        // Fast path for returns: while shadow memory is wholly clean no
+        // stack slot can carry netflow provenance.
+        if matches!(src, ShadowLoc::Mem(_)) && self.engine.shadow().tainted_mem_bytes() == 0 {
+            return;
+        }
+        let prov = self.engine.prov_id(loc(src));
+        if !self.engine.interner().contains_kind(prov, TagKind::Netflow) {
+            return;
+        }
+        // Taint-fusion bit for the CFI cross-check, recorded whether or
+        // not the Minos alert policy is on: tainted data decided this
+        // control transfer.
+        self.tainted_transfers.insert((self.current_process_name(), ctx.vaddr));
         // Extension policy (Minos-style, §VII): flag indirect transfers
         // whose target address was read from netflow-tainted bytes.
         if !self.policy.minos_tainted_pc {
-            return;
-        }
-        let Some(src) = target_src else { return };
-        let prov = self.engine.prov_id(loc(src));
-        if !self.engine.interner().contains_kind(prov, TagKind::Netflow) {
             return;
         }
         if !self.seen_insns.insert(ctx.vaddr) {

@@ -22,7 +22,8 @@ use faros_analyze::DynamicAlert;
 use faros_obs::metrics::{MetricsRegistry, MetricsSnapshot};
 use faros_obs::trace::RecorderHandle;
 use faros_replay::{
-    replay, BlockCoverage, PluginManager, Recording, ReplayError, Scenario, TraceRecorder,
+    replay, BlockCoverage, CfiMonitor, PluginManager, Recording, ReplayError, Scenario,
+    TraceRecorder,
 };
 use faros_taint::engine::PropagationMode;
 
@@ -134,9 +135,18 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
         }
     });
 
-    // Replay #2: block coverage for the static-vs-dynamic cross-checks.
-    let mut blocks = BlockCoverage::new();
-    replay(scenario, recording, cfg.budget, &mut blocks)?;
+    // Replay #2: block coverage + the CFI transfer monitor for the
+    // static-vs-dynamic cross-checks.
+    let mut observers = PluginManager::new();
+    observers.register(Box::new(BlockCoverage::new()));
+    observers.register(Box::new(CfiMonitor::new()));
+    replay(scenario, recording, cfg.budget, &mut observers)?;
+    let blocks = *observers
+        .take_as::<BlockCoverage>("block-coverage")
+        .expect("the coverage plugin was registered above");
+    let monitor = *observers
+        .take_as::<CfiMonitor>("cfi-monitor")
+        .expect("the cfi monitor was registered above");
 
     let mut report = faros.report();
     let images = faros_analyze::image_map(
@@ -151,8 +161,12 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
         .collect();
     let (taint, stats) = faros_analyze::taint_cross_check_with_stats(&alerts, &observed, &images);
     report.attach_taint(taint);
+    let transfers = monitor.into_processes();
+    let cfi = faros_analyze::cfi::check(&transfers, &images, faros.tainted_transfers());
     let mut reg = MetricsRegistry::new();
     stats.record_into(&mut reg);
+    cfi.stats.record_into(&mut reg);
+    report.attach_cfi(cfi);
     let mut snap = faros.metrics_snapshot();
     snap.merge(&reg.snapshot());
     report.attach_metrics(snap);

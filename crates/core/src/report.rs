@@ -93,6 +93,11 @@ pub struct FarosReport {
     /// statically feasible flows the replay never exercised (empty when
     /// the replay ran without the dataflow cross-check).
     pub taint: faros_analyze::TaintCrossCheck,
+    /// Dynamic CFI cross-check: every observed `ret` / `call reg` /
+    /// `jmp reg` transfer held to the statically derived per-image CFI
+    /// model, with violations taint-fused — the code-reuse (ROP/JOP)
+    /// signal (empty when the replay ran without the CFI monitor).
+    pub cfi: faros_analyze::CfiCheckReport,
     /// Deterministic run metrics (empty when the replay ran without
     /// metrics collection).
     pub metrics: MetricsSnapshot,
@@ -149,6 +154,18 @@ impl FarosReport {
         self.taint.injection_suspected()
     }
 
+    /// Imports the dynamic CFI cross-check computed by `faros-analyze`
+    /// from the transfers a `CfiMonitor` recorded.
+    pub fn attach_cfi(&mut self, cfi: faros_analyze::CfiCheckReport) {
+        self.cfi = cfi;
+    }
+
+    /// Returns `true` if any observed control transfer escaped the static
+    /// CFI model — the code-reuse (ROP/JOP) signal.
+    pub fn cfi_suspicious(&self) -> bool {
+        self.cfi.violation_found()
+    }
+
     /// Attaches a metrics snapshot (typically the merge of the FAROS
     /// engine's, the trace recorder's, and the plugin manager's snapshots).
     pub fn attach_metrics(&mut self, metrics: MetricsSnapshot) {
@@ -192,6 +209,22 @@ impl FarosReport {
                 ));
             }
             s.push_str(&format!("residual static flows never exercised: {}\n", self.taint.residual.len()));
+        }
+        if !self.cfi.is_empty() {
+            s.push_str(&format!(
+                "\nCFI: {} edges checked, {} violations ({} tainted)\n",
+                self.cfi.stats.edges_checked,
+                self.cfi.stats.violations,
+                self.cfi.stats.tainted_violations,
+            ));
+            for v in &self.cfi.violations {
+                s.push_str(&format!(
+                    "  {:<18} | {}{}\n",
+                    v.process,
+                    v.detail,
+                    if v.tainted { " [tainted]" } else { "" }
+                ));
+            }
         }
         s
     }
@@ -348,6 +381,9 @@ impl ToJson for FarosReport {
         if !self.taint.is_empty() {
             fields.push(("taint", self.taint.to_json_value()));
         }
+        if !self.cfi.is_empty() {
+            fields.push(("cfi", self.cfi.to_json_value()));
+        }
         if !self.metrics.is_empty() {
             fields.push(("metrics", self.metrics.to_json_value()));
         }
@@ -363,6 +399,7 @@ impl FromJson for FarosReport {
             // Absent in pre-coverage / pre-taint / pre-metrics reports.
             coverage: json::field_or_default(v, "coverage")?,
             taint: json::field_or_default(v, "taint")?,
+            cfi: json::field_or_default(v, "cfi")?,
             metrics: json::field_or_default(v, "metrics")?,
         })
     }
@@ -482,6 +519,49 @@ mod tests {
         assert!(!old.taint_suspicious());
         // The table gains a taint section.
         assert!(r.to_table().contains("Impossible-per-model"));
+    }
+
+    #[test]
+    fn cfi_round_trips_and_is_omitted_when_empty() {
+        use faros_analyze::{CfiCheckReport, CfiStats, CfiViolation};
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(1, "notepad.exe"));
+        let bare = r.to_json().unwrap();
+        assert!(!bare.contains("\"cfi\""), "empty cfi check must not serialize");
+
+        r.attach_cfi(CfiCheckReport {
+            violations: vec![CfiViolation {
+                process: "notepad.exe".into(),
+                site: 0x40_0010,
+                target: 0x40_0003,
+                kind: faros_replay::TransferKind::Return,
+                module: "notepad.exe".into(),
+                detail: "ret at 0x00400010 reached 0x00400003, which is not \
+                         a call-preceded return site"
+                    .into(),
+                tainted: true,
+            }],
+            stats: CfiStats {
+                models_built: 1,
+                sites_observed: 1,
+                edges_checked: 1,
+                violations: 1,
+                tainted_violations: 1,
+                ..CfiStats::default()
+            },
+        });
+        assert!(r.cfi_suspicious());
+        let json = r.to_json().unwrap();
+        assert!(json.contains("\"cfi\""));
+        let restored = FarosReport::from_json(&json).unwrap();
+        assert_eq!(restored, r);
+        // Pre-CFI reports (no field) still parse.
+        let old = FarosReport::from_json(&bare).unwrap();
+        assert!(old.cfi.is_empty());
+        assert!(!old.cfi_suspicious());
+        // The table gains a CFI section with the taint-fusion marker.
+        assert!(r.to_table().contains("CFI: 1 edges checked, 1 violations (1 tainted)"));
+        assert!(r.to_table().contains("[tainted]"));
     }
 
     #[test]

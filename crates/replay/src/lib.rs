@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cfi;
 pub mod coverage;
 pub mod driver;
 pub mod plugin;
@@ -25,6 +26,7 @@ pub mod recorder;
 pub mod scenario;
 pub mod trace;
 
+pub use cfi::{CfiMonitor, ProcessTransfers, TransferKind, TransferSite};
 pub use coverage::{BlockCoverage, ProcessBlocks};
 pub use driver::{record, record_and_replay, replay, Recording, ReplayError, RunOutcome, DEFAULT_BUDGET};
 pub use plugin::{Plugin, PluginCost, PluginManager};

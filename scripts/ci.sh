@@ -22,6 +22,10 @@ echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 echo "==> cargo test -q --offline --workspace"
+# Includes the CFI differential gates (tests/cfi_soundness.rs): zero
+# violations across the whole benign corpus, >=1 per ROP/JOP reuse
+# attack with taint and coverage silent, taint fusion on the
+# net-assembled chain.
 cargo test -q --offline --workspace
 
 # The analyst-facing examples double as smoke tests: each must build and
@@ -96,9 +100,11 @@ if [ "$cli_report" != "$(cat tests/fixtures/analyze_demo_report.json)" ]; then
     exit 1
 fi
 
-echo "==> static/dynamic cross-check truth-table gate over the corpus"
+echo "==> static/dynamic cross-check + CFI truth-table gate over the corpus"
 # Injectors keep >=1 statically-impossible alert, family variants zero,
-# and the corpus-wide unresolved-indirect counts stay on their pins.
+# every ROP/JOP reuse sample trips >=1 cfi-violation (taint/coverage
+# silent) with the benign dense-indirect foils at zero, and the
+# corpus-wide unresolved-indirect counts stay on their pins.
 cargo run --release --offline -p faros-bench --bin faros-cli -- analyze --corpus
 
 echo "==> hermeticity check: no external dependencies in any manifest"

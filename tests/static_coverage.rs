@@ -34,6 +34,57 @@ fn coverage_for(sample: &Sample) -> analyze::CoverageReport {
     analyze::diff(&blocks.into_processes(), &images)
 }
 
+/// Pins the corpus-wide `unresolved-indirect` residue to an exact,
+/// per-site-justified set. VSA folds jump-table loads from *read-only*
+/// image data (see `vsa::tests::masked_index_table_load_enumerates_the_table`),
+/// so every site left here is unresolvable from the image alone, not a
+/// missed fold:
+///
+/// * `gadget.exe` — `call ebp`, pointer received over the network at
+///   runtime (the tainted-function-pointer evasion sample);
+/// * `cleanptr.exe` — `call ebp`, pointer produced by a hash walk over
+///   the *kernel's* export table, another module's runtime memory;
+/// * `host.exe` / `dropper.exe` — `call ebp`, pointer from a hash walk
+///   over a loaded DLL's export table (same cross-module dependence);
+/// * `renderer.exe` — `jmp ebx`, the JOP dispatcher's gadget table lives
+///   in writable scratch memory (unresolvable *by design*: that is what
+///   the CFI function-entry claim is for);
+/// * `switchboard.exe` — `call ebx`, the benign callback table is also
+///   built at runtime in writable memory.
+///
+/// The `analyze --corpus` gate pins the same totals
+/// (`GATE_UNRESOLVED_BASELINE`/`GATE_UNRESOLVED_AFTER` in `faros_cli.rs`);
+/// this test pins the membership so a new unresolved site cannot hide
+/// behind an unchanged count.
+#[test]
+fn unresolved_sites_are_exactly_the_justified_set() {
+    use std::collections::BTreeSet;
+    let mut leftover: BTreeSet<String> = BTreeSet::new();
+    for sample in faros_repro::corpus::sample_registry() {
+        for (path, image) in sample.scenario.programs() {
+            for f in analyze::StaticReport::build(path, image)
+                .findings
+                .iter()
+                .filter(|f| f.kind == analyze::FindingKind::UnresolvedIndirect)
+            {
+                leftover.insert(format!("{} {}", f.module, f.detail));
+            }
+        }
+    }
+    let expected: BTreeSet<String> = [
+        "C:/cleanptr.exe `call ebp` has no statically resolvable target",
+        "C:/dropper.exe `call ebp` has no statically resolvable target",
+        "C:/gadget.exe `call ebp` has no statically resolvable target",
+        "C:/host.exe `call ebp` has no statically resolvable target",
+        "C:/renderer.exe `jmp ebx` has no statically resolvable target",
+        "C:/switchboard.exe `call ebx` has no statically resolvable target",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(leftover, expected);
+}
+
 #[test]
 fn every_injection_scenario_executes_unaccounted_blocks() {
     for sample in attacks::all_injecting_samples() {

@@ -49,6 +49,7 @@ pub mod dataflow;
 pub mod gadgets;
 pub mod lint;
 pub mod report;
+pub mod symbols;
 pub mod vsa;
 
 pub use cfg::{BasicBlock, ModuleCfg};
@@ -62,4 +63,5 @@ pub use dataflow::{
 };
 pub use lint::{lint_image, render_findings, Finding, FindingKind, Severity};
 pub use report::StaticReport;
+pub use symbols::{layout_map, layouts_for, module_layout, module_layout_from_cfg};
 pub use vsa::{AVal, StridedInterval};

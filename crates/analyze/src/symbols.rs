@@ -1,0 +1,105 @@
+//! Function-table recovery — the symbolization hook for the deterministic
+//! replay profiler.
+//!
+//! The profiler attributes retired instructions to basic-block start VAs;
+//! this module turns a static image into an [`faros_obs::prof::ModuleLayout`]
+//! so those VAs can be rolled up to named functions. Function entries come
+//! from the CFI model (image entry point, code exports, direct call
+//! targets, resolved indirect targets); names come from the export table,
+//! with a `sub_<va>` synthesized for entries no export names. Everything
+//! here is a pure function of the image bytes, so symbolization never
+//! perturbs the profiler's replay-identical output.
+
+use crate::cfg::ModuleCfg;
+use crate::cfi::CfiModel;
+use crate::coverage::basename;
+use faros_kernel::module::{FdlImage, ModuleInfo};
+use faros_obs::prof::ModuleLayout;
+use std::collections::BTreeMap;
+
+/// Builds the [`ModuleLayout`] of one image from an already-recovered CFG,
+/// avoiding a second dataflow run when the caller has one in hand.
+pub fn module_layout_from_cfg(name: &str, image: &FdlImage, cfg: &ModuleCfg) -> ModuleLayout {
+    let model = CfiModel::from_cfg(name, image, cfg);
+    let mut functions: BTreeMap<u32, String> = model
+        .function_entries
+        .iter()
+        .map(|&va| (va, format!("sub_{va:08x}")))
+        .collect();
+    for e in &image.exports {
+        // Exports name entries the CFI model already proved are code; an
+        // export pointing at data stays out of the table.
+        if let Some(slot) = functions.get_mut(&e.va) {
+            *slot = e.name.clone();
+        }
+    }
+    let base = image.sections.iter().map(|s| s.va).min().unwrap_or(0);
+    let limit = image.sections.iter().map(|s| s.end_va()).max().unwrap_or(0);
+    ModuleLayout { name: name.to_string(), base, limit, functions }
+}
+
+/// Recovers the function table of one image, running CFG recovery
+/// internally. The profiler's per-module symbolization entry point.
+pub fn module_layout(name: &str, image: &FdlImage) -> ModuleLayout {
+    module_layout_from_cfg(name, image, &ModuleCfg::recover(name, image))
+}
+
+/// Builds the function-table layout of every image in an
+/// [`crate::image_map`]-style map (keys are basenames), one static model
+/// per image regardless of how many processes load it.
+pub fn layout_map(images: &BTreeMap<String, FdlImage>) -> BTreeMap<String, ModuleLayout> {
+    images.iter().map(|(name, image)| (name.clone(), module_layout(name, image))).collect()
+}
+
+/// Selects the layouts of a process's loaded modules, matched by basename
+/// exactly as the coverage diff matches modules to images. Modules with no
+/// archived image are skipped — their blocks symbolize to `[anon]`.
+pub fn layouts_for(
+    modules: &[ModuleInfo],
+    layouts: &BTreeMap<String, ModuleLayout>,
+) -> Vec<ModuleLayout> {
+    modules.iter().filter_map(|m| layouts.get(basename(&m.name)).cloned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_emu::asm::Asm;
+    use faros_emu::mmu::Perms;
+    use faros_kernel::module::{Export, Section};
+
+    const BASE: u32 = 0x40_0000;
+
+    fn image_with_export() -> (FdlImage, u32) {
+        // entry: call helper; hlt. helper: ret.
+        let mut asm = Asm::new(BASE);
+        asm.call("helper");
+        asm.hlt();
+        asm.label("helper");
+        asm.ret();
+        let (data, labels) = asm.assemble_with_labels().unwrap();
+        let helper_va = labels["helper"];
+        let image = FdlImage {
+            entry: BASE,
+            export_table_va: 0,
+            sections: vec![Section { va: BASE, data, perms: Perms::RX }],
+            exports: vec![Export { name: "helper".to_string(), va: helper_va }],
+        };
+        (image, helper_va)
+    }
+
+    #[test]
+    fn layout_spans_the_image_and_names_exports() {
+        let (image, helper_va) = image_with_export();
+        let layout = module_layout("app.exe", &image);
+        assert_eq!(layout.name, "app.exe");
+        assert_eq!(layout.base, BASE);
+        assert!(layout.limit > BASE);
+        assert_eq!(layout.functions.get(&helper_va).map(String::as_str), Some("helper"));
+        // The unexported entry point gets a synthesized name.
+        assert_eq!(
+            layout.functions.get(&BASE).map(String::as_str),
+            Some(&*format!("sub_{BASE:08x}"))
+        );
+    }
+}

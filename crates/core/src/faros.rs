@@ -237,6 +237,7 @@ impl Faros {
             taint: Default::default(),
             cfi: Default::default(),
             metrics: MetricsSnapshot::default(),
+            profile: Default::default(),
         }
     }
 

@@ -52,6 +52,6 @@ pub mod policy;
 pub mod report;
 
 pub use crate::faros::{Faros, FarosStats};
-pub use pipeline::{analyze_recording, AnalysisConfig, AnalyzedJob, TraceCapture};
+pub use pipeline::{analyze_recording, AnalysisConfig, AnalyzedJob, JobCost, TraceCapture};
 pub use policy::Policy;
 pub use report::{CoverageSummary, Detection, DetectionKind, FarosReport};

@@ -20,12 +20,15 @@ use crate::policy::Policy;
 use crate::report::FarosReport;
 use faros_analyze::DynamicAlert;
 use faros_obs::metrics::{MetricsRegistry, MetricsSnapshot};
+use faros_obs::prof::{ProcessSamples, ProfileReport};
+use faros_obs::profile::PhaseProfile;
 use faros_obs::trace::RecorderHandle;
 use faros_replay::{
-    replay, BlockCoverage, CfiMonitor, PluginManager, Recording, ReplayError, Scenario,
-    TraceRecorder,
+    replay, BlockCoverage, CfiMonitor, PluginCost, PluginManager, Profiler, Recording,
+    ReplayError, Scenario, TraceRecorder,
 };
 use faros_taint::engine::PropagationMode;
+use std::time::Instant;
 
 /// Configuration of one analysis job.
 #[derive(Debug, Clone)]
@@ -41,6 +44,14 @@ pub struct AnalysisConfig {
     pub capture_trace: bool,
     /// Ring capacity of the per-job flight recorder (events kept).
     pub trace_capacity: usize,
+    /// Run the deterministic replay profiler: attributes retired
+    /// instructions to basic blocks (virtual clock), symbolizes them via
+    /// the static function tables, and attaches the resulting
+    /// `ProfileReport` as the report's `profile` section. Also turns on
+    /// per-plugin wall-clock dispatch profiling for [`JobCost`]. Off by
+    /// default — with it off, report bytes are identical to pre-profiler
+    /// builds.
+    pub profile: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -51,7 +62,43 @@ impl Default for AnalysisConfig {
             budget: faros_replay::DEFAULT_BUDGET,
             capture_trace: false,
             trace_capacity: faros_obs::trace::FlightRecorder::DEFAULT_CAPACITY,
+            profile: false,
         }
+    }
+}
+
+/// The wall-clock cost breakdown of one job — where the host's real time
+/// went, kept *outside* the report (wall-clock is nondeterministic, so it
+/// never enters report bytes, merged service metrics, or golden fixtures).
+#[derive(Debug, Clone, Default)]
+pub struct JobCost {
+    /// Per-phase wall-clock totals: `replay` (both replay passes) and
+    /// `analyze` (static cross-checks and report assembly); the service
+    /// adds `queue_wait` and `report` around them.
+    pub phases: PhaseProfile,
+    /// Per-plugin dispatch counts across both replay passes; `wall_ns` is
+    /// populated when [`AnalysisConfig::profile`] is on.
+    pub plugins: Vec<PluginCost>,
+}
+
+impl JobCost {
+    /// Renders the cost breakdown as a metrics snapshot: one-sample
+    /// `phase.<name>_ns` histograms (so merging across jobs yields
+    /// per-phase latency distributions with approximate p50/p95) plus
+    /// `plugin.<name>.dispatches` / `plugin.<name>.wall_ns` counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (name, ns) in self.phases.entries() {
+            let h = reg.histogram(&format!("phase.{name}_ns"));
+            reg.observe(h, *ns);
+        }
+        for p in &self.plugins {
+            let d = reg.counter(&format!("plugin.{}.dispatches", p.name));
+            reg.add(d, p.dispatches);
+            let w = reg.counter(&format!("plugin.{}.wall_ns", p.name));
+            reg.add(w, p.wall_ns);
+        }
+        reg.snapshot()
     }
 }
 
@@ -84,6 +131,9 @@ pub struct AnalyzedJob {
     pub instructions: u64,
     /// The per-job flight-recorder capture, when requested.
     pub trace: Option<TraceCapture>,
+    /// Wall-clock phase timings and per-plugin dispatch costs — the job's
+    /// own cost breakdown, never part of the report.
+    pub cost: JobCost,
 }
 
 /// Analyzes one recording end to end and assembles the job report.
@@ -111,15 +161,22 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
         None
     };
 
+    let mut cost = JobCost::default();
+
     // Replay #1: FAROS (plus the trace recorder when capture is on). The
     // manager wrapping is unconditional so the dispatch path is identical
     // with and without tracing.
     let mut plugins = PluginManager::new();
+    if cfg.profile {
+        plugins.enable_dispatch_profiling();
+    }
     if let Some(ring) = &ring {
         plugins.register(Box::new(TraceRecorder::new(ring.clone())));
     }
     plugins.register(Box::new(faros));
+    let replay_start = Instant::now();
     let outcome = replay(scenario, recording, cfg.budget, &mut plugins)?;
+    cost.phases.add_ns("replay", replay_start.elapsed().as_nanos() as u64);
     let mut faros = *plugins
         .take_as::<Faros>("faros")
         .expect("the faros plugin was registered above");
@@ -134,20 +191,35 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
             recorder_metrics: tracer.metrics_snapshot(),
         }
     });
+    cost.plugins.extend(plugins.dispatch_costs().iter().cloned());
 
     // Replay #2: block coverage + the CFI transfer monitor for the
-    // static-vs-dynamic cross-checks.
+    // static-vs-dynamic cross-checks (plus the retired-instruction
+    // profiler when profiling is on).
     let mut observers = PluginManager::new();
+    if cfg.profile {
+        observers.enable_dispatch_profiling();
+        observers.register(Box::new(Profiler::new()));
+    }
     observers.register(Box::new(BlockCoverage::new()));
     observers.register(Box::new(CfiMonitor::new()));
+    let replay_start = Instant::now();
     replay(scenario, recording, cfg.budget, &mut observers)?;
+    cost.phases.add_ns("replay", replay_start.elapsed().as_nanos() as u64);
     let blocks = *observers
         .take_as::<BlockCoverage>("block-coverage")
         .expect("the coverage plugin was registered above");
     let monitor = *observers
         .take_as::<CfiMonitor>("cfi-monitor")
         .expect("the cfi monitor was registered above");
+    let profiler = if cfg.profile {
+        Some(*observers.take_as::<Profiler>("profiler").expect("registered above"))
+    } else {
+        None
+    };
+    cost.plugins.extend(observers.dispatch_costs().iter().cloned());
 
+    let analyze_start = Instant::now();
     let mut report = faros.report();
     let images = faros_analyze::image_map(
         scenario.programs().iter().map(|(p, i)| (p.as_str(), i.clone())),
@@ -167,11 +239,29 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     stats.record_into(&mut reg);
     cfi.stats.record_into(&mut reg);
     report.attach_cfi(cfi);
+    if let Some(profiler) = profiler {
+        // Symbolize the raw per-block samples through the images' static
+        // function tables — a pure function of recording + images, so the
+        // attached profile is byte-identical across replays.
+        let layouts = faros_analyze::layout_map(&images);
+        let samples: Vec<ProcessSamples> = profiler
+            .into_processes()
+            .into_iter()
+            .map(|p| ProcessSamples {
+                pid: p.pid.0,
+                process: p.name,
+                blocks: p.block_retired,
+                modules: faros_analyze::layouts_for(&p.modules, &layouts),
+            })
+            .collect();
+        report.attach_profile(ProfileReport::build(samples));
+    }
     let mut snap = faros.metrics_snapshot();
     snap.merge(&reg.snapshot());
     report.attach_metrics(snap);
+    cost.phases.add_ns("analyze", analyze_start.elapsed().as_nanos() as u64);
 
-    Ok(AnalyzedJob { report, faros, instructions: outcome.instructions, trace })
+    Ok(AnalyzedJob { report, faros, instructions: outcome.instructions, trace, cost })
 }
 
 #[cfg(test)]
@@ -195,6 +285,28 @@ mod tests {
         ) -> Result<Machine, MachineError> {
             Ok(Machine::with_fabric(MachineConfig::default(), fabric))
         }
+    }
+
+    #[test]
+    fn profiling_is_off_by_default_and_deterministic_when_on() {
+        let (recording, _) = faros_replay::record(&Empty, 100_000).unwrap();
+        let plain = analyze_recording(&Empty, &recording, &AnalysisConfig::default()).unwrap();
+        assert!(plain.report.profile.is_empty(), "profiler must be opt-in");
+        // Phase costs are always collected, even without profiling.
+        assert!(plain.cost.phases.ns("replay").is_some());
+        assert!(plain.cost.phases.ns("analyze").is_some());
+        assert!(!plain.cost.plugins.is_empty());
+        assert!(plain.cost.metrics().counter("plugin.faros.dispatches").is_some());
+
+        let cfg = AnalysisConfig { profile: true, ..AnalysisConfig::default() };
+        let a = analyze_recording(&Empty, &recording, &cfg).unwrap();
+        let b = analyze_recording(&Empty, &recording, &cfg).unwrap();
+        assert_eq!(
+            a.report.to_json().unwrap(),
+            b.report.to_json().unwrap(),
+            "profile must be byte-identical across replays"
+        );
+        assert_eq!(a.report.profile.folded(), b.report.profile.folded());
     }
 
     #[test]

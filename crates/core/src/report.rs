@@ -6,6 +6,7 @@
 //! reconstruct it by hand (§V-B).
 
 use faros_obs::metrics::MetricsSnapshot;
+use faros_obs::prof::ProfileReport;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 
@@ -101,6 +102,11 @@ pub struct FarosReport {
     /// Deterministic run metrics (empty when the replay ran without
     /// metrics collection).
     pub metrics: MetricsSnapshot,
+    /// Deterministic replay profile: retired instructions (the virtual
+    /// clock) attributed to basic blocks and symbolized to functions —
+    /// byte-identical across replays of one recording (empty when the
+    /// replay ran without the profiler).
+    pub profile: ProfileReport,
 }
 
 impl FarosReport {
@@ -172,6 +178,12 @@ impl FarosReport {
         self.metrics = metrics;
     }
 
+    /// Attaches the deterministic replay profile produced by the
+    /// `replay::Profiler` plugin after symbolization.
+    pub fn attach_profile(&mut self, profile: ProfileReport) {
+        self.profile = profile;
+    }
+
     /// Renders the report as the paper's Table II: one row per flagged
     /// memory address with its provenance list, followed by the coverage
     /// cross-check (when recorded).
@@ -209,6 +221,10 @@ impl FarosReport {
                 ));
             }
             s.push_str(&format!("residual static flows never exercised: {}\n", self.taint.residual.len()));
+        }
+        if !self.profile.is_empty() {
+            s.push('\n');
+            s.push_str(&self.profile.to_table(5));
         }
         if !self.cfi.is_empty() {
             s.push_str(&format!(
@@ -387,6 +403,9 @@ impl ToJson for FarosReport {
         if !self.metrics.is_empty() {
             fields.push(("metrics", self.metrics.to_json_value()));
         }
+        if !self.profile.is_empty() {
+            fields.push(("profile", self.profile.to_json_value()));
+        }
         JsonValue::object(fields)
     }
 }
@@ -401,6 +420,7 @@ impl FromJson for FarosReport {
             taint: json::field_or_default(v, "taint")?,
             cfi: json::field_or_default(v, "cfi")?,
             metrics: json::field_or_default(v, "metrics")?,
+            profile: json::field_or_default(v, "profile")?,
         })
     }
 }
@@ -562,6 +582,43 @@ mod tests {
         // The table gains a CFI section with the taint-fusion marker.
         assert!(r.to_table().contains("CFI: 1 edges checked, 1 violations (1 tainted)"));
         assert!(r.to_table().contains("[tainted]"));
+    }
+
+    #[test]
+    fn profile_round_trips_and_is_omitted_when_empty() {
+        use faros_obs::prof::{ModuleLayout, ProcessSamples};
+        use std::collections::BTreeMap;
+        let mut r = FarosReport::default();
+        r.detections.push(sample_detection(1, "notepad.exe"));
+        let bare = r.to_json().unwrap();
+        assert!(!bare.contains("\"profile\""), "empty profile must not serialize");
+
+        let mut blocks = BTreeMap::new();
+        blocks.insert(0x40_0000u32, 100u64);
+        let mut functions = BTreeMap::new();
+        functions.insert(0x40_0000u32, "main".to_string());
+        r.attach_profile(ProfileReport::build(vec![ProcessSamples {
+            pid: 4,
+            process: "notepad.exe".into(),
+            blocks,
+            modules: vec![ModuleLayout {
+                name: "notepad.exe".into(),
+                base: 0x40_0000,
+                limit: 0x41_0000,
+                functions,
+            }],
+        }]));
+        let json = r.to_json().unwrap();
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("total_retired"));
+        let restored = FarosReport::from_json(&json).unwrap();
+        assert_eq!(restored, r);
+        // Pre-profile reports (no field) still parse.
+        let old = FarosReport::from_json(&bare).unwrap();
+        assert!(old.profile.is_empty());
+        // The table gains a profile section naming the hot function.
+        assert!(r.to_table().contains("profile: 100 retired instructions"));
+        assert!(r.to_table().contains("main"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`profile`] — wall-clock [`profile::PhaseProfile`] timing for replay
 //!   phases and per-plugin dispatch cost (human-facing only — wall-clock is
 //!   nondeterministic and never enters a golden export);
+//! * [`prof`] — the deterministic replay profiler data model: retired
+//!   instructions (the virtual clock) attributed to basic blocks per
+//!   `(pid, module)` and symbolized into a ranked [`prof::ProfileReport`],
+//!   with a collapsed-stack folded export for flamegraph tooling;
 //! * [`chrome`] — the Chrome `trace_event` exporter; the emitted JSON loads
 //!   in `chrome://tracing` and Perfetto.
 //!
@@ -31,10 +35,12 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod prof;
 pub mod profile;
 pub mod trace;
 
 pub use chrome::{chrome_trace, chrome_trace_pretty};
 pub use metrics::{CounterId, HistogramId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use prof::{FunctionProfile, ModuleLayout, ProcessProfile, ProcessSamples, ProfileReport};
 pub use profile::PhaseProfile;
 pub use trace::{FlightRecorder, RecorderHandle, TraceCategory, TraceEvent, TracePhase};

@@ -345,6 +345,51 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) reconstructed from the
+    /// log2 buckets: walks the sparse bucket list to the sample of rank
+    /// `ceil(q * count)` and returns that bucket's upper edge, clamped to
+    /// the exact `[min, max]` range. The estimate is deterministic, merge
+    /// order-independent, and exact whenever the target bucket holds a
+    /// single distinct value (in particular for 0- and 1-sample
+    /// histograms). Returns 0 on an empty histogram.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(bucket, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // Bucket 0 holds only zero samples; bucket k covers
+                // [2^(k-1), 2^k), so its inclusive upper edge is 2^k - 1
+                // (saturating for bucket 64).
+                let edge = if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median — see [`HistogramSnapshot::approx_quantile`].
+    pub fn approx_p50(&self) -> u64 {
+        self.approx_quantile(0.50)
+    }
+
+    /// Approximate 95th percentile — see
+    /// [`HistogramSnapshot::approx_quantile`].
+    pub fn approx_p95(&self) -> u64 {
+        self.approx_quantile(0.95)
+    }
+}
+
 /// A name-sorted, mergeable, serializable capture of one or more
 /// registries. This is the optional `metrics` section of `FarosReport`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -367,6 +412,14 @@ impl MetricsSnapshot {
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
             .map(|i| self.counters[i].1)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
     }
 
     /// Merges another snapshot in: same-name counters are summed, same-name
@@ -545,6 +598,61 @@ mod tests {
         assert_eq!(back, snap);
         // Byte-stable: re-rendering the parsed form reproduces the text.
         assert_eq!(back.to_json_value().to_pretty(), json);
+    }
+
+    #[test]
+    fn approx_quantiles_walk_the_log2_buckets() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat");
+        // 10 samples: 0, 1, 2, 3, 4, 5, 6, 7, 100, 1000.
+        for s in [0u64, 1, 2, 3, 4, 5, 6, 7, 100, 1000] {
+            m.observe(h, s);
+        }
+        let snap = m.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        // Rank 5 (p50) lands in bucket 3 ([4, 8)) -> upper edge 7.
+        assert_eq!(hs.approx_p50(), 7);
+        // Rank 10 (p95: ceil(9.5)) is the last sample -> bucket 10, edge
+        // 1023, clamped to max = 1000.
+        assert_eq!(hs.approx_p95(), 1000);
+        assert_eq!(hs.approx_quantile(0.0), 0);
+        assert_eq!(hs.approx_quantile(1.0), 1000);
+        assert_eq!(HistogramSnapshot::default().approx_p50(), 0);
+    }
+
+    #[test]
+    fn approx_quantile_is_exact_for_single_sample_and_clamped_to_range() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("one");
+        m.observe(h, 300);
+        let snap = m.snapshot();
+        let hs = snap.histogram("one").unwrap();
+        // Bucket edge would be 511; min == max == 300 clamps it exact.
+        assert_eq!(hs.approx_p50(), 300);
+        assert_eq!(hs.approx_p95(), 300);
+    }
+
+    #[test]
+    fn approx_quantile_is_merge_order_independent() {
+        let mut a = MetricsRegistry::new();
+        let ha = a.histogram("h");
+        for s in [1u64, 2, 3] {
+            a.observe(ha, s);
+        }
+        let mut b = MetricsRegistry::new();
+        let hb = b.histogram("h");
+        for s in [400u64, 500, 600] {
+            b.observe(hb, s);
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab.histogram("h").unwrap().approx_p95(),
+            ba.histogram("h").unwrap().approx_p95()
+        );
     }
 
     #[test]

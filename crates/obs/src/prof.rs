@@ -1,0 +1,432 @@
+//! The deterministic replay profiler data model.
+//!
+//! A profile attributes *retired instructions* — the machine's virtual
+//! clock — to basic blocks per `(pid, module)`, then rolls blocks up to
+//! functions through a caller-supplied symbol table (recovered statically
+//! by `faros-analyze`). Because the clock is instructions retired rather
+//! than wall time, two replays of the same recording produce **byte
+//! identical** [`ProfileReport`]s: the profile is evidence, not a
+//! measurement, and it can sit in golden fixtures next to detections.
+//!
+//! The report exports two ways: structured JSON (the optional `profile`
+//! section of a `FarosReport`) and the collapsed-stack *folded* format
+//! (`frame;frame count` lines) that standard flamegraph tooling consumes.
+
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
+use std::collections::BTreeMap;
+
+/// Hot blocks kept per process in the report — enough to see the shape of
+/// a hot loop without swelling the report with every block ever executed.
+pub const HOT_BLOCK_LIMIT: usize = 10;
+
+/// The span and symbol table of one loaded module, in absolute guest VAs.
+///
+/// `functions` maps function entry VAs to names; a block symbolizes to the
+/// greatest entry at or below its start VA. Entries are supplied by the
+/// static analyzer (image entry point, exports, recovered call targets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModuleLayout {
+    /// Module name (the scenario program path).
+    pub name: String,
+    /// Base VA of the mapped image.
+    pub base: u32,
+    /// First VA past the mapped image.
+    pub limit: u32,
+    /// Function entry VA → symbol name, sorted by VA.
+    pub functions: BTreeMap<u32, String>,
+}
+
+/// Raw per-process profiler output before symbolization: block start VA →
+/// instructions retired inside that block, plus the process's module map.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessSamples {
+    /// Guest process id.
+    pub pid: u32,
+    /// Process (image) name.
+    pub process: String,
+    /// Block start VA → retired instructions attributed to the block.
+    pub blocks: BTreeMap<u32, u64>,
+    /// Modules mapped into the process, with symbol tables.
+    pub modules: Vec<ModuleLayout>,
+}
+
+/// One symbolized function with its share of the virtual clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionProfile {
+    /// Module the function lives in (`[anon]` for code outside every
+    /// mapped module — injected payloads land here).
+    pub module: String,
+    /// Symbol name (`sub_<va>` when the entry has no export name).
+    pub function: String,
+    /// Function entry VA (0 for `[anon]`).
+    pub entry: u32,
+    /// Retired instructions attributed to the function.
+    pub retired: u64,
+    /// Distinct basic blocks attributed to the function.
+    pub blocks: u64,
+}
+
+/// One hot basic block, kept for the per-block view of the top loops.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockSample {
+    /// Block start VA.
+    pub va: u32,
+    /// Retired instructions attributed to the block.
+    pub retired: u64,
+}
+
+/// The symbolized profile of one guest process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessProfile {
+    /// Guest process id.
+    pub pid: u32,
+    /// Process (image) name.
+    pub process: String,
+    /// Retired instructions attributed to the process.
+    pub retired: u64,
+    /// Functions ranked by retired instructions (descending; ties broken
+    /// by module then entry VA so the ranking is total and deterministic).
+    pub functions: Vec<FunctionProfile>,
+    /// The hottest basic blocks (at most [`HOT_BLOCK_LIMIT`]), ranked like
+    /// `functions`.
+    pub hot_blocks: Vec<BlockSample>,
+}
+
+/// The deterministic replay profile: the optional `profile` section of a
+/// `FarosReport`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Retired instructions attributed across all processes.
+    pub total_retired: u64,
+    /// Per-process profiles, sorted by pid.
+    pub processes: Vec<ProcessProfile>,
+}
+
+fn symbolize(va: u32, modules: &[ModuleLayout]) -> (String, String, u32) {
+    for m in modules {
+        if va < m.base || va >= m.limit {
+            continue;
+        }
+        return match m.functions.range(..=va).next_back() {
+            Some((&entry, name)) => (m.name.clone(), name.clone(), entry),
+            None => (m.name.clone(), format!("sub_{:08x}", m.base), m.base),
+        };
+    }
+    ("[anon]".to_string(), "[anon]".to_string(), 0)
+}
+
+impl ProfileReport {
+    /// Symbolizes raw per-process samples into a ranked report.
+    ///
+    /// Attribution: each block start VA is matched to the module whose
+    /// `[base, limit)` span contains it, then to the greatest function
+    /// entry at or below it; blocks outside every module collapse into the
+    /// process's `[anon]` pseudo-function (the natural home of injected
+    /// code). The output ordering is a pure function of the samples, so
+    /// identical replays yield identical report bytes.
+    pub fn build(mut samples: Vec<ProcessSamples>) -> ProfileReport {
+        samples.sort_by_key(|p| p.pid);
+        let mut total_retired = 0u64;
+        let mut processes = Vec::with_capacity(samples.len());
+        for proc in samples {
+            if proc.blocks.is_empty() {
+                continue;
+            }
+            let mut by_fn: BTreeMap<(String, u32), FunctionProfile> = BTreeMap::new();
+            let mut retired = 0u64;
+            for (&va, &count) in &proc.blocks {
+                retired += count;
+                let (module, function, entry) = symbolize(va, &proc.modules);
+                let f = by_fn.entry((module.clone(), entry)).or_insert_with(|| FunctionProfile {
+                    module,
+                    function,
+                    entry,
+                    retired: 0,
+                    blocks: 0,
+                });
+                f.retired += count;
+                f.blocks += 1;
+            }
+            let mut functions: Vec<FunctionProfile> = by_fn.into_values().collect();
+            functions.sort_by(|a, b| {
+                b.retired
+                    .cmp(&a.retired)
+                    .then_with(|| a.module.cmp(&b.module))
+                    .then_with(|| a.entry.cmp(&b.entry))
+            });
+            let mut hot_blocks: Vec<BlockSample> = proc
+                .blocks
+                .iter()
+                .map(|(&va, &retired)| BlockSample { va, retired })
+                .collect();
+            hot_blocks.sort_by(|a, b| b.retired.cmp(&a.retired).then_with(|| a.va.cmp(&b.va)));
+            hot_blocks.truncate(HOT_BLOCK_LIMIT);
+            total_retired += retired;
+            processes.push(ProcessProfile {
+                pid: proc.pid,
+                process: proc.process,
+                retired,
+                functions,
+                hot_blocks,
+            });
+        }
+        ProfileReport { total_retired, processes }
+    }
+
+    /// Returns `true` if the profile holds no processes (the report
+    /// section is omitted in that case).
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// The `n` hottest functions across all processes, each with its
+    /// owning process profile. Ranked by retired instructions descending,
+    /// ties broken by (pid, module, entry).
+    pub fn top_functions(&self, n: usize) -> Vec<(&ProcessProfile, &FunctionProfile)> {
+        let mut all: Vec<(&ProcessProfile, &FunctionProfile)> = self
+            .processes
+            .iter()
+            .flat_map(|p| p.functions.iter().map(move |f| (p, f)))
+            .collect();
+        all.sort_by(|(pa, fa), (pb, fb)| {
+            fb.retired
+                .cmp(&fa.retired)
+                .then_with(|| pa.pid.cmp(&pb.pid))
+                .then_with(|| fa.module.cmp(&fb.module))
+                .then_with(|| fa.entry.cmp(&fb.entry))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Renders the collapsed-stack folded format: one
+    /// `process;module;function count` line per function, processes in pid
+    /// order, functions in rank order. Loadable by standard flamegraph
+    /// tooling, and byte-identical across replays of one recording.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for p in &self.processes {
+            for f in &p.functions {
+                out.push_str(&format!(
+                    "{};{};{} {}\n",
+                    p.process, f.module, f.function, f.retired
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders a human-facing table of the `n` hottest functions.
+    pub fn to_table(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: {} retired instructions across {} process(es)\n",
+            self.total_retired,
+            self.processes.len()
+        ));
+        out.push_str("  retired     %      process          function\n");
+        for (p, f) in self.top_functions(n) {
+            let pct = if self.total_retired == 0 {
+                0.0
+            } else {
+                100.0 * f.retired as f64 / self.total_retired as f64
+            };
+            out.push_str(&format!(
+                "  {:>10}  {:>5.1}  {:<15}  {}!{}\n",
+                f.retired, pct, p.process, f.module, f.function
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for FunctionProfile {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("module", self.module.to_json_value()),
+            ("function", self.function.to_json_value()),
+            ("entry", self.entry.to_json_value()),
+            ("retired", self.retired.to_json_value()),
+            ("blocks", self.blocks.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for FunctionProfile {
+    fn from_json_value(v: &JsonValue) -> Result<FunctionProfile, JsonError> {
+        Ok(FunctionProfile {
+            module: json::field(v, "module")?,
+            function: json::field(v, "function")?,
+            entry: json::field(v, "entry")?,
+            retired: json::field(v, "retired")?,
+            blocks: json::field(v, "blocks")?,
+        })
+    }
+}
+
+impl ToJson for BlockSample {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("va", self.va.to_json_value()),
+            ("retired", self.retired.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for BlockSample {
+    fn from_json_value(v: &JsonValue) -> Result<BlockSample, JsonError> {
+        Ok(BlockSample { va: json::field(v, "va")?, retired: json::field(v, "retired")? })
+    }
+}
+
+impl ToJson for ProcessProfile {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("pid", self.pid.to_json_value()),
+            ("process", self.process.to_json_value()),
+            ("retired", self.retired.to_json_value()),
+            ("functions", self.functions.to_json_value()),
+            ("hot_blocks", self.hot_blocks.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ProcessProfile {
+    fn from_json_value(v: &JsonValue) -> Result<ProcessProfile, JsonError> {
+        Ok(ProcessProfile {
+            pid: json::field(v, "pid")?,
+            process: json::field(v, "process")?,
+            retired: json::field(v, "retired")?,
+            functions: json::field(v, "functions")?,
+            hot_blocks: json::field(v, "hot_blocks")?,
+        })
+    }
+}
+
+impl ToJson for ProfileReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("total_retired", self.total_retired.to_json_value()),
+            ("processes", self.processes.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ProfileReport {
+    fn from_json_value(v: &JsonValue) -> Result<ProfileReport, JsonError> {
+        Ok(ProfileReport {
+            total_retired: json::field(v, "total_retired")?,
+            processes: json::field(v, "processes")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Vec<ModuleLayout> {
+        let mut functions = BTreeMap::new();
+        functions.insert(0x1000, "main".to_string());
+        functions.insert(0x1100, "memcpy".to_string());
+        vec![ModuleLayout {
+            name: "app.exe".to_string(),
+            base: 0x1000,
+            limit: 0x2000,
+            functions,
+        }]
+    }
+
+    fn samples() -> Vec<ProcessSamples> {
+        let mut blocks = BTreeMap::new();
+        blocks.insert(0x1010u32, 50u64); // main
+        blocks.insert(0x1100, 900); // memcpy entry
+        blocks.insert(0x1120, 40); // memcpy body
+        blocks.insert(0x9000, 7); // outside every module -> [anon]
+        vec![ProcessSamples {
+            pid: 4,
+            process: "app.exe".to_string(),
+            blocks,
+            modules: layout(),
+        }]
+    }
+
+    #[test]
+    fn build_symbolizes_ranks_and_totals() {
+        let report = ProfileReport::build(samples());
+        assert_eq!(report.total_retired, 997);
+        assert_eq!(report.processes.len(), 1);
+        let p = &report.processes[0];
+        assert_eq!((p.pid, p.retired), (4, 997));
+        let names: Vec<&str> = p.functions.iter().map(|f| f.function.as_str()).collect();
+        assert_eq!(names, vec!["memcpy", "main", "[anon]"]);
+        assert_eq!(p.functions[0].retired, 940);
+        assert_eq!(p.functions[0].blocks, 2);
+        assert_eq!(p.functions[2].module, "[anon]");
+        assert_eq!(p.hot_blocks[0], BlockSample { va: 0x1100, retired: 900 });
+    }
+
+    #[test]
+    fn empty_processes_are_skipped_and_report_is_omittable() {
+        let report = ProfileReport::build(vec![ProcessSamples {
+            pid: 1,
+            process: "idle".to_string(),
+            blocks: BTreeMap::new(),
+            modules: Vec::new(),
+        }]);
+        assert!(report.is_empty());
+        assert_eq!(report, ProfileReport::default());
+    }
+
+    #[test]
+    fn folded_lines_are_rank_ordered_per_process() {
+        let report = ProfileReport::build(samples());
+        let folded = report.folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "app.exe;app.exe;memcpy 940",
+                "app.exe;app.exe;main 50",
+                "app.exe;[anon];[anon] 7",
+            ]
+        );
+    }
+
+    #[test]
+    fn top_functions_cross_process_ranking() {
+        let mut two = samples();
+        let mut blocks = BTreeMap::new();
+        blocks.insert(0x1000u32, 5000u64);
+        two.push(ProcessSamples {
+            pid: 9,
+            process: "other.exe".to_string(),
+            blocks,
+            modules: layout(),
+        });
+        let report = ProfileReport::build(two);
+        let top = report.top_functions(2);
+        assert_eq!(top[0].1.function, "main");
+        assert_eq!(top[0].0.pid, 9);
+        assert_eq!(top[1].1.function, "memcpy");
+    }
+
+    #[test]
+    fn report_round_trips_byte_stable() {
+        let report = ProfileReport::build(samples());
+        let json = report.to_json_value().to_pretty();
+        let back = ProfileReport::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_value().to_pretty(), json);
+    }
+
+    #[test]
+    fn build_is_deterministic_across_input_order() {
+        let mut rev = samples();
+        rev.reverse();
+        let a = ProfileReport::build(samples());
+        let b = ProfileReport::build(rev);
+        assert_eq!(a.to_json_value().to_pretty(), b.to_json_value().to_pretty());
+        assert_eq!(a.folded(), b.folded());
+    }
+}

@@ -8,6 +8,7 @@
 //! the tail of the story — the flight-recorder model.
 
 use crate::chrome;
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -33,6 +34,22 @@ impl TracePhase {
             TracePhase::End => "E",
             TracePhase::Instant => "i",
             TracePhase::Meta => "M",
+        }
+    }
+
+    /// Parses a Chrome phase letter back into a [`TracePhase`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for any string that is not one of the four
+    /// phase letters emitted by [`TracePhase::chrome_ph`].
+    pub fn parse(s: &str) -> Result<TracePhase, JsonError> {
+        match s {
+            "B" => Ok(TracePhase::Begin),
+            "E" => Ok(TracePhase::End),
+            "i" => Ok(TracePhase::Instant),
+            "M" => Ok(TracePhase::Meta),
+            other => Err(JsonError::decode(format!("unknown trace phase `{other}`"))),
         }
     }
 }
@@ -80,6 +97,29 @@ impl TraceCategory {
             TraceCategory::Plugin => "plugin",
             TraceCategory::Analysis => "analysis",
             TraceCategory::Service => "service",
+        }
+    }
+
+    /// Parses a category name back into a [`TraceCategory`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for any string not produced by
+    /// [`TraceCategory::as_str`].
+    pub fn parse(s: &str) -> Result<TraceCategory, JsonError> {
+        match s {
+            "syscall" => Ok(TraceCategory::Syscall),
+            "sched" => Ok(TraceCategory::Sched),
+            "process" => Ok(TraceCategory::Process),
+            "module" => Ok(TraceCategory::Module),
+            "net" => Ok(TraceCategory::Net),
+            "file" => Ok(TraceCategory::File),
+            "taint" => Ok(TraceCategory::Taint),
+            "insn" => Ok(TraceCategory::Insn),
+            "plugin" => Ok(TraceCategory::Plugin),
+            "analysis" => Ok(TraceCategory::Analysis),
+            "service" => Ok(TraceCategory::Service),
+            other => Err(JsonError::decode(format!("unknown trace category `{other}`"))),
         }
     }
 }
@@ -141,6 +181,55 @@ impl TraceEvent {
     pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> TraceEvent {
         self.args.push((key.into(), value.into()));
         self
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![
+            ("ts", self.ts.to_json_value()),
+            ("pid", self.pid.to_json_value()),
+            ("tid", self.tid.to_json_value()),
+            ("ph", self.phase.chrome_ph().to_json_value()),
+            ("cat", self.cat.as_str().to_json_value()),
+            ("name", self.name.to_json_value()),
+        ];
+        if !self.args.is_empty() {
+            fields.push((
+                "args",
+                JsonValue::object(
+                    self.args.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect(),
+                ),
+            ));
+        }
+        JsonValue::object(fields)
+    }
+}
+
+impl FromJson for TraceEvent {
+    fn from_json_value(v: &JsonValue) -> Result<TraceEvent, JsonError> {
+        let ph: String = json::field(v, "ph")?;
+        let cat: String = json::field(v, "cat")?;
+        let mut args = Vec::new();
+        if let Ok(raw) = v.field("args") {
+            match raw {
+                JsonValue::Object(fields) => {
+                    for (k, val) in fields {
+                        args.push((k.clone(), String::from_json_value(val)?));
+                    }
+                }
+                _ => return Err(JsonError::decode("`args` must be an object")),
+            }
+        }
+        Ok(TraceEvent {
+            ts: json::field(v, "ts")?,
+            pid: json::field(v, "pid")?,
+            tid: json::field(v, "tid")?,
+            phase: TracePhase::parse(&ph)?,
+            cat: TraceCategory::parse(&cat)?,
+            name: json::field(v, "name")?,
+            args,
+        })
     }
 }
 
@@ -212,6 +301,13 @@ impl FlightRecorder {
     /// Iterates the held events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.buf.iter()
+    }
+
+    /// Clones the most recent `n` events, oldest first — the live
+    /// telemetry tail served over the service protocol.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).cloned().collect()
     }
 
     /// Renders the held events as pretty-printed Chrome `trace_event` JSON.
@@ -310,6 +406,57 @@ mod tests {
         assert_eq!(b.len(), 2);
         let names: Vec<String> = a.with(|r| r.events().map(|e| e.name.clone()).collect());
         assert_eq!(names, vec!["NtReadFile", "NtReadFile"]);
+    }
+
+    #[test]
+    fn tail_returns_most_recent_events_oldest_first() {
+        let mut rec = FlightRecorder::new(8);
+        for ts in 0..5 {
+            rec.record(TraceEvent::instant(ts, 1, 1, TraceCategory::Service, "e"));
+        }
+        let ts: Vec<u64> = rec.tail(2).iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![3, 4]);
+        assert_eq!(rec.tail(100).len(), 5);
+        assert!(rec.tail(0).is_empty());
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            TraceEvent::begin(10, 2, 3, TraceCategory::Syscall, "NtWriteFile")
+                .arg("bytes", "512"),
+            TraceEvent::end(20, 2, 3, TraceCategory::Syscall, "NtWriteFile"),
+            TraceEvent::instant(30, 1, 0, TraceCategory::Service, "submit-rejected"),
+            TraceEvent::process_name(7, "svchost.exe"),
+        ];
+        for ev in &events {
+            let json = ev.to_json_value().to_pretty();
+            let back = TraceEvent::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+            assert_eq!(&back, ev);
+            assert_eq!(back.to_json_value().to_pretty(), json);
+        }
+    }
+
+    #[test]
+    fn unknown_phase_and_category_are_decode_errors() {
+        let mut ev = TraceEvent::instant(1, 1, 1, TraceCategory::Sched, "e").to_json_value();
+        if let JsonValue::Object(fields) = &mut ev {
+            for (k, v) in fields.iter_mut() {
+                if k == "ph" {
+                    *v = JsonValue::Str("Z".to_string());
+                }
+            }
+        }
+        assert!(TraceEvent::from_json_value(&ev).is_err());
+        let mut ev = TraceEvent::instant(1, 1, 1, TraceCategory::Sched, "e").to_json_value();
+        if let JsonValue::Object(fields) = &mut ev {
+            for (k, v) in fields.iter_mut() {
+                if k == "cat" {
+                    *v = JsonValue::Str("nope".to_string());
+                }
+            }
+        }
+        assert!(TraceEvent::from_json_value(&ev).is_err());
     }
 
     #[test]

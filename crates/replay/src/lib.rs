@@ -10,7 +10,10 @@
 //!   serializable [`driver::Recording`]; [`driver::replay`] re-executes it
 //!   bit-identically under an arbitrary plugin stack;
 //! * [`recorder`] — the [`recorder::TraceRecorder`] plugin, emitting the
-//!   structured flight-recorder trace and metrics of `faros-obs`.
+//!   structured flight-recorder trace and metrics of `faros-obs`;
+//! * [`profiler`] — the [`profiler::Profiler`] plugin, attributing retired
+//!   instructions (the virtual clock) to basic blocks per process for the
+//!   deterministic replay profiler.
 //!
 //! Table V's measurement is `replay` wall-clock with an empty plugin stack
 //! vs. with FAROS registered.
@@ -22,6 +25,7 @@ pub mod cfi;
 pub mod coverage;
 pub mod driver;
 pub mod plugin;
+pub mod profiler;
 pub mod recorder;
 pub mod scenario;
 pub mod trace;
@@ -30,6 +34,7 @@ pub use cfi::{CfiMonitor, ProcessTransfers, TransferKind, TransferSite};
 pub use coverage::{BlockCoverage, ProcessBlocks};
 pub use driver::{record, record_and_replay, replay, Recording, ReplayError, RunOutcome, DEFAULT_BUDGET};
 pub use plugin::{Plugin, PluginCost, PluginManager};
+pub use profiler::{ProcessRetired, Profiler};
 pub use recorder::TraceRecorder;
 pub use trace::{TraceEvent, TracePlugin};
 pub use scenario::{Scenario, DEFAULT_GUEST_IP};

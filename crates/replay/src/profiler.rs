@@ -1,0 +1,175 @@
+//! The deterministic replay profiler plugin — per-block retired-instruction
+//! attribution on the virtual clock.
+//!
+//! [`Profiler`] watches every retired instruction and charges it to the
+//! basic block its thread is currently executing (the block identified by
+//! its start VA, exactly as `BlockCoverage` defines block starts). Because
+//! the count is *instructions retired* rather than wall time, two replays
+//! of one recording produce identical sample maps — the profile is part of
+//! the replay's deterministic output, not a measurement of the host.
+//!
+//! The raw samples leave the plugin as [`faros_obs::prof::ProcessSamples`];
+//! symbolization into a ranked `ProfileReport` happens in `faros-core`,
+//! which owns the static images.
+
+use crate::plugin::Plugin;
+use faros_emu::cpu::{CpuHooks, InsnCtx};
+use faros_kernel::event::{ByteRange, KernelEvents};
+use faros_kernel::module::ModuleInfo;
+use faros_kernel::process::ProcessInfo;
+use faros_kernel::{Pid, Tid};
+use std::collections::BTreeMap;
+
+/// Everything the profiler accumulated for one process.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessRetired {
+    /// The process id.
+    pub pid: Pid,
+    /// Image name (e.g. `notepad.exe`).
+    pub name: String,
+    /// Modules the kernel loaded into the process, in load order.
+    pub modules: Vec<ModuleInfo>,
+    /// Block start VA → retired instructions attributed to that block.
+    pub block_retired: BTreeMap<u32, u64>,
+}
+
+/// The per-block retired-instruction profiler plugin.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    current: Option<(Pid, Tid)>,
+    // Per-thread cursor: the start VA of the block the thread is inside,
+    // or `None` when the next instruction starts a new block.
+    cursor: BTreeMap<(Pid, Tid), Option<u32>>,
+    procs: BTreeMap<Pid, ProcessRetired>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Per-process samples, ordered by pid.
+    pub fn processes(&self) -> Vec<&ProcessRetired> {
+        self.procs.values().collect()
+    }
+
+    /// The samples for one process, if it ever ran.
+    pub fn process(&self, pid: Pid) -> Option<&ProcessRetired> {
+        self.procs.get(&pid)
+    }
+
+    /// Consumes the plugin, returning the per-process samples.
+    pub fn into_processes(self) -> Vec<ProcessRetired> {
+        self.procs.into_values().collect()
+    }
+
+    fn entry(&mut self, pid: Pid) -> &mut ProcessRetired {
+        self.procs.entry(pid).or_insert_with(|| ProcessRetired {
+            pid,
+            ..ProcessRetired::default()
+        })
+    }
+}
+
+impl CpuHooks for Profiler {
+    fn on_insn(&mut self, ctx: &InsnCtx) {
+        let Some(key) = self.current else { return };
+        // A thread's first instruction starts a block; after that, exactly
+        // the instruction following a block-ender does (the BlockCoverage
+        // definition, so profiles and coverage agree on block identity).
+        let block = match self.cursor.get(&key).copied().flatten() {
+            Some(block) => block,
+            None => ctx.vaddr,
+        };
+        *self.entry(key.0).block_retired.entry(block).or_insert(0) += 1;
+        let next = if ctx.instr.ends_block() { None } else { Some(block) };
+        self.cursor.insert(key, next);
+    }
+}
+
+impl KernelEvents for Profiler {
+    fn context_switch(&mut self, _from: Option<(Pid, Tid)>, to: (Pid, Tid)) {
+        self.current = Some(to);
+    }
+
+    fn process_created(&mut self, info: &ProcessInfo) {
+        let name = info.name.clone();
+        self.entry(info.pid).name = name;
+    }
+
+    fn module_loaded(&mut self, pid: Option<Pid>, module: &ModuleInfo, _table: &[ByteRange]) {
+        // Kernel/boot modules (pid None) are not per-process images.
+        if let Some(pid) = pid {
+            self.entry(pid).modules.push(module.clone());
+        }
+    }
+}
+
+impl Plugin for Profiler {
+    fn name(&self) -> &str {
+        "profiler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faros_emu::isa::Instr;
+
+    fn ctx(vaddr: u32, instr: Instr) -> InsnCtx {
+        InsnCtx {
+            vaddr,
+            code_phys: [0; faros_emu::encode::MAX_INSTR_LEN],
+            len: 1,
+            instr,
+            asid: faros_emu::mmu::Asid(0),
+            retired: 0,
+        }
+    }
+
+    #[test]
+    fn instructions_are_charged_to_their_block_start() {
+        let mut prof = Profiler::new();
+        prof.context_switch(None, (Pid(1), Tid(1)));
+        prof.on_insn(&ctx(0x1000, Instr::Nop)); // block 0x1000
+        prof.on_insn(&ctx(0x1001, Instr::Nop));
+        prof.on_insn(&ctx(0x1002, Instr::Jmp { rel: 10 })); // ends the block
+        prof.on_insn(&ctx(0x1010, Instr::Nop)); // block 0x1010
+        prof.on_insn(&ctx(0x1011, Instr::Hlt));
+        let p = prof.process(Pid(1)).unwrap();
+        assert_eq!(p.block_retired[&0x1000], 3);
+        assert_eq!(p.block_retired[&0x1010], 2);
+        assert_eq!(p.block_retired.values().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn interleaved_threads_keep_separate_cursors() {
+        let mut prof = Profiler::new();
+        prof.context_switch(None, (Pid(1), Tid(1)));
+        prof.on_insn(&ctx(0x1000, Instr::Nop));
+        prof.context_switch(Some((Pid(1), Tid(1))), (Pid(2), Tid(2)));
+        prof.on_insn(&ctx(0x2000, Instr::Nop));
+        prof.context_switch(Some((Pid(2), Tid(2))), (Pid(1), Tid(1)));
+        // p1 resumes mid-block: still charged to block 0x1000.
+        prof.on_insn(&ctx(0x1001, Instr::Nop));
+        assert_eq!(prof.process(Pid(1)).unwrap().block_retired[&0x1000], 2);
+        assert_eq!(prof.process(Pid(2)).unwrap().block_retired[&0x2000], 1);
+    }
+
+    #[test]
+    fn kernel_modules_are_not_attributed_to_processes() {
+        let mut prof = Profiler::new();
+        let m = ModuleInfo {
+            name: "ntdll.fdl".into(),
+            base: 0x8000_0000,
+            entry: 0,
+            export_table_va: 0x8001_0000,
+            exports: vec![],
+        };
+        prof.module_loaded(None, &m, &[]);
+        assert!(prof.processes().is_empty());
+        prof.module_loaded(Some(Pid(3)), &m, &[]);
+        assert_eq!(prof.process(Pid(3)).unwrap().modules.len(), 1);
+    }
+}

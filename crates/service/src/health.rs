@@ -1,0 +1,310 @@
+//! Health evaluation: turning a [`ServiceStats`] snapshot into a
+//! structured verdict.
+//!
+//! `faros-cli top` (and any fleet supervisor speaking the socket
+//! protocol) asks the service "are you healthy?" via
+//! [`crate::Request::Health`]; the answer is a [`HealthReport`] — one
+//! [`HealthCheck`] per SLO rule plus the worst-of verdict — rather than a
+//! bare boolean, so an operator sees *which* objective degraded. The
+//! rules are pure functions of the stats snapshot:
+//!
+//! * **queue** — a full queue fails (submissions are being refused); a
+//!   high-water mark at >= 90% of capacity warns (backpressure is close);
+//! * **trace** — any dropped flight-recorder event warns (the trace ring
+//!   was undersized; evidence of what the service did is incomplete);
+//! * **workers** — any replaced worker warns (a job panicked or was
+//!   retired mid-flight); losing half the pool or more fails;
+//! * **deadlines** — any deadline kill warns (jobs are stalling past the
+//!   per-job budget).
+
+use crate::service::ServiceStats;
+use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
+use std::fmt;
+
+/// Severity of one check (and of the overall verdict: the worst check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthStatus {
+    /// The objective is met.
+    #[default]
+    Ok,
+    /// Degraded but operating; worth an operator's look.
+    Warn,
+    /// An objective is violated; the service is refusing or losing work.
+    Fail,
+}
+
+impl HealthStatus {
+    /// The wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Warn => "warn",
+            HealthStatus::Fail => "fail",
+        }
+    }
+
+    fn parse(s: &str) -> Result<HealthStatus, JsonError> {
+        Ok(match s {
+            "ok" => HealthStatus::Ok,
+            "warn" => HealthStatus::Warn,
+            "fail" => HealthStatus::Fail,
+            other => return Err(JsonError::decode(format!("unknown health status `{other}`"))),
+        })
+    }
+}
+
+impl fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One SLO rule's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthCheck {
+    /// The rule's stable name (`queue`, `trace`, `workers`, `deadlines`).
+    pub name: String,
+    /// How the rule scored.
+    pub status: HealthStatus,
+    /// Human-readable evidence for the score.
+    pub detail: String,
+}
+
+impl HealthCheck {
+    fn new(name: &str, status: HealthStatus, detail: String) -> HealthCheck {
+        HealthCheck { name: name.to_string(), status, detail }
+    }
+}
+
+impl ToJson for HealthCheck {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", self.name.to_json_value()),
+            ("status", self.status.as_str().to_json_value()),
+            ("detail", self.detail.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for HealthCheck {
+    fn from_json_value(v: &JsonValue) -> Result<HealthCheck, JsonError> {
+        let status: String = json::field(v, "status")?;
+        Ok(HealthCheck {
+            name: json::field(v, "name")?,
+            status: HealthStatus::parse(&status)?,
+            detail: json::field(v, "detail")?,
+        })
+    }
+}
+
+/// The structured health verdict: per-rule checks plus the worst-of
+/// summary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// The worst status any check reported.
+    pub verdict: HealthStatus,
+    /// Every rule's outcome, in evaluation order.
+    pub checks: Vec<HealthCheck>,
+}
+
+impl HealthReport {
+    /// Renders the report as a human-readable table (the `faros-cli top`
+    /// health panel).
+    pub fn to_table(&self) -> String {
+        let mut s = format!("health: {}\n", self.verdict);
+        for check in &self.checks {
+            s.push_str(&format!("  [{:<4}] {:<9} {}\n", check.status, check.name, check.detail));
+        }
+        s
+    }
+}
+
+impl ToJson for HealthReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("verdict", self.verdict.as_str().to_json_value()),
+            ("checks", self.checks.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for HealthReport {
+    fn from_json_value(v: &JsonValue) -> Result<HealthReport, JsonError> {
+        let verdict: String = json::field(v, "verdict")?;
+        Ok(HealthReport {
+            verdict: HealthStatus::parse(&verdict)?,
+            checks: json::field(v, "checks")?,
+        })
+    }
+}
+
+/// Evaluates the SLO rules against a stats snapshot. Pure — repeated
+/// evaluation of the same snapshot yields the same report.
+pub fn evaluate(stats: &ServiceStats, queue_capacity: u64) -> HealthReport {
+    let mut checks = Vec::new();
+
+    let queue = if queue_capacity > 0 && stats.queue_depth >= queue_capacity {
+        HealthCheck::new(
+            "queue",
+            HealthStatus::Fail,
+            format!(
+                "queue is full ({}/{queue_capacity}); submissions are being refused",
+                stats.queue_depth
+            ),
+        )
+    } else if queue_capacity > 0 && stats.queue_high_water * 10 >= queue_capacity * 9 {
+        HealthCheck::new(
+            "queue",
+            HealthStatus::Warn,
+            format!(
+                "queue high water {} is >= 90% of capacity {queue_capacity}",
+                stats.queue_high_water
+            ),
+        )
+    } else {
+        HealthCheck::new(
+            "queue",
+            HealthStatus::Ok,
+            format!(
+                "depth {} / capacity {queue_capacity} (high water {})",
+                stats.queue_depth, stats.queue_high_water
+            ),
+        )
+    };
+    checks.push(queue);
+
+    let trace = if stats.trace_dropped > 0 {
+        HealthCheck::new(
+            "trace",
+            HealthStatus::Warn,
+            format!(
+                "{} flight-recorder event(s) dropped — trace rings undersized",
+                stats.trace_dropped
+            ),
+        )
+    } else {
+        HealthCheck::new(
+            "trace",
+            HealthStatus::Ok,
+            format!("{} event(s) captured, none dropped", stats.trace_events),
+        )
+    };
+    checks.push(trace);
+
+    let workers = if stats.workers_replaced * 2 >= stats.workers_spawned.max(1) {
+        HealthCheck::new(
+            "workers",
+            HealthStatus::Fail,
+            format!(
+                "{} of {} worker(s) ever spawned were replacements",
+                stats.workers_replaced, stats.workers_spawned
+            ),
+        )
+    } else if stats.workers_replaced > 0 {
+        HealthCheck::new(
+            "workers",
+            HealthStatus::Warn,
+            format!(
+                "{} worker(s) replaced after a panic or deadline retirement",
+                stats.workers_replaced
+            ),
+        )
+    } else {
+        HealthCheck::new(
+            "workers",
+            HealthStatus::Ok,
+            format!("{} live, none replaced", stats.live_workers),
+        )
+    };
+    checks.push(workers);
+
+    let deadlines = if stats.deadline_kills > 0 {
+        HealthCheck::new(
+            "deadlines",
+            HealthStatus::Warn,
+            format!("{} job(s) killed past the per-job deadline", stats.deadline_kills),
+        )
+    } else {
+        HealthCheck::new("deadlines", HealthStatus::Ok, "no deadline kills".to_string())
+    };
+    checks.push(deadlines);
+
+    let verdict =
+        checks.iter().map(|c| c.status).max().unwrap_or(HealthStatus::Ok);
+    HealthReport { verdict, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_stats() -> ServiceStats {
+        ServiceStats {
+            submitted: 10,
+            completed: 10,
+            live_workers: 4,
+            workers_spawned: 4,
+            trace_events: 100,
+            ..ServiceStats::default()
+        }
+    }
+
+    #[test]
+    fn healthy_stats_verdict_ok() {
+        let report = evaluate(&healthy_stats(), 64);
+        assert_eq!(report.verdict, HealthStatus::Ok);
+        assert_eq!(report.checks.len(), 4);
+        assert!(report.checks.iter().all(|c| c.status == HealthStatus::Ok));
+    }
+
+    #[test]
+    fn each_slo_rule_degrades_the_verdict() {
+        let mut stats = healthy_stats();
+        stats.queue_high_water = 58; // 58*10 >= 64*9
+        assert_eq!(evaluate(&stats, 64).verdict, HealthStatus::Warn);
+
+        let mut stats = healthy_stats();
+        stats.queue_depth = 64;
+        assert_eq!(evaluate(&stats, 64).verdict, HealthStatus::Fail);
+
+        let mut stats = healthy_stats();
+        stats.trace_dropped = 3;
+        let report = evaluate(&stats, 64);
+        assert_eq!(report.verdict, HealthStatus::Warn);
+        assert!(report.checks.iter().any(|c| c.name == "trace" && c.detail.contains('3')));
+
+        let mut stats = healthy_stats();
+        stats.workers_replaced = 1;
+        stats.workers_spawned = 5;
+        assert_eq!(evaluate(&stats, 64).verdict, HealthStatus::Warn);
+
+        let mut stats = healthy_stats();
+        stats.workers_replaced = 2;
+        assert_eq!(evaluate(&stats, 64).verdict, HealthStatus::Fail, "half the pool replaced");
+
+        let mut stats = healthy_stats();
+        stats.deadline_kills = 1;
+        assert_eq!(evaluate(&stats, 64).verdict, HealthStatus::Warn);
+    }
+
+    #[test]
+    fn report_round_trips_and_renders() {
+        let mut stats = healthy_stats();
+        stats.deadline_kills = 2;
+        stats.trace_dropped = 1;
+        let report = evaluate(&stats, 64);
+        let json = report.to_json_value().to_pretty();
+        let back = HealthReport::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_value().to_pretty(), json, "byte-stable");
+        let table = report.to_table();
+        assert!(table.starts_with("health: warn"));
+        assert!(table.contains("deadlines"));
+    }
+
+    #[test]
+    fn unknown_status_is_rejected() {
+        let bad = JsonValue::parse(r#"{"verdict":"meh","checks":[]}"#).unwrap();
+        assert!(HealthReport::from_json_value(&bad).is_err());
+    }
+}

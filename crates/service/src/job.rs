@@ -176,18 +176,27 @@ pub struct JobResult {
     /// Per-job flight-recorder events evicted (0 unless the ring was
     /// undersized).
     pub trace_dropped: u64,
+    /// The job's cost channel: queue-wait/replay/analyze/report phase
+    /// latency histograms plus per-plugin dispatch counts, as a metrics
+    /// snapshot. Wall-clock, human-facing only — deliberately kept out of
+    /// [`JobResult::metrics`] so merged report metrics stay deterministic.
+    pub cost: MetricsSnapshot,
 }
 
 impl ToJson for JobResult {
     fn to_json_value(&self) -> JsonValue {
-        JsonValue::object(vec![
+        let mut fields = vec![
             ("report_json", self.report_json.to_json_value()),
             ("metrics", self.metrics.to_json_value()),
             ("instructions", self.instructions.to_json_value()),
             ("flagged", self.flagged.to_json_value()),
             ("trace_events", self.trace_events.to_json_value()),
             ("trace_dropped", self.trace_dropped.to_json_value()),
-        ])
+        ];
+        if !self.cost.is_empty() {
+            fields.push(("cost", self.cost.to_json_value()));
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -200,6 +209,7 @@ impl FromJson for JobResult {
             flagged: json::field(v, "flagged")?,
             trace_events: json::field(v, "trace_events")?,
             trace_dropped: json::field(v, "trace_dropped")?,
+            cost: json::field_or_default(v, "cost")?,
         })
     }
 }

@@ -21,8 +21,12 @@
 //! * [`service`] — the [`Detonator`]: worker pool, claim-token result
 //!   publishing, deadline supervisor, worker replacement, graceful
 //!   shutdown, merged stats;
+//! * [`health`] — SLO rules turning a stats snapshot into a structured
+//!   [`HealthReport`] (queue saturation, trace drops, worker
+//!   replacements, deadline kills);
 //! * [`protocol`] — length-prefixed JSON frames and the request/response
-//!   enums spoken over the socket;
+//!   enums spoken over the socket, including the live telemetry verbs
+//!   (`metrics` / `health` / `trace`);
 //! * [`server`] — the Unix-socket server ([`serve`]) and blocking
 //!   [`Client`].
 //!
@@ -34,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fault;
+pub mod health;
 pub mod job;
 pub mod protocol;
 pub mod queue;
@@ -41,6 +46,7 @@ pub mod server;
 pub mod service;
 
 pub use fault::{Fault, FaultPlan};
+pub use health::{HealthCheck, HealthReport, HealthStatus};
 pub use job::{FailureKind, JobFailure, JobResult, JobSpec, JobStatus, JobView};
 pub use protocol::{read_frame, write_frame, FrameError, Request, Response};
 pub use queue::{BoundedQueue, PushError};

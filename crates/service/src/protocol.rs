@@ -9,8 +9,11 @@
 //! the malformed-input test suite pins that none of them can panic the
 //! server or leak a worker.
 
+use crate::health::HealthReport;
 use crate::job::{JobSpec, JobView};
 use crate::service::ServiceStats;
+use faros_obs::metrics::MetricsSnapshot;
+use faros_obs::trace::TraceEvent;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -147,6 +150,18 @@ pub enum Request {
     },
     /// Liveness probe; answered by [`Response::Pong`].
     Ping,
+    /// Live telemetry: merged report metrics + cost channel + service
+    /// gauges; answered by [`Response::Metrics`].
+    Metrics,
+    /// Health verdict from the SLO rules; answered by
+    /// [`Response::Health`].
+    Health,
+    /// The newest `tail` service flight-recorder events; answered by
+    /// [`Response::Trace`].
+    Trace {
+        /// How many events from the end of the ring to return.
+        tail: u64,
+    },
 }
 
 impl ToJson for Request {
@@ -171,6 +186,12 @@ impl ToJson for Request {
                 fields.push(("drain", drain.to_json_value()));
             }
             Request::Ping => fields.push(("type", "ping".to_json_value())),
+            Request::Metrics => fields.push(("type", "metrics".to_json_value())),
+            Request::Health => fields.push(("type", "health".to_json_value())),
+            Request::Trace { tail } => {
+                fields.push(("type", "trace".to_json_value()));
+                fields.push(("tail", tail.to_json_value()));
+            }
         }
         JsonValue::object(fields)
     }
@@ -186,6 +207,9 @@ impl FromJson for Request {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown { drain: json::field(v, "drain")? }),
             "ping" => Ok(Request::Ping),
+            "metrics" => Ok(Request::Metrics),
+            "health" => Ok(Request::Health),
+            "trace" => Ok(Request::Trace { tail: json::field(v, "tail")? }),
             other => Err(JsonError::decode(format!("unknown request type `{other}`"))),
         }
     }
@@ -219,6 +243,18 @@ pub enum Response {
     Shutdown(ServiceStats),
     /// Liveness answer.
     Pong,
+    /// The live telemetry snapshot (merged report metrics, cost channel,
+    /// service gauges).
+    Metrics(MetricsSnapshot),
+    /// The health verdict.
+    Health(HealthReport),
+    /// The newest service flight-recorder events, oldest first.
+    Trace {
+        /// The tail of the ring.
+        events: Vec<TraceEvent>,
+        /// Events the ring has evicted in total (0 unless undersized).
+        dropped: u64,
+    },
     /// The request could not be decoded or handled; the connection stays
     /// usable.
     Error {
@@ -259,6 +295,19 @@ impl ToJson for Response {
                 fields.push(("stats", stats.to_json_value()));
             }
             Response::Pong => fields.push(("type", "pong".to_json_value())),
+            Response::Metrics(snapshot) => {
+                fields.push(("type", "metrics".to_json_value()));
+                fields.push(("metrics", snapshot.to_json_value()));
+            }
+            Response::Health(report) => {
+                fields.push(("type", "health".to_json_value()));
+                fields.push(("health", report.to_json_value()));
+            }
+            Response::Trace { events, dropped } => {
+                fields.push(("type", "trace".to_json_value()));
+                fields.push(("events", events.to_json_value()));
+                fields.push(("dropped", dropped.to_json_value()));
+            }
             Response::Error { message } => {
                 fields.push(("type", "error".to_json_value()));
                 fields.push(("message", message.to_json_value()));
@@ -280,6 +329,12 @@ impl FromJson for Response {
             "stats" => Ok(Response::Stats(json::field(v, "stats")?)),
             "shutdown" => Ok(Response::Shutdown(json::field(v, "stats")?)),
             "pong" => Ok(Response::Pong),
+            "metrics" => Ok(Response::Metrics(json::field(v, "metrics")?)),
+            "health" => Ok(Response::Health(json::field(v, "health")?)),
+            "trace" => Ok(Response::Trace {
+                events: json::field(v, "events")?,
+                dropped: json::field(v, "dropped")?,
+            }),
             "error" => Ok(Response::Error { message: json::field(v, "message")? }),
             other => Err(JsonError::decode(format!("unknown response type `{other}`"))),
         }
@@ -355,6 +410,9 @@ mod tests {
             Request::Stats,
             Request::Shutdown { drain: true },
             Request::Ping,
+            Request::Metrics,
+            Request::Health,
+            Request::Trace { tail: 32 },
         ];
         for req in reqs {
             let payload = req.to_json_value().to_compact();
@@ -366,6 +424,18 @@ mod tests {
             Response::ShuttingDown,
             Response::UnknownJob { id: 12 },
             Response::Pong,
+            Response::Metrics(MetricsSnapshot::default()),
+            Response::Health(HealthReport::default()),
+            Response::Trace {
+                events: vec![faros_obs::trace::TraceEvent::instant(
+                    7,
+                    1,
+                    2,
+                    faros_obs::trace::TraceCategory::Service,
+                    "deadline-exceeded",
+                )],
+                dropped: 0,
+            },
             Response::Error { message: "nope".into() },
         ];
         for resp in resps {

@@ -12,11 +12,14 @@
 //! with the final stats, and stops the accept loop; [`ServerHandle::join`]
 //! then returns. The socket file is removed on the way out.
 
+use crate::health::HealthReport;
 use crate::job::{JobSpec, JobView};
 use crate::protocol::{
     decode_request, decode_response, read_frame, write_frame, FrameError, Request, Response,
 };
 use crate::service::{Detonator, ServiceConfig, ServiceStats, SubmitError};
+use faros_obs::metrics::MetricsSnapshot;
+use faros_obs::trace::TraceEvent;
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -62,6 +65,12 @@ impl ServerState {
                 (Response::Shutdown(stats), true)
             }
             Request::Ping => (Response::Pong, false),
+            Request::Metrics => (Response::Metrics(self.det.telemetry_metrics()), false),
+            Request::Health => (Response::Health(self.det.health()), false),
+            Request::Trace { tail } => {
+                let (events, dropped) = self.det.trace_tail(tail as usize);
+                (Response::Trace { events, dropped }, false)
+            }
         }
     }
 }
@@ -288,6 +297,47 @@ impl Client {
         match self.request(&Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(FrameError::Malformed(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the live telemetry snapshot (merged report metrics, cost
+    /// channel, service gauges).
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] on an unexpected
+    /// response shape.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, FrameError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(FrameError::Malformed(format!("expected metrics, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the health verdict.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] on an unexpected
+    /// response shape.
+    pub fn health(&mut self) -> Result<HealthReport, FrameError> {
+        match self.request(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            other => Err(FrameError::Malformed(format!("expected health, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the newest `tail` service flight-recorder events plus the
+    /// ring's total drop count.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors, or [`FrameError::Malformed`] on an unexpected
+    /// response shape.
+    pub fn trace(&mut self, tail: u64) -> Result<(Vec<TraceEvent>, u64), FrameError> {
+        match self.request(&Request::Trace { tail })? {
+            Response::Trace { events, dropped } => Ok((events, dropped)),
+            other => Err(FrameError::Malformed(format!("expected trace, got {other:?}"))),
         }
     }
 }

@@ -24,6 +24,7 @@
 //! still queued.
 
 use crate::fault::{self, Fault, FaultPlan, PanicAt};
+use crate::health::{self, HealthReport};
 use crate::job::{FailureKind, JobFailure, JobResult, JobSpec, JobStatus, JobView};
 use crate::queue::{BoundedQueue, PushError};
 use faros::AnalysisConfig;
@@ -115,9 +116,17 @@ pub struct ServiceStats {
     pub trace_events: u64,
     /// Flight-recorder events dropped across all jobs.
     pub trace_dropped: u64,
+    /// Jobs failed by the deadline supervisor (each also replaced a
+    /// worker).
+    pub deadline_kills: u64,
     /// Every finished job's report metrics, merged. Order-independent, so
     /// it is identical however jobs interleave.
     pub merged: MetricsSnapshot,
+    /// Every finished job's cost channel (queue-wait/replay/analyze/report
+    /// phase histograms, plugin dispatch counts), merged. Wall-clock,
+    /// human-facing only — kept apart from `merged` so that snapshot stays
+    /// deterministic.
+    pub cost: MetricsSnapshot,
 }
 
 impl ToJson for ServiceStats {
@@ -137,7 +146,9 @@ impl ToJson for ServiceStats {
             ("busy_ns", self.busy_ns.to_json_value()),
             ("trace_events", self.trace_events.to_json_value()),
             ("trace_dropped", self.trace_dropped.to_json_value()),
+            ("deadline_kills", self.deadline_kills.to_json_value()),
             ("merged", self.merged.to_json_value()),
+            ("cost", self.cost.to_json_value()),
         ])
     }
 }
@@ -159,7 +170,9 @@ impl FromJson for ServiceStats {
             busy_ns: json::field(v, "busy_ns")?,
             trace_events: json::field(v, "trace_events")?,
             trace_dropped: json::field(v, "trace_dropped")?,
+            deadline_kills: json::field_or_default(v, "deadline_kills")?,
             merged: json::field(v, "merged")?,
+            cost: json::field_or_default(v, "cost")?,
         })
     }
 }
@@ -180,6 +193,9 @@ struct JobEntry {
     /// The claim token of the attempt allowed to publish; `None` when no
     /// attempt may (queued or terminal).
     claim: Option<u64>,
+    /// When the job was admitted; a claiming worker turns the elapsed time
+    /// into the job's `queue_wait` phase.
+    submitted: Instant,
 }
 
 #[derive(Debug, Default)]
@@ -204,6 +220,7 @@ struct Inner {
     jobs_cv: Condvar,
     metrics: Mutex<ServiceMetrics>,
     merged: Mutex<MetricsSnapshot>,
+    cost: Mutex<MetricsSnapshot>,
     recorder: Mutex<FlightRecorder>,
     epoch: Instant,
     workers: Mutex<HashMap<u64, JoinHandle<()>>>,
@@ -221,6 +238,7 @@ struct Inner {
     workers_replaced: AtomicU64,
     trace_events: AtomicU64,
     trace_dropped: AtomicU64,
+    deadline_kills: AtomicU64,
 }
 
 /// The detonation service: bounded queue + worker pool + supervisor.
@@ -278,6 +296,7 @@ impl Detonator {
                 workers: utilization,
             }),
             merged: Mutex::new(MetricsSnapshot::default()),
+            cost: Mutex::new(MetricsSnapshot::default()),
             recorder: Mutex::new(FlightRecorder::new(1 << 12)),
             epoch: Instant::now(),
             workers: Mutex::new(HashMap::new()),
@@ -295,6 +314,7 @@ impl Detonator {
             workers_replaced: AtomicU64::new(0),
             trace_events: AtomicU64::new(0),
             trace_dropped: AtomicU64::new(0),
+            deadline_kills: AtomicU64::new(0),
         });
         for _ in 0..inner.config.workers.max(1) {
             Inner::spawn_worker(&inner);
@@ -371,6 +391,31 @@ impl Detonator {
     /// span per job attempt) as Chrome `trace_event` JSON.
     pub fn service_trace(&self) -> String {
         self.inner.recorder.lock().expect("recorder poisoned").to_chrome_json()
+    }
+
+    /// The live telemetry snapshot behind `Request::Metrics`: the
+    /// deterministic merged report metrics, the wall-clock cost channel
+    /// (phase latencies, plugin dispatches), and the service registry
+    /// (queue gauges, worker utilization), folded into one snapshot. The
+    /// three namespaces are disjoint, so the fold is lossless.
+    pub fn telemetry_metrics(&self) -> MetricsSnapshot {
+        let mut snapshot = self.inner.merged.lock().expect("merged poisoned").clone();
+        snapshot.merge(&self.inner.cost.lock().expect("cost poisoned"));
+        snapshot.merge(&self.service_metrics());
+        snapshot
+    }
+
+    /// Evaluates the health SLOs against the current stats (see
+    /// [`crate::health::evaluate`]).
+    pub fn health(&self) -> HealthReport {
+        health::evaluate(&self.stats(), self.queue_capacity() as u64)
+    }
+
+    /// The newest `n` service flight-recorder events (oldest first) plus
+    /// how many the ring has evicted in total.
+    pub fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
+        let rec = self.inner.recorder.lock().expect("recorder poisoned");
+        (rec.tail(n), rec.dropped())
     }
 
     /// Graceful shutdown: refuse new jobs, let the workers drain the
@@ -453,6 +498,7 @@ impl Inner {
                             spec,
                             status: JobStatus::Queued,
                             claim: None,
+                            submitted: Instant::now(),
                         });
                         drop(table);
                         self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -503,8 +549,9 @@ impl Inner {
     }
 
     /// Claims the next execution attempt on `id`. Returns `None` when the
-    /// job is already terminal (e.g. cancelled while queued).
-    fn claim(&self, id: u64, worker: u64) -> Option<(u64, JobSpec)> {
+    /// job is already terminal (e.g. cancelled while queued). The third
+    /// element is how long the job sat queued — its `queue_wait` phase.
+    fn claim(&self, id: u64, worker: u64) -> Option<(u64, JobSpec, Duration)> {
         let mut table = self.jobs.lock().expect("jobs poisoned");
         let entry = table.entries.get_mut(id as usize)?;
         if entry.status.is_terminal() {
@@ -514,8 +561,9 @@ impl Inner {
         entry.status = JobStatus::Running;
         entry.claim = Some(token);
         let spec = entry.spec.clone();
+        let queue_wait = entry.submitted.elapsed();
         table.running.insert(id, RunningJob { token, worker, started: Instant::now() });
-        Some((token, spec))
+        Some((token, spec, queue_wait))
     }
 
     /// Publishes a terminal status for the attempt holding `token`.
@@ -561,6 +609,7 @@ impl Inner {
         self.trace_events.fetch_add(result.trace_events, Ordering::Relaxed);
         self.trace_dropped.fetch_add(result.trace_dropped, Ordering::Relaxed);
         self.merged.lock().expect("merged poisoned").merge(&result.metrics);
+        self.cost.lock().expect("cost poisoned").merge(&result.cost);
         self.publish(id, token, JobStatus::Done(result))
     }
 
@@ -630,7 +679,9 @@ impl Inner {
             busy_ns,
             trace_events: self.trace_events.load(Ordering::Relaxed),
             trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
+            deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
             merged: self.merged.lock().expect("merged poisoned").clone(),
+            cost: self.cost.lock().expect("cost poisoned").clone(),
         }
     }
 }
@@ -642,12 +693,13 @@ fn worker_loop(inner: &Arc<Inner>, worker_id: u64) {
         }
         let Some(job_id) = inner.queue.pop() else { break };
         inner.observe_queue_depth();
-        let Some((token, spec)) = inner.claim(job_id, worker_id) else { continue };
+        let Some((token, spec, queue_wait)) = inner.claim(job_id, worker_id) else { continue };
         let label = format!("job-{job_id}");
         inner.trace_span(worker_id, &label, true);
         let started = Instant::now();
-        let outcome =
-            panic::catch_unwind(AssertUnwindSafe(|| execute_job(inner, job_id, &spec)));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_job(inner, job_id, &spec, queue_wait)
+        }));
         let busy = started.elapsed();
         inner.record_utilization(busy);
         inner.trace_span(worker_id, &label, false);
@@ -676,8 +728,15 @@ fn worker_loop(inner: &Arc<Inner>, worker_id: u64) {
     }
 }
 
-/// Resolves and analyzes one job, applying any scheduled fault.
-fn execute_job(inner: &Inner, id: u64, spec: &JobSpec) -> Result<JobResult, JobFailure> {
+/// Resolves and analyzes one job, applying any scheduled fault. The
+/// pipeline's phase/plugin cost channel is extended with the service-side
+/// phases (`queue_wait`, `report`) and shipped as the result's `cost`.
+fn execute_job(
+    inner: &Inner,
+    id: u64,
+    spec: &JobSpec,
+    queue_wait: Duration,
+) -> Result<JobResult, JobFailure> {
     let fault = inner.faults.get(id);
     let (sample, recording) = resolve(inner, spec)?;
     match fault {
@@ -698,6 +757,7 @@ fn execute_job(inner: &Inner, id: u64, spec: &JobSpec) -> Result<JobResult, JobF
     }
     let job = faros::analyze_recording(&sample.scenario, &recording, &inner.config.analysis)
         .map_err(|e| JobFailure::new(FailureKind::Replay, e.to_string()))?;
+    let report_started = Instant::now();
     let mut report_json = job
         .report
         .to_json()
@@ -705,6 +765,9 @@ fn execute_job(inner: &Inner, id: u64, spec: &JobSpec) -> Result<JobResult, JobF
     if fault == Some(Fault::CorruptReport) {
         report_json.truncate(report_json.len() / 2);
     }
+    let mut cost = job.cost.clone();
+    cost.phases.add_ns("queue_wait", queue_wait.as_nanos() as u64);
+    cost.phases.add_ns("report", report_started.elapsed().as_nanos() as u64);
     let (trace_events, trace_dropped) =
         job.trace.as_ref().map_or((0, 0), |t| (t.events, t.dropped));
     Ok(JobResult {
@@ -714,6 +777,7 @@ fn execute_job(inner: &Inner, id: u64, spec: &JobSpec) -> Result<JobResult, JobF
         flagged: job.report.attack_flagged(),
         trace_events,
         trace_dropped,
+        cost: cost.metrics(),
     })
 }
 
@@ -768,6 +832,7 @@ fn supervisor_loop(inner: &Arc<Inner>, deadline: Duration) {
                 )),
             );
             if failed {
+                inner.deadline_kills.fetch_add(1, Ordering::Relaxed);
                 inner.trace_instant("deadline-exceeded");
                 Inner::retire_and_replace(inner, worker);
             }

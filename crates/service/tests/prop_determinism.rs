@@ -10,6 +10,7 @@
 //! (an order-independent fold) must be identical across all runs.
 
 use faros::AnalysisConfig;
+use faros_obs::metrics::MetricsSnapshot;
 use faros_replay::{record, Recording};
 use faros_service::{Detonator, JobSpec, JobStatus, ServiceConfig};
 use faros_support::prop::Rng;
@@ -45,11 +46,13 @@ fn parallel_reports_are_byte_identical_to_sequential() {
     // analyzes the *same* recording bytes.
     let mut recordings: Vec<(String, Recording)> = Vec::new();
     let mut baseline: HashMap<String, String> = HashMap::new();
+    let mut sequential_fold = MetricsSnapshot::default();
     for name in &names {
         let sample = faros_corpus::find_sample(name).expect("corpus name resolves");
         let (recording, _) = record(&sample.scenario, cfg.budget).expect("record");
         let job = faros::analyze_recording(&sample.scenario, &recording, &cfg).expect("analyze");
         baseline.insert(name.clone(), job.report.to_json().expect("report json"));
+        sequential_fold.merge(&job.report.metrics);
         recordings.push((name.clone(), recording));
     }
 
@@ -88,7 +91,13 @@ fn parallel_reports_are_byte_identical_to_sequential() {
         assert_eq!(stats.completed, recordings.len() as u64);
         assert_eq!(stats.failed, 0);
         // The merged metrics fold is order-independent, so every worker
-        // count and submission order lands on the same snapshot.
+        // count and submission order lands on the same snapshot — and that
+        // snapshot must equal the sequential fold of the per-report
+        // metrics, not just agree between service runs.
+        assert_eq!(
+            stats.merged, sequential_fold,
+            "merged metrics at {workers} workers diverged from the sequential fold"
+        );
         match &merged_reference {
             None => merged_reference = Some(stats.merged),
             Some(reference) => assert_eq!(
@@ -96,5 +105,76 @@ fn parallel_reports_are_byte_identical_to_sequential() {
                 "merged metrics at {workers} workers diverged"
             ),
         }
+    }
+}
+
+/// Profiler determinism: with `profile` enabled, the `ProfileReport`
+/// section (and its collapsed-stack export) is a pure function of the
+/// recording — repeated replays produce byte-identical output, and
+/// service workers at any parallelism reproduce the sequential bytes.
+#[test]
+fn profiled_reports_and_folded_stacks_are_deterministic() {
+    let cfg = AnalysisConfig { profile: true, ..AnalysisConfig::default() };
+    let samples: Vec<_> = faros_corpus::attacks::all_injecting_samples()
+        .into_iter()
+        .take(4)
+        .collect();
+
+    let mut recordings: Vec<(String, Recording)> = Vec::new();
+    let mut baseline: HashMap<String, String> = HashMap::new();
+    for sample in &samples {
+        let name = sample.name().to_string();
+        let (recording, _) = record(&sample.scenario, cfg.budget).expect("record");
+
+        let first =
+            faros::analyze_recording(&sample.scenario, &recording, &cfg).expect("analyze");
+        let second =
+            faros::analyze_recording(&sample.scenario, &recording, &cfg).expect("analyze");
+        assert!(
+            !first.report.profile.is_empty(),
+            "{name}: the profiler must attribute retired instructions"
+        );
+        assert_eq!(
+            first.report.profile.folded(),
+            second.report.profile.folded(),
+            "{name}: collapsed stacks differ between replays of one recording"
+        );
+        let report_json = first.report.to_json().expect("report json");
+        assert_eq!(
+            report_json,
+            second.report.to_json().expect("report json"),
+            "{name}: profiled report bytes differ between replays"
+        );
+        baseline.insert(name.clone(), report_json);
+        recordings.push((name, recording));
+    }
+
+    for workers in [1usize, 4] {
+        let svc = Detonator::start(ServiceConfig {
+            workers,
+            queue_capacity: recordings.len(),
+            analysis: cfg.clone(),
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<(u64, &str)> = recordings
+            .iter()
+            .map(|(name, recording)| {
+                let id = svc
+                    .submit_wait(JobSpec::Recording { json: recording.to_json().unwrap() })
+                    .expect("admit");
+                (id, name.as_str())
+            })
+            .collect();
+        svc.drain();
+        for (id, name) in ids {
+            match svc.wait(id).status {
+                JobStatus::Done(result) => assert_eq!(
+                    &result.report_json, &baseline[name],
+                    "{name}: profiled report bytes at {workers} workers differ from sequential"
+                ),
+                other => panic!("{name} must complete, got {other:?}"),
+            }
+        }
+        svc.shutdown();
     }
 }

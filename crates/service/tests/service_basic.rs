@@ -148,6 +148,99 @@ fn hostile_framing_never_kills_the_server_or_a_worker() {
 }
 
 #[test]
+fn telemetry_verbs_work_over_the_socket() {
+    use faros_service::HealthStatus;
+
+    let path = socket_path("telemetry");
+    let server = serve(&path, config()).expect("bind");
+    let mut client = Client::connect(&path).expect("connect");
+
+    let id = client
+        .submit(JobSpec::Scenario { name: "process_hollowing".into() })
+        .expect("protocol")
+        .expect("admitted");
+    let view = client.wait(id).expect("wait");
+    assert!(matches!(view.status, JobStatus::Done(_)));
+
+    // Metrics: the merged fold plus the wall-clock cost channel plus the
+    // service's own gauges, all in one snapshot.
+    let metrics = client.metrics().expect("metrics");
+    assert!(!metrics.is_empty());
+    assert!(
+        metrics.histogram("phase.replay_ns").is_some(),
+        "per-phase latency histograms ride the telemetry snapshot"
+    );
+    assert!(
+        metrics.counter("service.queue.submitted").is_some()
+            || metrics.counters.iter().any(|(name, _)| name.starts_with("service.")),
+        "service gauges ride the telemetry snapshot: {:?}",
+        metrics.counters
+    );
+
+    // Health: one completed job, no drops, no replacements -> all green.
+    let health = client.health().expect("health");
+    assert_eq!(health.verdict, HealthStatus::Ok, "got {health:?}");
+    assert!(!health.checks.is_empty());
+
+    // Trace: the flight recorder saw the job's service-side events.
+    let (events, dropped) = client.trace(8).expect("trace");
+    assert!(!events.is_empty(), "the flight recorder must hold service events");
+    assert!(events.len() <= 8, "tail honours the requested bound");
+    assert_eq!(dropped, 0, "a 4096-slot ring does not overflow on one job");
+
+    server.stop();
+}
+
+#[test]
+fn tiny_trace_rings_report_drops_at_every_layer() {
+    use faros::AnalysisConfig;
+    use faros_service::{Detonator, HealthStatus};
+
+    // A per-job trace ring far smaller than the event stream a detonation
+    // produces: the ring overwrites, every casualty is counted, and the
+    // count surfaces at every layer traces are consumed — the job result,
+    // the aggregated service stats, and the health verdict.
+    let analysis = AnalysisConfig {
+        capture_trace: true,
+        trace_capacity: 4,
+        ..AnalysisConfig::default()
+    };
+    let svc = Detonator::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        analysis,
+        ..ServiceConfig::default()
+    });
+    let id = svc
+        .submit_wait(JobSpec::Scenario { name: "process_hollowing".into() })
+        .expect("admit");
+    let result = match svc.wait(id).status {
+        JobStatus::Done(r) => r,
+        other => panic!("hollowing must complete, got {other:?}"),
+    };
+    assert!(result.trace_dropped > 0, "a 4-slot ring must drop events");
+    assert!(
+        result.trace_events <= 4,
+        "the ring never holds more than its capacity, got {}",
+        result.trace_events
+    );
+
+    let health = svc.health();
+    let trace_check = health
+        .checks
+        .iter()
+        .find(|c| c.name == "trace")
+        .expect("health reports a trace check");
+    assert_eq!(trace_check.status, HealthStatus::Warn, "drops degrade the trace check");
+
+    let stats = svc.shutdown();
+    assert_eq!(
+        stats.trace_dropped, result.trace_dropped,
+        "aggregated drops equal the single job's drops"
+    );
+}
+
+#[test]
 fn submissions_after_shutdown_are_refused() {
     let path = socket_path("after-shutdown");
     let server = serve(&path, config()).expect("bind");

@@ -57,19 +57,27 @@ pub struct BenchResult {
     pub mean_ns: u64,
     /// Minimum per-iteration time, nanoseconds.
     pub min_ns: u64,
+    /// Extra named measurements attached via [`BenchGroup::annotate`]
+    /// (e.g. the service bench's queue-wait vs worker-busy breakdown).
+    /// Omitted from the JSON when empty, so the base schema is unchanged.
+    pub extras: Vec<(String, u64)>,
 }
 
 impl ToJson for BenchResult {
     fn to_json_value(&self) -> JsonValue {
-        JsonValue::object(vec![
-            ("name", self.name.to_json_value()),
-            ("iters", self.iters.to_json_value()),
-            ("samples", self.samples.to_json_value()),
-            ("median_ns", self.median_ns.to_json_value()),
-            ("p95_ns", self.p95_ns.to_json_value()),
-            ("mean_ns", self.mean_ns.to_json_value()),
-            ("min_ns", self.min_ns.to_json_value()),
-        ])
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("name".to_string(), self.name.to_json_value()),
+            ("iters".to_string(), self.iters.to_json_value()),
+            ("samples".to_string(), self.samples.to_json_value()),
+            ("median_ns".to_string(), self.median_ns.to_json_value()),
+            ("p95_ns".to_string(), self.p95_ns.to_json_value()),
+            ("mean_ns".to_string(), self.mean_ns.to_json_value()),
+            ("min_ns".to_string(), self.min_ns.to_json_value()),
+        ];
+        for (key, value) in &self.extras {
+            fields.push((key.clone(), value.to_json_value()));
+        }
+        JsonValue::object(fields)
     }
 }
 
@@ -158,6 +166,7 @@ impl BenchGroup {
             p95_ns,
             mean_ns,
             min_ns,
+            extras: Vec::new(),
         };
         println!(
             "{}/{:<40} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
@@ -171,10 +180,25 @@ impl BenchGroup {
         self.results.push(result);
     }
 
+    /// Attaches a named extra measurement to the most recently finished
+    /// benchmark (a no-op before the first `bench_function`). Extras ride
+    /// the benchmark's JSON object next to the timing fields.
+    pub fn annotate(&mut self, key: impl Into<String>, value: u64) {
+        if let Some(last) = self.results.last_mut() {
+            last.extras.push((key.into(), value));
+        }
+    }
+
     /// Prints the JSON document and optionally writes `BENCH_<group>.json`.
+    /// The document records the runner's core count so gates (and humans
+    /// reading checked-in bench files) can judge scaling numbers in
+    /// context — a 1-core runner cannot show multi-worker speedup.
     pub fn finish(self) {
+        let cores = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get) as u64;
         let doc = JsonValue::object(vec![
             ("group", self.name.to_json_value()),
+            ("cores", cores.to_json_value()),
             ("benchmarks", self.results.to_json_value()),
         ]);
         println!("{}", doc.to_pretty());
@@ -254,12 +278,40 @@ mod tests {
             p95_ns: 200,
             mean_ns: 120,
             min_ns: 90,
+            extras: Vec::new(),
         };
         let json = r.to_json_value().to_compact();
         assert_eq!(
             json,
             r#"{"name":"x","iters":10,"samples":5,"median_ns":100,"p95_ns":200,"mean_ns":120,"min_ns":90}"#
         );
+    }
+
+    #[test]
+    fn extras_ride_the_result_object() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 1,
+            samples: 1,
+            median_ns: 5,
+            p95_ns: 5,
+            mean_ns: 5,
+            min_ns: 5,
+            extras: vec![("queue_wait_sum_ns".into(), 42)],
+        };
+        let json = r.to_json_value().to_compact();
+        assert!(json.ends_with(r#""min_ns":5,"queue_wait_sum_ns":42}"#), "{json}");
+    }
+
+    #[test]
+    fn annotate_attaches_to_the_last_result() {
+        std::env::set_var("FAROS_BENCH_FAST", "1");
+        let mut group = BenchGroup::new("unit-annotate");
+        group.annotate("before_any", 1); // no-op
+        group.bench_function("noop", |b| b.iter(|| 0));
+        group.annotate("cores_used", 7);
+        assert_eq!(group.results[0].extras, vec![("cores_used".to_string(), 7)]);
+        std::env::remove_var("FAROS_BENCH_FAST");
     }
 
     #[test]

@@ -73,6 +73,21 @@ echo "==> bounded service soak (200 jobs, 4 workers, exact accounting)"
 # the merged metrics must equal the fold of the per-job snapshots.
 cargo run --release --offline -p faros-bench --bin faros-cli -- soak --jobs 200 --workers 4
 
+echo "==> replay profiler smoke (two runs, byte-identical JSON)"
+# The profiler's virtual clock (retired instructions) must make the
+# profile a pure function of the recording: two full record+profile runs
+# of the same scenario produce byte-identical reports.
+cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    profile process_hollowing --json > target/profile_run1.json
+cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    profile process_hollowing --json > target/profile_run2.json
+cmp target/profile_run1.json target/profile_run2.json \
+    || { echo "error: faros-cli profile output is not deterministic" >&2; exit 1; }
+cargo run --release --offline -p faros-bench --bin faros-cli -- json-check \
+    target/profile_run1.json
+grep -q '"\[anon\]"' target/profile_run1.json \
+    || { echo "error: hollowing profile lost its injected-code [anon] rows" >&2; exit 1; }
+
 echo "==> service socket smoke (serve / submit / stop over target/faros.sock)"
 SOCK="target/faros.sock"
 cargo run --release --offline -p faros-bench --bin faros-cli -- \
@@ -85,6 +100,10 @@ cargo run --release --offline -p faros-bench --bin faros-cli -- \
     submit process_hollowing --socket "$SOCK" | grep -q "FLAGGED"
 cargo run --release --offline -p faros-bench --bin faros-cli -- \
     submit teamviewer_v209 --socket "$SOCK" | grep -q "clean"
+# Live telemetry plane: `top` pulls stats + health + metrics + trace tail
+# over the same socket; two clean jobs must leave the service all green.
+cargo run --release --offline -p faros-bench --bin faros-cli -- \
+    top --socket "$SOCK" | grep -q "health: ok"
 cargo run --release --offline -p faros-bench --bin faros-cli -- stop --socket "$SOCK"
 wait "$SERVE_PID"
 trap - EXIT

@@ -61,6 +61,9 @@ fn all_requests() -> Vec<Request> {
         Request::Stats,
         Request::Shutdown { drain: true },
         Request::Shutdown { drain: false },
+        Request::Metrics,
+        Request::Health,
+        Request::Trace { tail: 16 },
     ]
 }
 
@@ -100,6 +103,34 @@ fn all_responses() -> Vec<Response> {
         Response::UnknownJob { id: 404 },
         Response::Stats(ServiceStats::default()),
         Response::Shutdown(ServiceStats::default()),
+        Response::Metrics(faros_repro::obs::metrics::MetricsSnapshot::default()),
+        // A health verdict evaluated from a crafted stats snapshot, so the
+        // fixture pins the SLO rules' wire rendering, not just the envelope.
+        Response::Health(faros_repro::service::health::evaluate(
+            &ServiceStats {
+                submitted: 5,
+                completed: 4,
+                failed: 1,
+                live_workers: 4,
+                workers_spawned: 5,
+                workers_replaced: 1,
+                trace_events: 100,
+                trace_dropped: 2,
+                deadline_kills: 1,
+                ..ServiceStats::default()
+            },
+            64,
+        )),
+        Response::Trace {
+            events: vec![faros_repro::obs::trace::TraceEvent::instant(
+                1234,
+                1,
+                0,
+                faros_repro::obs::trace::TraceCategory::Service,
+                "deadline-exceeded",
+            )],
+            dropped: 3,
+        },
         Response::Error { message: "frame of 100 bytes truncated".into() },
     ]
 }
@@ -157,6 +188,44 @@ fn checked_in_fixtures_decode_under_this_build() {
 }
 
 #[test]
+fn profile_report_wire_format_is_byte_stable() {
+    // The profiler's JSON is part of the analyst interface (it rides
+    // `FarosReport` and `faros-cli profile --json`), so its wire shape is
+    // pinned like the protocol frames. The input is built from synthetic
+    // samples — pure data, no replay — so the fixture is deterministic by
+    // construction.
+    use faros_repro::obs::prof::{ModuleLayout, ProcessSamples, ProfileReport};
+    use std::collections::BTreeMap;
+
+    let mut functions = BTreeMap::new();
+    functions.insert(0x40_0000, "entry".to_string());
+    functions.insert(0x40_0040, "decrypt_payload".to_string());
+    let module = ModuleLayout {
+        name: "app.exe".to_string(),
+        base: 0x40_0000,
+        limit: 0x40_1000,
+        functions,
+    };
+    let mut blocks = BTreeMap::new();
+    blocks.insert(0x40_0000, 10u64); // entry
+    blocks.insert(0x40_0048, 90u64); // inside decrypt_payload
+    blocks.insert(0x7f_0000, 25u64); // outside every module -> [anon]
+    let samples = vec![ProcessSamples {
+        pid: 4,
+        process: "app.exe".to_string(),
+        blocks,
+        modules: vec![module],
+    }];
+    let report = ProfileReport::build(samples);
+    check_golden("profile_report.json", &(report.to_json_value().to_pretty() + "\n"));
+
+    // Lossless round-trip through the wire shape.
+    let parsed = JsonValue::parse(&report.to_json_value().to_pretty()).unwrap();
+    use faros_repro::support::json::FromJson;
+    assert_eq!(ProfileReport::from_json_value(&parsed).unwrap(), report);
+}
+
+#[test]
 fn malformed_payloads_decode_to_structured_errors() {
     // Payload-layer damage: every case must be a structured decode error,
     // never a panic.
@@ -171,6 +240,8 @@ fn malformed_payloads_decode_to_structured_errors() {
         r#"{"type":"status"}"#,
         r#"{"type":"status","id":"seven"}"#,
         r#"{"type":"shutdown"}"#,
+        r#"{"type":"trace"}"#,
+        r#"{"type":"trace","tail":"many"}"#,
     ];
     for case in cases {
         assert!(

@@ -548,6 +548,11 @@ mod tests {
         // binaries run in parallel: a single descheduled baseline replay
         // can invert the overhead. Min-of-3 timings per attempt plus a
         // bounded re-measure keep the check meaningful without flaking.
+        // Since the decode-once translation cache made FAROS overhead on
+        // these small samples comparable to timer noise, the per-row bound
+        // only rejects a FAROS replay that is *substantially* faster than
+        // the empty-plugin baseline (which would mean the harness measured
+        // the wrong thing), not one within noise of free.
         let mut rows = table5_rows(3);
         for _ in 0..2 {
             if rows.iter().all(|r| r.overhead > 1.0) {
@@ -560,8 +565,8 @@ mod tests {
             assert!(row.instructions > 0, "{}", row.label);
             assert!(row.base.as_nanos() > 0);
             assert!(
-                row.overhead > 1.0,
-                "{}: FAROS must cost something ({}x)",
+                row.overhead > 0.8,
+                "{}: FAROS replay cannot beat the empty baseline ({}x)",
                 row.label,
                 row.overhead
             );

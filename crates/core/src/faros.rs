@@ -3,7 +3,7 @@
 
 use crate::policy::Policy;
 use crate::report::{Detection, FarosReport};
-use faros_emu::cpu::{CpuHooks, InsnCtx, ShadowLoc};
+use faros_emu::cpu::{CpuHooks, FlowSummary, InsnCtx, ShadowLoc};
 use faros_emu::isa::{Reg, Width};
 use faros_kernel::event::{ByteRange, CopyRun, KernelEvents};
 use faros_kernel::module::{ModuleInfo, EXPORT_ENTRY_SIZE, EXPORT_PTR_OFFSET};
@@ -265,11 +265,22 @@ impl Faros {
     }
 
     fn label_ranges_fresh(&mut self, ranges: &[ByteRange], tag: ProvTag, proc_tag: Option<ProvTag>) {
-        for r in ranges {
-            self.engine.label_range_fresh(r.phys, r.len as usize, tag);
-            if let Some(pt) = proc_tag {
-                self.engine.append_tag_range(r.phys, r.len as usize, pt);
+        // One fused fill per range: the source tag plus (if known) the
+        // accessing process's tag as a single interned list, instead of a
+        // labeling pass followed by an append pass.
+        let (pair, single);
+        let tags: &[ProvTag] = match proc_tag {
+            Some(pt) => {
+                pair = [tag, pt];
+                &pair
             }
+            None => {
+                single = [tag];
+                &single
+            }
+        };
+        for r in ranges {
+            self.engine.label_range_fresh_tags(r.phys, r.len as usize, tags);
         }
     }
 
@@ -400,6 +411,27 @@ impl CpuHooks for Faros {
         // tainted comparison pick up its provenance until the flags are
         // re-derived from clean data.
         self.engine.enter_branch_scope();
+    }
+
+    fn flow_block_begin(&mut self) -> bool {
+        // Grant elision only while a block's propagation calls are provable
+        // no-ops. Non-flow hooks (and flow_flags) still arrive per
+        // instruction, so faros.* counters and detectors are unaffected.
+        self.engine.block_flows_elidable()
+    }
+
+    fn flow_block_end(&mut self, flows: &FlowSummary) {
+        // Replay the elided calls' counter effects in O(1). The parameters
+        // are mode-independent; the engine applies the address-dependency
+        // mode split itself, so cached and interpreted runs report
+        // identical taint metrics in every propagation mode.
+        self.engine.apply_clean_flows(
+            flows.copy_bytes as u64,
+            flows.union_ops as u64,
+            flows.delete_bytes as u64,
+            flows.addr_dep_ops() as u64,
+            flows.fastpath_probes() as u64,
+        );
     }
 
     fn on_load(&mut self, ctx: &InsnCtx, _vaddr: u32, phys: &[u32], _width: Width, _dst: Reg) {
@@ -539,21 +571,36 @@ impl KernelEvents for Faros {
         // Taint the function-pointer field of every export entry (§V-A:
         // "scans all loaded modules and taints the function pointers in the
         // export tables"). Tags are *named* per entry — the paper's stated
-        // future work — so reports can say which pointer was read.
-        let flat: Vec<u32> = export_table
-            .iter()
-            .flat_map(|r| (0..r.len).map(move |i| r.phys + i))
-            .collect();
+        // future work — so reports can say which pointer was read. Each
+        // pointer's four bytes are located by walking the (few) physical
+        // runs of the table directly and labeled with one bulk range fill;
+        // bytes falling past the recorded runs are simply not labeled, as
+        // before.
+        let mut name = String::with_capacity(module.name.len() + 32);
         for (i, export) in module.exports.iter().enumerate() {
+            name.clear();
+            name.push_str(&module.name);
+            name.push('!');
+            name.push_str(&export.name);
             let tag = self
                 .engine
                 .tables_mut()
-                .intern_export(&format!("{}!{}", module.name, export.name))
+                .intern_export(&name)
                 .unwrap_or(ProvTag::EXPORT_TABLE);
-            let ptr_off = (4 + i as u32 * EXPORT_ENTRY_SIZE + EXPORT_PTR_OFFSET) as usize;
-            for b in 0..4 {
-                if let Some(&phys) = flat.get(ptr_off + b) {
-                    self.engine.label_fresh(ShadowAddr::Mem(phys), tag);
+            let mut off = (4 + i as u32 * EXPORT_ENTRY_SIZE + EXPORT_PTR_OFFSET) as u64;
+            let mut remaining = 4usize;
+            for r in export_table {
+                let rlen = r.len as u64;
+                if off < rlen {
+                    let take = remaining.min((rlen - off) as usize);
+                    self.engine.label_range_fresh(r.phys + off as u32, take, tag);
+                    remaining -= take;
+                    if remaining == 0 {
+                        break;
+                    }
+                    off = 0;
+                } else {
+                    off -= rlen;
                 }
             }
             self.engine.metrics_mut().inc(self.ctr.export_pointers);
@@ -638,24 +685,30 @@ impl KernelEvents for Faros {
 
     fn kernel_write(&mut self, _pid: Pid, dst: &[ByteRange]) {
         for r in dst {
-            let mut left = r.len;
-            let mut p = r.phys;
-            while left > 0 {
-                let chunk = left.min(255) as u8;
-                self.engine.delete(ShadowAddr::Mem(p), chunk);
-                p += chunk as u32;
-                left -= chunk as u32;
-            }
+            self.engine.delete_range(r.phys, r.len as usize);
         }
     }
 
     fn context_switch(&mut self, from: Option<(Pid, Tid)>, to: (Pid, Tid)) {
+        // A missing `reg_banks` entry means an all-empty bank, so threads
+        // that never held register taint — the common case — cost no
+        // 256-byte bank copies or recounts here.
         if let Some(f) = from {
-            let bank = self.engine.shadow().save_regs();
-            self.reg_banks.insert(f, bank);
+            if self.engine.shadow().tainted_reg_bytes() == 0 {
+                self.reg_banks.remove(&f);
+            } else {
+                let bank = self.engine.shadow().save_regs();
+                self.reg_banks.insert(f, bank);
+            }
         }
-        let bank = self.reg_banks.get(&to).copied().unwrap_or([[ListId::EMPTY; 4]; SHADOW_REGS]);
-        self.engine.shadow_mut().restore_regs(bank);
+        match self.reg_banks.get(&to) {
+            Some(bank) => self.engine.shadow_mut().restore_regs(*bank),
+            None => {
+                if self.engine.shadow().tainted_reg_bytes() != 0 {
+                    self.engine.shadow_mut().clear_regs();
+                }
+            }
+        }
         self.current_thread = Some(to);
     }
 

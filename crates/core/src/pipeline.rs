@@ -23,8 +23,9 @@ use faros_obs::metrics::{MetricsRegistry, MetricsSnapshot};
 use faros_obs::prof::{ProcessSamples, ProfileReport};
 use faros_obs::profile::PhaseProfile;
 use faros_obs::trace::RecorderHandle;
+use faros_kernel::machine::ExecMode;
 use faros_replay::{
-    replay, BlockCoverage, CfiMonitor, PluginCost, PluginManager, Profiler, Recording,
+    replay_with_exec, BlockCoverage, CfiMonitor, PluginCost, PluginManager, Profiler, Recording,
     ReplayError, Scenario, TraceRecorder,
 };
 use faros_taint::engine::PropagationMode;
@@ -52,6 +53,10 @@ pub struct AnalysisConfig {
     /// default — with it off, report bytes are identical to pre-profiler
     /// builds.
     pub profile: bool,
+    /// How both replay passes execute guest code. Defaults to
+    /// [`ExecMode::Cached`]; the differential gate sets
+    /// [`ExecMode::Interpret`] and requires byte-identical reports.
+    pub exec: ExecMode,
 }
 
 impl Default for AnalysisConfig {
@@ -63,6 +68,7 @@ impl Default for AnalysisConfig {
             capture_trace: false,
             trace_capacity: faros_obs::trace::FlightRecorder::DEFAULT_CAPACITY,
             profile: false,
+            exec: ExecMode::Cached,
         }
     }
 }
@@ -175,7 +181,7 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     }
     plugins.register(Box::new(faros));
     let replay_start = Instant::now();
-    let outcome = replay(scenario, recording, cfg.budget, &mut plugins)?;
+    let outcome = replay_with_exec(scenario, recording, cfg.budget, cfg.exec, &mut plugins)?;
     cost.phases.add_ns("replay", replay_start.elapsed().as_nanos() as u64);
     let mut faros = *plugins
         .take_as::<Faros>("faros")
@@ -204,7 +210,7 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     observers.register(Box::new(BlockCoverage::new()));
     observers.register(Box::new(CfiMonitor::new()));
     let replay_start = Instant::now();
-    replay(scenario, recording, cfg.budget, &mut observers)?;
+    replay_with_exec(scenario, recording, cfg.budget, cfg.exec, &mut observers)?;
     cost.phases.add_ns("replay", replay_start.elapsed().as_nanos() as u64);
     let blocks = *observers
         .take_as::<BlockCoverage>("block-coverage")

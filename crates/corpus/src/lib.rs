@@ -35,6 +35,7 @@ pub mod endpoints;
 pub mod evasion;
 pub mod reuse;
 pub mod scenario;
+pub mod smc;
 
 pub use scenario::{Behavior, Category, InjectionKind, Sample, SampleScenario};
 
@@ -54,6 +55,7 @@ pub fn sample_registry() -> Vec<Sample> {
     out.push(evasion::taint_bomb(8));
     out.push(indirect::fig1_lookup_table());
     out.push(indirect::fig2_bit_copy());
+    out.push(smc::smc_patch_loop());
     out.push(dll::plugin_host());
     out.push(dll::dropped_dll_attack());
     out.extend(reuse::reuse_attack_samples());

@@ -21,7 +21,7 @@
 
 use crate::encode::{decode, DecodeError, MAX_INSTR_LEN};
 use crate::isa::{AluOp, Cond, Instr, Mem, Operand, Reg, Width, NUM_REGS, SYSCALL_VECTOR};
-use crate::mem::PhysMem;
+use crate::mem::{PhysMem, PAGE_SIZE};
 use crate::mmu::{Access, AddressSpace, Asid, Fault};
 use std::fmt;
 
@@ -45,16 +45,44 @@ impl ShadowLoc {
     /// The location `len` bytes after this one (same register or contiguous
     /// physical memory).
     ///
-    /// Register locations saturate at the register's last byte (offset 3):
-    /// this used to be a `debug_assert!` only, so release builds carried an
-    /// out-of-range offset into the consumer's register array. The guard is
-    /// unconditional now, mirroring `faros_taint::ShadowAddr::offset`.
+    /// Register locations must stay inside the register: an offset past byte
+    /// 3 is a caller bug. The old behaviour silently saturated at byte 3,
+    /// which *aliased* distinct sub-register flows onto the top byte —
+    /// `Reg{off:2}.offset(2)` and `Reg{off:2}.offset(3)` both became byte 3,
+    /// so a 4-byte copy into `Reg{off:2}` merged two source bytes into one
+    /// shadow cell. Debug builds now fault; release builds still saturate
+    /// (explicitly, as the documented overflow policy) so a hostile guest
+    /// cannot turn the bug into a panic. Range-aware consumers should prefer
+    /// [`ShadowLoc::checked_offset`], which reports the overflow instead of
+    /// masking it.
     #[inline]
     pub fn offset(self, len: u8) -> ShadowLoc {
         match self {
             ShadowLoc::Mem(a) => ShadowLoc::Mem(a.wrapping_add(len as u32)),
             ShadowLoc::Reg { reg, off } => {
+                debug_assert!(
+                    (off as u32) + (len as u32) < 4,
+                    "register shadow offset {off}+{len} escapes the register"
+                );
                 ShadowLoc::Reg { reg, off: off.saturating_add(len).min(3) }
+            }
+        }
+    }
+
+    /// Like [`ShadowLoc::offset`], but returns `None` when a register
+    /// location would escape the register (offset past byte 3) instead of
+    /// saturating. Memory locations always succeed (wrapping arithmetic).
+    #[inline]
+    pub fn checked_offset(self, len: u8) -> Option<ShadowLoc> {
+        match self {
+            ShadowLoc::Mem(a) => Some(ShadowLoc::Mem(a.wrapping_add(len as u32))),
+            ShadowLoc::Reg { reg, off } => {
+                let new = (off as u32) + (len as u32);
+                if new < 4 {
+                    Some(ShadowLoc::Reg { reg, off: new as u8 })
+                } else {
+                    None
+                }
             }
         }
     }
@@ -96,6 +124,132 @@ impl InsnCtx {
     /// Physical addresses of the instruction's code bytes.
     pub fn code_bytes(&self) -> &[u32] {
         &self.code_phys[..self.len as usize]
+    }
+}
+
+/// A static summary of the data-flow hook calls an instruction makes — the
+/// translation cache's *taint plan* entry, computed once at decode time.
+///
+/// Every counter is exact for the instruction's non-faulting path: the CPU
+/// fires flow hooks only after all of the instruction's translations have
+/// succeeded, so an instruction either contributes its whole summary or (on
+/// a fault) nothing. When the shadow state is provably clean, a block
+/// executor can skip the per-op flow dispatch entirely and replay the summed
+/// plan against the taint engine's counters in one call (see
+/// [`CpuHooks::flow_block_end`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// Number of copy-flavored flow calls (`flow_copy`, `flow_load`,
+    /// `flow_store`), each one fast-path probe on the clean path.
+    pub copy_ops: u32,
+    /// Total bytes covered by those copies.
+    pub copy_bytes: u32,
+    /// Number of `flow_union` calls.
+    pub union_ops: u32,
+    /// Number of delete-flavored flow calls (`flow_delete`,
+    /// `flow_delete_mem`, and the zero-extension delete of narrow loads).
+    pub delete_ops: u32,
+    /// Total bytes covered by those deletes.
+    pub delete_bytes: u32,
+    /// Number of `flow_addr_dep` calls (register destination).
+    pub addr_dep_reg_ops: u32,
+    /// Number of `flow_addr_dep_bytes` calls (memory destination).
+    pub addr_dep_mem_ops: u32,
+}
+
+impl FlowSummary {
+    /// The flow calls `instr` makes when it retires without faulting.
+    pub fn of_instr(instr: &Instr) -> FlowSummary {
+        let mut s = FlowSummary::default();
+        match instr {
+            Instr::Nop
+            | Instr::Hlt
+            | Instr::Cmp { .. }
+            | Instr::Test { .. }
+            | Instr::Jmp { .. }
+            | Instr::Jcc { .. }
+            | Instr::JmpReg { .. }
+            | Instr::Ret
+            | Instr::Int { .. } => {}
+            Instr::MovRR { .. } => {
+                s.copy_ops = 1;
+                s.copy_bytes = 4;
+            }
+            Instr::MovRI { .. } => {
+                s.delete_ops = 1;
+                s.delete_bytes = 4;
+            }
+            Instr::Load { mem, width, .. } => {
+                let w = width.bytes() as u32;
+                s.copy_ops = 1;
+                s.copy_bytes = w;
+                if w < 4 {
+                    // flow_load zero-extends narrow loads with a delete.
+                    s.delete_ops = 1;
+                    s.delete_bytes = 4 - w;
+                }
+                if mem.regs_used().next().is_some() {
+                    s.addr_dep_reg_ops = 1;
+                }
+            }
+            Instr::Store { mem, width, .. } => {
+                s.copy_ops = 1;
+                s.copy_bytes = width.bytes() as u32;
+                if mem.regs_used().next().is_some() {
+                    s.addr_dep_mem_ops = 1;
+                }
+            }
+            Instr::Lea { .. } => {
+                // flow_union fires even with zero address sources.
+                s.union_ops = 1;
+            }
+            Instr::Alu { op, dst, src } => match src {
+                Operand::Reg(r) if r == dst && matches!(op, AluOp::Xor | AluOp::Sub) => {
+                    s.delete_ops = 1;
+                    s.delete_bytes = 4;
+                }
+                Operand::Reg(_) => s.union_ops = 1,
+                Operand::Imm(_) => {}
+            },
+            Instr::Call { .. } | Instr::CallReg { .. } | Instr::PushImm { .. } => {
+                // The return-address / immediate slot is a constant store.
+                s.delete_ops = 1;
+                s.delete_bytes = 4;
+            }
+            Instr::Push { .. } | Instr::Pop { .. } => {
+                s.copy_ops = 1;
+                s.copy_bytes = 4;
+            }
+        }
+        s
+    }
+
+    /// Accumulates another instruction's flows into this block summary.
+    pub fn add(&mut self, other: &FlowSummary) {
+        self.copy_ops += other.copy_ops;
+        self.copy_bytes += other.copy_bytes;
+        self.union_ops += other.union_ops;
+        self.delete_ops += other.delete_ops;
+        self.delete_bytes += other.delete_bytes;
+        self.addr_dep_reg_ops += other.addr_dep_reg_ops;
+        self.addr_dep_mem_ops += other.addr_dep_mem_ops;
+    }
+
+    /// `true` when the instruction (or block) makes no flow calls at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FlowSummary::default()
+    }
+
+    /// Address-dependency flow calls of either flavor.
+    pub fn addr_dep_ops(&self) -> u32 {
+        self.addr_dep_reg_ops + self.addr_dep_mem_ops
+    }
+
+    /// How many clean-shadow fast-path probes the flows perform (one per
+    /// copy, union, or delete call; address deps probe only in
+    /// address-dependency mode, which the taint engine accounts for itself).
+    pub fn fastpath_probes(&self) -> u32 {
+        self.copy_ops + self.union_ops + self.delete_ops
     }
 }
 
@@ -192,6 +346,29 @@ pub trait CpuHooks {
     /// `srcs`. Conservative (RIFLE-style) policies use this to taint
     /// branch-scoped writes; FAROS ignores it.
     fn flow_flags(&mut self, srcs: &[(ShadowLoc, u8)]) {}
+
+    /// A cached-block executor is about to run a block and asks whether the
+    /// per-instruction `flow_*` calls may be *elided* for it. Returning
+    /// `true` grants permission — it is not a commitment: the executor may
+    /// still dispatch every flow individually (e.g. when it falls back to
+    /// the interpreter), and when it does elide it calls
+    /// [`CpuHooks::flow_block_end`] exactly once with the block's summed
+    /// [`FlowSummary`] instead. Implementors must be correct under both
+    /// outcomes. Only return `true` when replaying the summary is
+    /// observably identical to the per-op calls — for a taint engine, when
+    /// the shadow state is clean and no control context is open.
+    ///
+    /// Non-flow hooks (`on_insn`, `on_load`, `on_store`, `on_control`,
+    /// `on_branch`, `flow_flags`) still fire per instruction regardless.
+    fn flow_block_begin(&mut self) -> bool {
+        true
+    }
+
+    /// The elided flow calls of one cached block, summed. Fired at most once
+    /// per block run, only when [`CpuHooks::flow_block_begin`] returned
+    /// `true` and the executor actually elided, and never with an empty
+    /// summary.
+    fn flow_block_end(&mut self, flows: &FlowSummary) {}
 }
 
 /// A [`CpuHooks`] implementation that does nothing — the plain-QEMU-speed
@@ -245,6 +422,12 @@ impl<H: CpuHooks + ?Sized> CpuHooks for &mut H {
     }
     fn flow_flags(&mut self, srcs: &[(ShadowLoc, u8)]) {
         (**self).flow_flags(srcs);
+    }
+    fn flow_block_begin(&mut self) -> bool {
+        (**self).flow_block_begin()
+    }
+    fn flow_block_end(&mut self, flows: &FlowSummary) {
+        (**self).flow_block_end(flows);
     }
 }
 
@@ -472,6 +655,71 @@ impl Cpu {
         }
     }
 
+    /// Fetches and decodes the instruction at `vaddr`.
+    ///
+    /// The fetch is page-aware and stops at the decoded length: one Exec
+    /// translation covers every instruction byte on the same page, and bytes
+    /// past the end of the instruction are neither translated nor read. A
+    /// short instruction flush against an unmapped page therefore executes
+    /// cleanly — the old byte-wise fetch translated all `MAX_INSTR_LEN`
+    /// bytes up front. Only an instruction whose *encoding* crosses the page
+    /// boundary touches the next page; if that page is unfetchable the fault
+    /// is reported as `NotMapped` at the boundary, exactly as before.
+    pub(crate) fn fetch_decode(
+        mem: &PhysMem,
+        aspace: &AddressSpace,
+        vaddr: u32,
+    ) -> Result<(Instr, usize, [u32; MAX_INSTR_LEN]), StepEvent> {
+        let mut code = [0u8; MAX_INSTR_LEN];
+        let mut code_phys = [0u32; MAX_INSTR_LEN];
+        let p0 = match aspace.translate(vaddr, Access::Exec) {
+            Ok(p) => p,
+            Err(fault) => return Err(StepEvent::Fault(fault)),
+        };
+        let in_page = ((PAGE_SIZE - (vaddr % PAGE_SIZE)) as usize).min(MAX_INSTR_LEN);
+        for i in 0..in_page {
+            // Bytes on the first page share p0's frame; no per-byte walk.
+            let p = p0 + i as u32;
+            code_phys[i] = p;
+            code[i] = mem.read_u8(p).expect("translated address in range");
+        }
+        let err = match decode(&code[..in_page]) {
+            Ok((instr, len)) => return Ok((instr, len, code_phys)),
+            Err(DecodeError::Truncated) if in_page < MAX_INSTR_LEN => {
+                // The encoding crosses the page boundary: fetch the spill
+                // bytes from the next page and retry with the full window.
+                let boundary = vaddr.wrapping_add(in_page as u32);
+                let p1 = match aspace.translate(boundary, Access::Exec) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Mid-instruction fetch failures are reported as
+                        // NotMapped at the first unfetchable byte, whatever
+                        // the underlying fault kind (legacy contract).
+                        return Err(StepEvent::Fault(Fault::NotMapped { vaddr: boundary }));
+                    }
+                };
+                for i in in_page..MAX_INSTR_LEN {
+                    let p = p1 + (i - in_page) as u32;
+                    code_phys[i] = p;
+                    code[i] = mem.read_u8(p).expect("translated address in range");
+                }
+                match decode(&code) {
+                    Ok((instr, len)) => return Ok((instr, len, code_phys)),
+                    Err(err) => err,
+                }
+            }
+            Err(err) => err,
+        };
+        Err(StepEvent::Illegal { vaddr, err })
+    }
+
+    /// Bumps the retired-instruction counter by one (the cached-block
+    /// executor retires instructions itself).
+    #[inline]
+    pub(crate) fn retire_one(&mut self) {
+        self.retired += 1;
+    }
+
     /// Executes one instruction.
     ///
     /// On a fault the CPU state is unchanged (`eip` still addresses the
@@ -483,39 +731,11 @@ impl Cpu {
         aspace: &AddressSpace,
         hooks: &mut H,
     ) -> StepEvent {
-        // --- Fetch ---
         let vaddr = self.ctx.eip;
-        let mut code = [0u8; MAX_INSTR_LEN];
-        let mut code_phys = [0u32; MAX_INSTR_LEN];
-        let mut fetched = 0usize;
-        for i in 0..MAX_INSTR_LEN {
-            match aspace.translate(vaddr.wrapping_add(i as u32), Access::Exec) {
-                Ok(p) => {
-                    code_phys[i] = p;
-                    code[i] = mem.read_u8(p).expect("translated address in range");
-                    fetched = i + 1;
-                }
-                Err(fault) => {
-                    // A fetch fault only matters if decoding actually needs
-                    // this byte; try decoding what we have first.
-                    if fetched == 0 {
-                        return StepEvent::Fault(fault);
-                    }
-                    break;
-                }
-            }
-        }
-        let (instr, len) = match decode(&code[..fetched]) {
+        let (instr, len, code_phys) = match Self::fetch_decode(mem, aspace, vaddr) {
             Ok(ok) => ok,
-            Err(DecodeError::Truncated) if fetched < MAX_INSTR_LEN => {
-                // Ran off the mapped region mid-instruction.
-                return StepEvent::Fault(Fault::NotMapped {
-                    vaddr: vaddr.wrapping_add(fetched as u32),
-                });
-            }
-            Err(err) => return StepEvent::Illegal { vaddr, err },
+            Err(ev) => return ev,
         };
-
         let ctx = InsnCtx {
             vaddr,
             code_phys,
@@ -525,8 +745,28 @@ impl Cpu {
             retired: self.retired,
         };
         hooks.on_insn(&ctx);
+        let event = self.exec_instr(mem, aspace, hooks, &ctx);
+        if !matches!(event, StepEvent::Fault(_)) {
+            self.retired += 1;
+        }
+        event
+    }
 
-        let next_eip = vaddr.wrapping_add(len as u32);
+    /// The execute half of [`Cpu::step`]: runs an already-fetched
+    /// instruction. Flow hooks fire only after every translation the
+    /// instruction needs has succeeded, so a faulting instruction
+    /// contributes no flows (the all-or-nothing property the block taint
+    /// plans rely on). Does *not* bump the retired counter — callers retire
+    /// non-faulting instructions themselves.
+    pub(crate) fn exec_instr<H: CpuHooks>(
+        &mut self,
+        mem: &mut PhysMem,
+        aspace: &AddressSpace,
+        hooks: &mut H,
+        ctx: &InsnCtx,
+    ) -> StepEvent {
+        let vaddr = ctx.vaddr;
+        let next_eip = vaddr.wrapping_add(ctx.len as u32);
 
         // --- Execute ---
         macro_rules! reg_loc {
@@ -535,7 +775,7 @@ impl Cpu {
             };
         }
 
-        let event = match instr {
+        match ctx.instr {
             Instr::Nop => {
                 self.ctx.eip = next_eip;
                 StepEvent::Normal
@@ -564,7 +804,7 @@ impl Cpu {
                     Err(f) => return StepEvent::Fault(f),
                 };
                 let val = Self::read_mem(mem, &phys, w);
-                hooks.on_load(&ctx, addr, &phys[..w], width, dst);
+                hooks.on_load(ctx, addr, &phys[..w], width, dst);
                 self.set_reg(dst, val);
                 // One batched flow per load (covers zero-extension); the
                 // default hook decomposes it to the per-byte rules.
@@ -585,7 +825,7 @@ impl Cpu {
                     Ok(p) => p,
                     Err(f) => return StepEvent::Fault(f),
                 };
-                hooks.on_store(&ctx, addr, &phys[..w], width, src);
+                hooks.on_store(ctx, addr, &phys[..w], width, src);
                 Self::write_mem(mem, &phys, w, self.reg(src));
                 hooks.flow_store(&phys[..w], src);
                 let (srcs, n) = Self::addr_srcs(&m);
@@ -669,13 +909,13 @@ impl Cpu {
             }
             Instr::Jmp { rel } => {
                 let target = next_eip.wrapping_add(rel as u32);
-                hooks.on_control(&ctx, target, None);
+                hooks.on_control(ctx, target, None);
                 self.ctx.eip = target;
                 StepEvent::Branch
             }
             Instr::Jcc { cond, rel } => {
                 let taken = self.cond_holds(cond);
-                hooks.on_branch(&ctx, taken);
+                hooks.on_branch(ctx, taken);
                 self.ctx.eip = if taken {
                     next_eip.wrapping_add(rel as u32)
                 } else {
@@ -693,7 +933,7 @@ impl Cpu {
                 Self::write_mem(mem, &phys, 4, next_eip);
                 hooks.flow_delete_mem(&phys);
                 self.set_reg(Reg::Esp, sp);
-                hooks.on_control(&ctx, target, None);
+                hooks.on_control(ctx, target, None);
                 self.ctx.eip = target;
                 StepEvent::Branch
             }
@@ -707,13 +947,13 @@ impl Cpu {
                 Self::write_mem(mem, &phys, 4, next_eip);
                 hooks.flow_delete_mem(&phys);
                 self.set_reg(Reg::Esp, sp);
-                hooks.on_control(&ctx, tgt, Some(reg_loc!(target)));
+                hooks.on_control(ctx, tgt, Some(reg_loc!(target)));
                 self.ctx.eip = tgt;
                 StepEvent::Branch
             }
             Instr::JmpReg { target } => {
                 let tgt = self.reg(target);
-                hooks.on_control(&ctx, tgt, Some(reg_loc!(target)));
+                hooks.on_control(ctx, tgt, Some(reg_loc!(target)));
                 self.ctx.eip = tgt;
                 StepEvent::Branch
             }
@@ -725,7 +965,7 @@ impl Cpu {
                 };
                 let target = Self::read_mem(mem, &phys, 4);
                 self.set_reg(Reg::Esp, sp.wrapping_add(4));
-                hooks.on_control(&ctx, target, Some(ShadowLoc::Mem(phys[0])));
+                hooks.on_control(ctx, target, Some(ShadowLoc::Mem(phys[0])));
                 self.ctx.eip = target;
                 StepEvent::Branch
             }
@@ -775,9 +1015,7 @@ impl Cpu {
                     StepEvent::Illegal { vaddr, err: DecodeError::BadOpcode(vector) }
                 }
             }
-        };
-        self.retired += 1;
-        event
+        }
     }
 }
 
@@ -1024,18 +1262,196 @@ mod tests {
     }
 
     #[test]
-    fn shadow_loc_offset_clamps_register_bytes_in_all_builds() {
-        // Regression: this was debug-only, so release builds handed an
-        // out-of-range register byte offset to hook consumers.
+    fn shadow_loc_checked_offset_reports_register_overflow() {
+        // Regression for the offset-clamp aliasing bug: `offset` used to
+        // silently collapse every out-of-range register offset onto byte 3,
+        // merging distinct sub-register taint bytes. The checked form makes
+        // the overflow visible so consumers can treat the byte as absent.
         assert_eq!(
-            ShadowLoc::Reg { reg: Reg::Eax, off: 2 }.offset(5),
-            ShadowLoc::Reg { reg: Reg::Eax, off: 3 }
+            ShadowLoc::Reg { reg: Reg::Eax, off: 1 }.checked_offset(2),
+            Some(ShadowLoc::Reg { reg: Reg::Eax, off: 3 })
         );
+        assert_eq!(ShadowLoc::Reg { reg: Reg::Eax, off: 2 }.checked_offset(2), None);
+        assert_eq!(ShadowLoc::Reg { reg: Reg::Eax, off: 3 }.checked_offset(u8::MAX), None);
+        assert_eq!(ShadowLoc::Mem(10).checked_offset(3), Some(ShadowLoc::Mem(13)));
+        // In-range offsets agree between the two forms.
         assert_eq!(
-            ShadowLoc::Reg { reg: Reg::Eax, off: 3 }.offset(u8::MAX),
-            ShadowLoc::Reg { reg: Reg::Eax, off: 3 }
+            ShadowLoc::Reg { reg: Reg::Ebx, off: 0 }.offset(3),
+            ShadowLoc::Reg { reg: Reg::Ebx, off: 3 }
         );
-        assert_eq!(ShadowLoc::Mem(10).offset(3), ShadowLoc::Mem(13));
+        assert_eq!(ShadowLoc::Mem(u32::MAX).offset(1), ShadowLoc::Mem(0));
+    }
+
+    #[test]
+    fn instruction_ending_at_page_boundary_does_not_touch_next_page() {
+        // Regression for the overfetch bug: fetch used to translate all
+        // MAX_INSTR_LEN bytes, so a short instruction flush against an
+        // unmapped page faulted spuriously. Place `mov eax, 42` (6 bytes)
+        // so it ends exactly at the end of the code page, with nothing
+        // mapped above it.
+        let mut mem = PhysMem::new(4);
+        let code_frame = mem.alloc_frame().unwrap();
+        let mut aspace = AddressSpace::new(Asid(1));
+        aspace.map(0x1000, code_frame, Perms::RX);
+        let start = 0x2000 - 6;
+        let mut a = Asm::new(start);
+        a.mov_ri(Reg::Eax, 42);
+        let bytes = a.assemble().unwrap();
+        assert_eq!(bytes.len(), 6, "test assumes mov_ri encodes to 6 bytes");
+        mem.write(code_frame * PAGE_SIZE + (start - 0x1000), &bytes).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = start;
+        cpu.set_asid(Asid(1));
+        assert_eq!(cpu.step(&mut mem, &aspace, &mut NoHooks), StepEvent::Normal);
+        assert_eq!(cpu.reg(Reg::Eax), 42);
+        assert_eq!(cpu.context().eip, 0x2000);
+        // Falling off the end of the page still faults precisely.
+        assert_eq!(
+            cpu.step(&mut mem, &aspace, &mut NoHooks),
+            StepEvent::Fault(Fault::NotMapped { vaddr: 0x2000 })
+        );
+    }
+
+    #[test]
+    fn instruction_crossing_into_mapped_page_executes() {
+        let mut mem = PhysMem::new(4);
+        let lo = mem.alloc_frame().unwrap();
+        let hi = mem.alloc_frame().unwrap();
+        let mut aspace = AddressSpace::new(Asid(1));
+        aspace.map(0x1000, lo, Perms::RX);
+        aspace.map(0x2000, hi, Perms::RX);
+        let start = 0x2000 - 2; // 6-byte mov: 2 bytes below, 4 above
+        let mut a = Asm::new(start);
+        a.mov_ri(Reg::Ebx, 0xdead_beef);
+        let bytes = a.assemble().unwrap();
+        mem.write(lo * PAGE_SIZE + PAGE_SIZE - 2, &bytes[..2]).unwrap();
+        mem.write(hi * PAGE_SIZE, &bytes[2..]).unwrap();
+        struct PhysWatch(Vec<u32>);
+        impl CpuHooks for PhysWatch {
+            fn on_insn(&mut self, ctx: &InsnCtx) {
+                self.0 = ctx.code_bytes().to_vec();
+            }
+        }
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = start;
+        cpu.set_asid(Asid(1));
+        let mut w = PhysWatch(Vec::new());
+        assert_eq!(cpu.step(&mut mem, &aspace, &mut w), StepEvent::Normal);
+        assert_eq!(cpu.reg(Reg::Ebx), 0xdead_beef);
+        // code_phys lands the spill bytes on the second frame.
+        let expect = vec![
+            lo * PAGE_SIZE + PAGE_SIZE - 2,
+            lo * PAGE_SIZE + PAGE_SIZE - 1,
+            hi * PAGE_SIZE,
+            hi * PAGE_SIZE + 1,
+            hi * PAGE_SIZE + 2,
+            hi * PAGE_SIZE + 3,
+        ];
+        assert_eq!(w.0, expect);
+    }
+
+    #[test]
+    fn instruction_crossing_into_unmapped_page_faults_at_boundary() {
+        let mut mem = PhysMem::new(4);
+        let lo = mem.alloc_frame().unwrap();
+        let mut aspace = AddressSpace::new(Asid(1));
+        aspace.map(0x1000, lo, Perms::RX);
+        let start = 0x2000 - 2;
+        let mut a = Asm::new(start);
+        a.mov_ri(Reg::Ebx, 1);
+        let bytes = a.assemble().unwrap();
+        mem.write(lo * PAGE_SIZE + PAGE_SIZE - 2, &bytes[..2]).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.context_mut().eip = start;
+        cpu.set_asid(Asid(1));
+        assert_eq!(
+            cpu.step(&mut mem, &aspace, &mut NoHooks),
+            StepEvent::Fault(Fault::NotMapped { vaddr: 0x2000 })
+        );
+        assert_eq!(cpu.context().eip, start, "fault is precise");
+    }
+
+    #[test]
+    fn flow_summary_matches_live_flow_dispatch() {
+        // FlowSummary::of_instr is the decode-time taint plan; it must agree
+        // with the flow calls the interpreter actually makes. Run a program
+        // covering every flow-relevant instruction shape and compare the
+        // hook-counted totals against the sum of the static summaries.
+        #[derive(Default)]
+        struct FlowCount {
+            live: FlowSummary,
+            planned: FlowSummary,
+        }
+        impl CpuHooks for FlowCount {
+            fn on_insn(&mut self, ctx: &InsnCtx) {
+                self.planned.add(&FlowSummary::of_instr(&ctx.instr));
+            }
+            fn flow_copy(&mut self, _dst: ShadowLoc, _src: ShadowLoc, len: u8) {
+                self.live.copy_ops += 1;
+                self.live.copy_bytes += len as u32;
+            }
+            fn flow_union(
+                &mut self,
+                _dst: ShadowLoc,
+                _dst_len: u8,
+                _srcs: &[(ShadowLoc, u8)],
+                _keep: bool,
+            ) {
+                self.live.union_ops += 1;
+            }
+            fn flow_delete(&mut self, _dst: ShadowLoc, len: u8) {
+                self.live.delete_ops += 1;
+                self.live.delete_bytes += len as u32;
+            }
+            fn flow_addr_dep(&mut self, _d: ShadowLoc, _l: u8, _s: &[(ShadowLoc, u8)]) {
+                self.live.addr_dep_reg_ops += 1;
+            }
+            fn flow_addr_dep_bytes(&mut self, _phys: &[u32], _s: &[(ShadowLoc, u8)]) {
+                self.live.addr_dep_mem_ops += 1;
+            }
+            // Batched flows count like the taint engine consumes them: one
+            // copy op covering the access, plus the zero-extension delete.
+            fn flow_load(&mut self, _dst: Reg, phys: &[u32]) {
+                self.live.copy_ops += 1;
+                self.live.copy_bytes += phys.len() as u32;
+                if phys.len() < 4 {
+                    self.live.delete_ops += 1;
+                    self.live.delete_bytes += (4 - phys.len()) as u32;
+                }
+            }
+            fn flow_store(&mut self, phys: &[u32], _src: Reg) {
+                self.live.copy_ops += 1;
+                self.live.copy_bytes += phys.len() as u32;
+            }
+            fn flow_delete_mem(&mut self, phys: &[u32]) {
+                self.live.delete_ops += 1;
+                self.live.delete_bytes += phys.len() as u32;
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 0x2010); // delete
+        a.mov_rr(Reg::Ebx, Reg::Eax); // copy
+        a.st4(Mem::reg(Reg::Eax), Reg::Ebx); // store + mem addr dep
+        a.ld4(Reg::Ecx, Mem::reg(Reg::Eax)); // load + reg addr dep
+        a.ld1(Reg::Edx, Mem::abs(0x2010)); // narrow load, no addr dep
+        a.add_ri(Reg::Ebx, 1); // imm alu: no flow
+        a.sub_rr(Reg::Ebx, Reg::Ecx); // union
+        a.xor_rr(Reg::Edx, Reg::Edx); // delete idiom
+        a.cmp_ri(Reg::Ebx, 0); // flags only
+        a.jnz("skip");
+        a.label("skip");
+        a.push(Reg::Ebx); // store
+        a.push_imm(7); // delete_mem
+        a.pop(Reg::Ecx); // load
+        a.call("fn");
+        a.hlt();
+        a.label("fn");
+        a.ret();
+        let (mut cpu, mut mem, aspace) = machine(&a);
+        let mut counts = FlowCount::default();
+        while !matches!(cpu.step(&mut mem, &aspace, &mut counts), StepEvent::Halt) {}
+        assert!(!counts.planned.is_empty());
+        assert_eq!(counts.live, counts.planned);
     }
 
     #[test]

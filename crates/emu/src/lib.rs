@@ -15,7 +15,10 @@
 //! * [`text`] — a text-syntax frontend for the assembler;
 //! * [`mem`] — flat physical memory and the frame allocator;
 //! * [`mmu`] — page tables, permissions, translation faults;
-//! * [`cpu`] — the interpreter and its DIFT-oriented hook surface.
+//! * [`cpu`] — the interpreter and its DIFT-oriented hook surface;
+//! * [`tcache`] — the decode-once translation cache: predecoded blocks,
+//!   block-to-block chaining, and per-block taint plans that let a clean
+//!   shadow state skip whole blocks of flow dispatch.
 //!
 //! ## Quick start
 //!
@@ -56,9 +59,11 @@ pub mod encode;
 pub mod isa;
 pub mod mem;
 pub mod mmu;
+pub mod tcache;
 pub mod text;
 
-pub use cpu::{Cpu, CpuContext, CpuHooks, InsnCtx, NoHooks, ShadowLoc, StepEvent};
+pub use cpu::{Cpu, CpuContext, CpuHooks, FlowSummary, InsnCtx, NoHooks, ShadowLoc, StepEvent};
+pub use tcache::{TcStats, TransCache};
 pub use isa::{Instr, Mem as MemOperand, Reg};
 pub use mem::PhysMem;
 pub use mmu::{Access, AddressSpace, Asid, Fault, Perms};

@@ -54,6 +54,15 @@ impl std::error::Error for MemError {}
 
 /// Flat guest physical memory with a simple frame allocator.
 ///
+/// Frames are *committed lazily*: construction reserves address space for
+/// the whole configured RAM but materializes (and zeroes) host memory one
+/// frame at a time, as frames are allocated or first written. A machine
+/// that touches 2 MiB of a 16 MiB guest costs 2 MiB — this is what keeps
+/// per-replay setup cheap enough for the corpus-wide gates, which build
+/// hundreds of machines back to back. Reads of in-range frames that were
+/// never touched still see zeroes, exactly as if the whole array had been
+/// zero-initialized up front.
+///
 /// # Examples
 ///
 /// ```
@@ -69,7 +78,10 @@ impl std::error::Error for MemError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct PhysMem {
+    /// Committed prefix of physical memory; grows frame-aligned up to
+    /// `total_frames * PAGE_SIZE`.
     data: Vec<u8>,
+    total_frames: u32,
     next_frame: u32,
     free_list: Vec<u32>,
 }
@@ -85,7 +97,8 @@ impl PhysMem {
         let bytes = (frames as u64) * (PAGE_SIZE as u64);
         assert!(bytes <= u32::MAX as u64 + 1, "physical memory too large for a 32-bit guest");
         PhysMem {
-            data: vec![0u8; bytes as usize],
+            data: Vec::with_capacity(bytes as usize),
+            total_frames: frames,
             next_frame: 0,
             free_list: Vec::new(),
         }
@@ -93,7 +106,28 @@ impl PhysMem {
 
     /// Total number of frames installed.
     pub fn total_frames(&self) -> u32 {
-        (self.data.len() as u64 / PAGE_SIZE as u64) as u32
+        self.total_frames
+    }
+
+    /// Total installed bytes (frame count times page size).
+    #[inline]
+    fn total_bytes(&self) -> usize {
+        self.total_frames as usize * PAGE_SIZE as usize
+    }
+
+    /// Commits (zero-fills) frames so the committed prefix covers `end`
+    /// bytes, rounded up to a frame boundary. Cold: each frame is committed
+    /// at most once per lifetime.
+    #[cold]
+    fn commit_to(&mut self, end: usize) {
+        let aligned = end
+            .checked_add(PAGE_SIZE as usize - 1)
+            .expect("commit bound overflows usize")
+            & !(PAGE_SIZE as usize - 1);
+        let new_len = aligned.min(self.total_bytes());
+        if new_len > self.data.len() {
+            self.data.resize(new_len, 0);
+        }
     }
 
     /// Number of frames still allocatable.
@@ -115,6 +149,10 @@ impl PhysMem {
         if self.next_frame < self.total_frames() {
             let pfn = self.next_frame;
             self.next_frame += 1;
+            let end = (pfn as usize + 1) * PAGE_SIZE as usize;
+            if end > self.data.len() {
+                self.commit_to(end);
+            }
             Ok(pfn)
         } else {
             Err(MemError::OutOfFrames)
@@ -140,8 +178,20 @@ impl PhysMem {
     pub fn read(&self, addr: u32, buf: &mut [u8]) -> Result<(), MemError> {
         let start = addr as usize;
         let end = start.checked_add(buf.len()).ok_or(MemError::OutOfRange { addr })?;
-        let src = self.data.get(start..end).ok_or(MemError::OutOfRange { addr })?;
-        buf.copy_from_slice(src);
+        if let Some(src) = self.data.get(start..end) {
+            buf.copy_from_slice(src);
+            return Ok(());
+        }
+        if end > self.total_bytes() {
+            return Err(MemError::OutOfRange { addr });
+        }
+        // Uncommitted (never-touched) frames read as zeroes; copy whatever
+        // committed prefix overlaps the request and zero the rest.
+        let committed = self.data.len().saturating_sub(start).min(buf.len());
+        if committed > 0 {
+            buf[..committed].copy_from_slice(&self.data[start..start + committed]);
+        }
+        buf[committed..].fill(0);
         Ok(())
     }
 
@@ -153,8 +203,13 @@ impl PhysMem {
     pub fn write(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
         let start = addr as usize;
         let end = start.checked_add(bytes.len()).ok_or(MemError::OutOfRange { addr })?;
-        let dst = self.data.get_mut(start..end).ok_or(MemError::OutOfRange { addr })?;
-        dst.copy_from_slice(bytes);
+        if end > self.data.len() {
+            if end > self.total_bytes() {
+                return Err(MemError::OutOfRange { addr });
+            }
+            self.commit_to(end);
+        }
+        self.data[start..end].copy_from_slice(bytes);
         Ok(())
     }
 
@@ -165,10 +220,11 @@ impl PhysMem {
     /// Returns [`MemError::OutOfRange`] if `addr` exceeds installed memory.
     #[inline]
     pub fn read_u8(&self, addr: u32) -> Result<u8, MemError> {
-        self.data
-            .get(addr as usize)
-            .copied()
-            .ok_or(MemError::OutOfRange { addr })
+        match self.data.get(addr as usize) {
+            Some(b) => Ok(*b),
+            None if (addr as usize) < self.total_bytes() => Ok(0),
+            None => Err(MemError::OutOfRange { addr }),
+        }
     }
 
     /// Writes one byte.
@@ -178,10 +234,14 @@ impl PhysMem {
     /// Returns [`MemError::OutOfRange`] if `addr` exceeds installed memory.
     #[inline]
     pub fn write_u8(&mut self, addr: u32, val: u8) -> Result<(), MemError> {
-        *self
-            .data
-            .get_mut(addr as usize)
-            .ok_or(MemError::OutOfRange { addr })? = val;
+        let i = addr as usize;
+        if i >= self.data.len() {
+            if i >= self.total_bytes() {
+                return Err(MemError::OutOfRange { addr });
+            }
+            self.commit_to(i + 1);
+        }
+        self.data[i] = val;
         Ok(())
     }
 
@@ -205,11 +265,17 @@ impl PhysMem {
         self.write(addr, &val.to_le_bytes())
     }
 
-    /// Borrows a physical byte range (used by snapshot scanners).
+    /// Borrows a physical byte range (used by snapshot scanners and the
+    /// instruction-fetch path).
     ///
     /// # Errors
     ///
-    /// Returns [`MemError::OutOfRange`] if the range exceeds installed memory.
+    /// Returns [`MemError::OutOfRange`] if the range exceeds installed
+    /// memory, or if it extends past the committed prefix — i.e. into
+    /// frames never allocated or written. Every mapped guest page is
+    /// committed (allocation commits its frame), so translated addresses
+    /// never hit the latter case; for raw probes of untouched memory use
+    /// [`PhysMem::read`], which serves the zeroes without a borrow.
     pub fn slice(&self, addr: u32, len: usize) -> Result<&[u8], MemError> {
         let start = addr as usize;
         let end = start.checked_add(len).ok_or(MemError::OutOfRange { addr })?;
@@ -266,6 +332,32 @@ mod tests {
         assert!(mem.read(PAGE_SIZE - 4, &mut buf).is_err());
         assert!(mem.write(PAGE_SIZE - 4, &buf).is_err());
         assert!(mem.read_u32(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn lazy_commit_is_invisible_to_readers() {
+        let mut mem = PhysMem::new(8);
+        // Nothing committed yet: in-range reads still see the documented
+        // zero-initialized contents.
+        assert_eq!(mem.read_u8(5 * PAGE_SIZE).unwrap(), 0);
+        assert_eq!(mem.read_u32(7 * PAGE_SIZE + 42).unwrap(), 0);
+        let mut buf = [0xaa; 16];
+        mem.read(3 * PAGE_SIZE - 8, &mut buf).unwrap();
+        assert_eq!(buf, [0; 16], "uncommitted frames read as zeroes");
+        // A raw write commits its frame; the rest of the frame reads zero
+        // and the bytes round-trip.
+        mem.write(6 * PAGE_SIZE + 100, b"deep").unwrap();
+        assert_eq!(mem.slice(6 * PAGE_SIZE + 100, 4).unwrap(), b"deep");
+        assert_eq!(mem.read_u8(6 * PAGE_SIZE + 99).unwrap(), 0);
+        // A read spanning the committed boundary splices committed bytes
+        // with zeroes.
+        let mut span = [0xbb; 8];
+        mem.write(7 * PAGE_SIZE - 4, &[1, 2, 3, 4]).unwrap();
+        mem.read(7 * PAGE_SIZE - 4, &mut span).unwrap();
+        assert_eq!(span, [1, 2, 3, 4, 0, 0, 0, 0]);
+        // Allocation still hands out zeroed frames in order.
+        assert_eq!(mem.alloc_frame().unwrap(), 0);
+        assert_eq!(mem.free_frames(), 7);
     }
 
     #[test]

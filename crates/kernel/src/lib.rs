@@ -72,7 +72,7 @@ pub mod syscalls;
 
 pub use event::{ByteRange, CopyRun, KernelEvents, NullObserver, Observer};
 pub use handle::{Handle, Pid, Tid};
-pub use machine::{Machine, MachineConfig, MachineError, RunExit};
+pub use machine::{ExecMode, Machine, MachineConfig, MachineError, RunExit};
 pub use module::{Export, FdlImage, ModuleInfo};
 pub use net::{FlowTuple, NetLog, NetworkFabric, RemoteEndpoint};
 pub use nt::{NtStatus, Sysno};

@@ -24,6 +24,7 @@ use faros_emu::cpu::{Cpu, CpuContext, StepEvent};
 use faros_emu::isa::{Mem as MemOp, Reg};
 use faros_emu::mem::{PhysMem, PAGE_SIZE};
 use faros_emu::mmu::{Access, AddressSpace, Asid, Fault, Perms, KERNEL_BASE};
+use faros_emu::tcache::{TcStats, TransCache};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -46,6 +47,21 @@ impl Default for MachineConfig {
             timeslice: 200,
         }
     }
+}
+
+/// How [`Machine::run`] executes guest instructions.
+///
+/// Both modes produce byte-identical observer event streams; the cached mode
+/// exists purely for speed (decode each block once, then replay the
+/// predecoded run). The interpreter is kept selectable so the differential
+/// harness can prove the equivalence on every corpus program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Decode-once translation cache with block chaining (default).
+    #[default]
+    Cached,
+    /// Plain fetch-decode-execute interpreter (`Cpu::step` per instruction).
+    Interpret,
 }
 
 /// Why [`Machine::run`] returned.
@@ -132,6 +148,8 @@ pub struct Machine {
     console: Vec<(Pid, String)>,
     booted: bool,
     config: MachineConfig,
+    exec: ExecMode,
+    pub(crate) tcache: TransCache,
 }
 
 impl Machine {
@@ -161,6 +179,8 @@ impl Machine {
             console: Vec::new(),
             booted: false,
             config,
+            exec: ExecMode::default(),
+            tcache: TransCache::new(),
         };
         m.build_kernel_module();
         m
@@ -169,6 +189,22 @@ impl Machine {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// Selects how guest instructions are executed (see [`ExecMode`]).
+    pub fn set_exec_mode(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Translation-cache counters (`tc.*` metrics source). All zero when the
+    /// machine runs in [`ExecMode::Interpret`].
+    pub fn tc_stats(&self) -> TcStats {
+        self.tcache.stats()
     }
 
     /// Total virtual time: instructions retired plus idle boosts.
@@ -418,6 +454,7 @@ impl Machine {
             self.mem
                 .write(r.phys, &bytes[off..off + r.len as usize])
                 .expect("translated range in bounds");
+            self.tcache.note_write(r.phys, r.len);
             off += r.len as usize;
         }
         Ok(runs)
@@ -454,6 +491,7 @@ impl Machine {
             self.mem
                 .write(r.phys, &bytes[off..off + r.len as usize])
                 .expect("mapped range in bounds");
+            self.tcache.note_write(r.phys, r.len);
             off += r.len as usize;
         }
         Ok(runs)
@@ -490,6 +528,9 @@ impl Machine {
                 _ => pairs.push(CopyRun { dst_phys: d, src_phys: s, len: 1 }),
             }
         }
+        for pair in &pairs {
+            self.tcache.note_write(pair.dst_phys, pair.len);
+        }
         obs.guest_copy(src_pid, dst_pid, &pairs);
         Ok(())
     }
@@ -525,6 +566,8 @@ impl Machine {
         }
         let proc = self.procs.get_mut(&pid).expect("checked above");
         proc.add_region(VadRegion { base: va, size: pages * PAGE_SIZE, perms, kind });
+        // New mappings change what a cached virtual address decodes to.
+        self.tcache.invalidate_all();
         obs.kernel_write(pid, &ranges);
         Ok(())
     }
@@ -541,6 +584,9 @@ impl Machine {
         for page in 0..pages {
             proc.aspace.unmap(region.base + page * PAGE_SIZE);
         }
+        // Cached blocks for the torn-down mapping must not outlive it
+        // (module unload / UnmapViewOfSection).
+        self.tcache.invalidate_all();
         Ok(region)
     }
 
@@ -899,11 +945,25 @@ impl Machine {
             let mut steps = 0u32;
             let mut reschedule = true;
             while steps < self.config.timeslice {
-                steps += 1;
-                let event = {
+                let (executed, event) = {
                     let proc = self.procs.get(&pid).expect("picked");
-                    self.cpu.step(&mut self.mem, &proc.aspace, obs)
+                    match self.exec {
+                        ExecMode::Interpret => {
+                            (1, self.cpu.step(&mut self.mem, &proc.aspace, obs))
+                        }
+                        ExecMode::Cached => self.cpu.run_cached(
+                            &mut self.mem,
+                            &proc.aspace,
+                            &mut self.tcache,
+                            obs,
+                            self.config.timeslice - steps,
+                        ),
+                    }
                 };
+                // A terminal event can arrive with zero instructions retired
+                // (e.g. a fetch fault on the first instruction of a block);
+                // count one step so the quantum always makes progress.
+                steps += executed.max(1);
                 match event {
                     StepEvent::Normal | StepEvent::Branch => {}
                     StepEvent::Syscall { .. } => {

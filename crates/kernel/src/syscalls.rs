@@ -649,13 +649,25 @@ impl Machine {
         let Some(proc) = self.procs.get_mut(&target) else {
             return NtStatus::InvalidHandle;
         };
+        let mut ok = true;
         for page in 0..pages {
             if proc.aspace.protect(va + page * PAGE_SIZE, perms).is_none() {
-                return NtStatus::InvalidParameter;
+                ok = false;
+                break;
             }
         }
-        proc.set_region_perms(va, perms);
-        NtStatus::Success
+        if ok {
+            proc.set_region_perms(va, perms);
+        }
+        // Protection changes can grant or revoke execute on pages that back
+        // cached blocks (VirtualProtect before a jump into fresh shellcode);
+        // drop the cache even on partial failure — earlier pages changed.
+        self.tcache.invalidate_all();
+        if ok {
+            NtStatus::Success
+        } else {
+            NtStatus::InvalidParameter
+        }
     }
 
     fn sys_free_vm(&mut self, pid: Pid, a: [u32; 5]) -> NtStatus {

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fasthash;
 pub mod chrome;
 pub mod metrics;
 pub mod prof;

@@ -10,8 +10,8 @@
 //! be merged across registries (taint engine + trace recorder + plugin
 //! manager) into the one report section.
 
+use crate::fasthash::FastMap;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
-use std::collections::HashMap;
 
 /// Dense handle to a registered counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +63,12 @@ impl Histogram {
 /// ```
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counter_names: Vec<String>,
     counter_vals: Vec<u64>,
-    counter_index: HashMap<String, usize>,
-    hist_names: Vec<String>,
+    /// Name -> dense id; the single owned copy of each counter name.
+    counter_index: FastMap<String, usize>,
     hists: Vec<Histogram>,
-    hist_index: HashMap<String, usize>,
+    /// Name -> dense id; the single owned copy of each histogram name.
+    hist_index: FastMap<String, usize>,
 }
 
 impl MetricsRegistry {
@@ -83,7 +83,6 @@ impl MetricsRegistry {
             return CounterId(i);
         }
         let i = self.counter_vals.len();
-        self.counter_names.push(name.to_string());
         self.counter_vals.push(0);
         self.counter_index.insert(name.to_string(), i);
         CounterId(i)
@@ -124,7 +123,6 @@ impl MetricsRegistry {
             return HistogramId(i);
         }
         let i = self.hists.len();
-        self.hist_names.push(name.to_string());
         self.hists.push(Histogram::new());
         self.hist_index.insert(name.to_string(), i);
         HistogramId(i)
@@ -143,16 +141,15 @@ impl MetricsRegistry {
     /// Captures a name-sorted, serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, u64)> = self
-            .counter_names
+            .counter_index
             .iter()
-            .cloned()
-            .zip(self.counter_vals.iter().copied())
+            .map(|(name, &i)| (name.clone(), self.counter_vals[i]))
             .collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let mut histograms: Vec<HistogramSnapshot> = self
-            .hist_names
+            .hist_index
             .iter()
-            .zip(self.hists.iter())
+            .map(|(name, &i)| (name, &self.hists[i]))
             .map(|(name, h)| HistogramSnapshot {
                 name: name.clone(),
                 count: h.count,
@@ -212,6 +209,12 @@ impl FastPath {
         m.inc(self.hits);
     }
 
+    /// Counts `n` fast-path hits in one update (batched block elision).
+    #[inline]
+    pub fn hit_n(&self, m: &mut MetricsRegistry, n: u64) {
+        m.add(self.hits, n);
+    }
+
     /// Counts a fast-path miss (the slow path ran).
     #[inline]
     pub fn miss(&self, m: &mut MetricsRegistry) {
@@ -221,6 +224,66 @@ impl FastPath {
     /// Reads `(hits, misses)`.
     pub fn read(&self, m: &MetricsRegistry) -> (u64, u64) {
         (m.get(self.hits), m.get(self.misses))
+    }
+}
+
+/// Registered counters for a decoded-block translation cache (`tc.*`):
+/// lookup hits and misses, whole-cache invalidations, blocks decoded, and
+/// block runs whose flow dispatch was elided. The executor keeps its own
+/// raw totals (it lives below the observability layer); callers publish
+/// them here with [`CacheCounters::publish`] after a run.
+///
+/// # Examples
+///
+/// ```
+/// use faros_obs::metrics::{CacheCounters, MetricsRegistry};
+///
+/// let mut m = MetricsRegistry::new();
+/// let tc = CacheCounters::register(&mut m, "tc");
+/// tc.publish(&mut m, 90, 10, 1, 10, 42);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counter("tc.hits"), Some(90));
+/// assert_eq!(snap.counter("tc.invalidations"), Some(1));
+/// assert_eq!(snap.counter("tc.elided_blocks"), Some(42));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CacheCounters {
+    hits: CounterId,
+    misses: CounterId,
+    invalidations: CounterId,
+    blocks_built: CounterId,
+    elided_blocks: CounterId,
+}
+
+impl CacheCounters {
+    /// Registers `<prefix>.hits`, `.misses`, `.invalidations`,
+    /// `.blocks_built` and `.elided_blocks` in `m`.
+    pub fn register(m: &mut MetricsRegistry, prefix: &str) -> CacheCounters {
+        CacheCounters {
+            hits: m.counter(&format!("{prefix}.hits")),
+            misses: m.counter(&format!("{prefix}.misses")),
+            invalidations: m.counter(&format!("{prefix}.invalidations")),
+            blocks_built: m.counter(&format!("{prefix}.blocks_built")),
+            elided_blocks: m.counter(&format!("{prefix}.elided_blocks")),
+        }
+    }
+
+    /// Publishes a cache's cumulative totals (gauge semantics: the last
+    /// publish wins, so republishing a growing total is safe).
+    pub fn publish(
+        &self,
+        m: &mut MetricsRegistry,
+        hits: u64,
+        misses: u64,
+        invalidations: u64,
+        blocks_built: u64,
+        elided_blocks: u64,
+    ) {
+        m.set(self.hits, hits);
+        m.set(self.misses, misses);
+        m.set(self.invalidations, invalidations);
+        m.set(self.blocks_built, blocks_built);
+        m.set(self.elided_blocks, elided_blocks);
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::scenario::Scenario;
 use faros_kernel::event::{NullObserver, Observer};
-use faros_kernel::machine::{Machine, RunExit};
+use faros_kernel::machine::{ExecMode, Machine, RunExit};
 use faros_kernel::net::{NetLog, NetworkFabric};
 use faros_obs::profile::PhaseProfile;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
@@ -180,7 +180,8 @@ pub fn record<S: Scenario + ?Sized>(
     Ok((recording, RunOutcome { machine, exit, instructions, wall, phases }))
 }
 
-/// Replays a recording with the given observer (plugin stack) attached.
+/// Replays a recording with the given observer (plugin stack) attached,
+/// using the default execution mode ([`ExecMode::Cached`]).
 ///
 /// # Errors
 ///
@@ -193,12 +194,30 @@ pub fn replay<S: Scenario + ?Sized, O: Observer>(
     budget: u64,
     obs: &mut O,
 ) -> Result<RunOutcome, ReplayError> {
+    replay_with_exec(scenario, recording, budget, ExecMode::Cached, obs)
+}
+
+/// Like [`replay`], but with an explicit [`ExecMode`] — the differential
+/// harness runs the same recording under [`ExecMode::Interpret`] and
+/// [`ExecMode::Cached`] and requires byte-identical reports.
+///
+/// # Errors
+///
+/// Same as [`replay`].
+pub fn replay_with_exec<S: Scenario + ?Sized, O: Observer>(
+    scenario: &S,
+    recording: &Recording,
+    budget: u64,
+    exec: ExecMode,
+    obs: &mut O,
+) -> Result<RunOutcome, ReplayError> {
     let mut phases = PhaseProfile::new();
     let fabric = NetworkFabric::new_replay(scenario.guest_ip(), recording.net_log.clone());
     let mut obs = obs;
     let mut machine = phases
         .time("setup", || scenario.build(fabric, &mut obs))
         .map_err(|e| ReplayError::Setup(e.to_string()))?;
+    machine.set_exec_mode(exec);
     let start = Instant::now();
     let exit = phases.time("replay", || machine.run(budget, &mut obs));
     let wall = start.elapsed();

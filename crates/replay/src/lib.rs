@@ -32,7 +32,10 @@ pub mod trace;
 
 pub use cfi::{CfiMonitor, ProcessTransfers, TransferKind, TransferSite};
 pub use coverage::{BlockCoverage, ProcessBlocks};
-pub use driver::{record, record_and_replay, replay, Recording, ReplayError, RunOutcome, DEFAULT_BUDGET};
+pub use driver::{
+    record, record_and_replay, replay, replay_with_exec, Recording, ReplayError, RunOutcome,
+    DEFAULT_BUDGET,
+};
 pub use plugin::{Plugin, PluginCost, PluginManager};
 pub use profiler::{ProcessRetired, Profiler};
 pub use recorder::TraceRecorder;

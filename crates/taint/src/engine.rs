@@ -261,12 +261,23 @@ impl TaintEngine {
     /// A range extending past the top of the physical address space is
     /// clamped at `u32::MAX` (it never wraps to low memory).
     pub fn label_range_fresh(&mut self, phys: u32, len: usize, tag: ProvTag) {
+        self.label_range_fresh_tags(phys, len, &[tag]);
+    }
+
+    /// Labels `len` consecutive physical bytes with a fresh list holding
+    /// `tags` (oldest first), replacing any existing provenance. Equivalent
+    /// to a fresh single-tag label followed by per-byte appends of the
+    /// remaining tags — e.g. a source tag plus the accessing process's tag,
+    /// the FAROS labeling rule — but builds the interned list once and
+    /// writes the shadow range in one bulk fill.
+    pub fn label_range_fresh_tags(&mut self, phys: u32, len: usize, tags: &[ProvTag]) {
         let len = Self::clamp_range(phys, len);
-        let id = self.interner.append(ListId::EMPTY, tag);
-        self.metrics.add(self.ctr.labels, len as u64);
-        for i in 0..len {
-            self.shadow.set(ShadowAddr::Mem(phys + i as u32), id);
+        let mut id = ListId::EMPTY;
+        for &t in tags {
+            id = self.interner.append(id, t);
         }
+        self.metrics.add(self.ctr.labels, (len * tags.len()) as u64);
+        self.shadow.fill_mem_range(phys, len, id);
     }
 
     /// Appends `tag` at the head of one byte's provenance list (e.g. the
@@ -282,10 +293,17 @@ impl TaintEngine {
     /// Appends `tag` to `len` consecutive physical bytes. Like
     /// [`TaintEngine::label_range_fresh`], the range is clamped at
     /// `u32::MAX` rather than wrapping into low memory.
+    /// Runs of bytes sharing one provenance list (the overwhelmingly common
+    /// case — a freshly-labeled buffer) are coalesced: one interner append
+    /// and one bulk shadow fill per run, instead of both per byte. The
+    /// interner memoizes `append`, so the resulting list ids are identical
+    /// to the per-byte loop's.
     pub fn append_tag_range(&mut self, phys: u32, len: usize, tag: ProvTag) {
         let len = Self::clamp_range(phys, len);
-        for i in 0..len {
-            self.append_tag(ShadowAddr::Mem(phys + i as u32), tag);
+        self.metrics.add(self.ctr.labels, len as u64);
+        for (start, run_len, cur) in self.shadow.mem_runs(phys, len) {
+            let new = self.interner.append(cur, tag);
+            self.shadow.fill_mem_range(start, run_len, new);
         }
     }
 
@@ -339,6 +357,53 @@ impl TaintEngine {
         self.shadow.is_clean() && self.control_ctx.is_empty()
     }
 
+    /// Returns `true` when a whole block's propagation calls may be elided
+    /// and replayed through [`TaintEngine::apply_clean_flows`]. This is
+    /// [`TaintEngine::propagation_is_noop`] plus an empty flags provenance:
+    /// with clean shadow and no recorded flags provenance, nothing a block
+    /// does (including `enter_branch_scope` at its terminating branch) can
+    /// change shadow state, open a non-empty control context, or alter what
+    /// any elided propagation call would have computed.
+    #[inline]
+    pub fn block_flows_elidable(&self) -> bool {
+        self.propagation_is_noop() && self.flags_prov.is_empty()
+    }
+
+    /// Replays the counter side effects of a block's worth of elided
+    /// propagation calls in O(1): the caller proved (via
+    /// [`TaintEngine::block_flows_elidable`] staying true for the whole
+    /// block) that every call was a fast-path no-op, so only the metrics
+    /// move. The parameters are mode-independent sums over the block:
+    ///
+    /// * `copy_bytes` / `delete_bytes` — total bytes of elided copies and
+    ///   deletes (these counters count bytes);
+    /// * `union_ops` — elided `union_into` calls (counted per call);
+    /// * `addr_dep_ops` — elided `addr_dep` / `addr_dep_bytes` calls; the
+    ///   engine applies its own mode split (each one also unions and probes
+    ///   the fast path only when address dependencies are propagated);
+    /// * `fastpath_probes` — fast-path decisions of the copy/union/delete
+    ///   calls themselves (one per call), excluding address deps.
+    pub fn apply_clean_flows(
+        &mut self,
+        copy_bytes: u64,
+        union_ops: u64,
+        delete_bytes: u64,
+        addr_dep_ops: u64,
+        fastpath_probes: u64,
+    ) {
+        debug_assert!(self.block_flows_elidable());
+        self.metrics.add(self.ctr.copies, copy_bytes);
+        self.metrics.add(self.ctr.deletes, delete_bytes);
+        self.metrics.add(self.ctr.addr_deps, addr_dep_ops);
+        let (unions, probes) = if self.mode.address_deps {
+            (union_ops + addr_dep_ops, fastpath_probes + addr_dep_ops)
+        } else {
+            (union_ops, fastpath_probes)
+        };
+        self.metrics.add(self.ctr.unions, unions);
+        self.ctr.fastpath.hit_n(&mut self.metrics, probes);
+    }
+
     /// Counts one fast-path decision; returns `true` on a hit (skip).
     #[inline]
     fn fast_path(&mut self) -> bool {
@@ -361,11 +426,17 @@ impl TaintEngine {
 
     /// Union of all source bytes' lists (shared by `union_into`,
     /// `addr_dep_bytes` and `note_flags`).
+    ///
+    /// A source range that runs past a register's last byte contributes
+    /// only its in-range bytes: reading "past" a register yields no
+    /// provenance. (The old `offset` clamp silently re-read byte 3 for each
+    /// out-of-range index — the aliasing bug.)
     fn union_srcs(&mut self, srcs: &[(ShadowAddr, u8)]) -> ListId {
         let mut acc = ListId::EMPTY;
         for &(src, len) in srcs {
             for i in 0..len {
-                let id = self.shadow.get(src.offset(i));
+                let Some(byte) = src.checked_offset(i) else { break };
+                let id = self.shadow.get(byte);
                 acc = self.interner.union(acc, id);
             }
         }
@@ -373,15 +444,24 @@ impl TaintEngine {
     }
 
     /// `copy(a, b)`: `prov(a) <- prov(b)`, byte-wise for `len` bytes.
+    ///
+    /// Register ranges are bounds-checked per byte: a destination byte past
+    /// the register's end is skipped (there is no such shadow cell), and a
+    /// source byte past the end reads as untainted — matching the machine,
+    /// where no data actually moves for those bytes.
     pub fn copy(&mut self, dst: ShadowAddr, src: ShadowAddr, len: u8) {
         self.metrics.add(self.ctr.copies, len as u64);
         if self.fast_path() {
             return;
         }
         for i in 0..len {
-            let id = self.shadow.get(src.offset(i));
+            let Some(dst_byte) = dst.checked_offset(i) else { break };
+            let id = match src.checked_offset(i) {
+                Some(src_byte) => self.shadow.get(src_byte),
+                None => ListId::EMPTY,
+            };
             let id = self.control_adjust(id);
-            self.shadow.set(dst.offset(i), id);
+            self.shadow.set(dst_byte, id);
         }
     }
 
@@ -430,7 +510,7 @@ impl TaintEngine {
         }
         let acc = self.union_srcs(srcs);
         for i in 0..dst_len {
-            let byte_dst = dst.offset(i);
+            let Some(byte_dst) = dst.checked_offset(i) else { break };
             let merged = if keep_dst {
                 let cur = self.shadow.get(byte_dst);
                 self.interner.union(cur, acc)
@@ -454,9 +534,25 @@ impl TaintEngine {
             return;
         }
         for i in 0..len {
+            let Some(dst_byte) = dst.checked_offset(i) else { break };
             let id = self.control_adjust(ListId::EMPTY);
-            self.shadow.set(dst.offset(i), id);
+            self.shadow.set(dst_byte, id);
         }
+    }
+
+    /// Range `delete`: `prov(phys + i) <- ∅` for `len` consecutive physical
+    /// bytes, clamped at the top of the address space. Same control-context
+    /// semantics as [`TaintEngine::delete`], but one bulk shadow fill for
+    /// the whole range — this is the kernel-write path (image loads, guest
+    /// I/O), which clears tens of kilobytes per replay.
+    pub fn delete_range(&mut self, phys: u32, len: usize) {
+        let len = Self::clamp_range(phys, len);
+        self.metrics.add(self.ctr.deletes, len as u64);
+        if self.fast_path() {
+            return;
+        }
+        let id = self.control_adjust(ListId::EMPTY);
+        self.shadow.fill_mem_range(phys, len, id);
     }
 
     /// Batched `delete` over translated physical bytes (page-crossing

@@ -49,6 +49,13 @@ impl ShadowPage {
     }
 }
 
+/// Upper bound on pages kept in the free-page pool (1 MiB of shadow cells).
+/// Freed pages have `occupied == 0`, which by the occupancy invariant means
+/// every cell is already [`ListId::EMPTY`] — so a pooled page can be handed
+/// back out with no re-zeroing, avoiding the 16 KiB zeroed allocation that
+/// otherwise dominates label-heavy replays with delete/relabel churn.
+const PAGE_POOL_MAX: usize = 64;
+
 /// The paged shadow memory (see module docs).
 ///
 /// # Examples
@@ -68,6 +75,9 @@ pub struct PagedShadow {
     dir: Vec<Option<Box<ShadowPage>>>,
     /// Global count of tainted (non-empty) bytes across all pages.
     tainted: usize,
+    /// Freed pages kept for reuse; every pooled page is all-[`ListId::EMPTY`]
+    /// (see [`PAGE_POOL_MAX`]).
+    pool: Vec<Box<ShadowPage>>,
 }
 
 impl PagedShadow {
@@ -87,8 +97,8 @@ impl PagedShadow {
 
     /// Writes the cell for one physical byte, maintaining the per-page
     /// occupancy and the global tainted-byte count. Clearing the last
-    /// tainted byte of a page frees the page; clearing an untainted byte
-    /// allocates nothing.
+    /// tainted byte of a page frees the page (into the reuse pool);
+    /// clearing an untainted byte allocates nothing.
     #[inline]
     pub fn set(&mut self, addr: u32, id: ListId) {
         let pfn = (addr >> PAGE_SHIFT) as usize;
@@ -103,13 +113,14 @@ impl PagedShadow {
             page.occupied -= 1;
             self.tainted -= 1;
             if page.occupied == 0 {
-                *slot = None;
+                let page = slot.take().expect("matched Some");
+                if self.pool.len() < PAGE_POOL_MAX {
+                    self.pool.push(page);
+                }
             }
         } else {
-            if pfn >= self.dir.len() {
-                self.dir.resize_with(pfn + 1, || None);
-            }
-            let page = self.dir[pfn].get_or_insert_with(|| Box::new(ShadowPage::new()));
+            self.ensure_resident(pfn);
+            let page = self.dir[pfn].as_mut().expect("made resident above");
             let cell = &mut page.cells[off];
             if cell.is_empty() {
                 page.occupied += 1;
@@ -117,6 +128,169 @@ impl PagedShadow {
             }
             *cell = id;
         }
+    }
+
+    /// Grows the directory to cover `pfn` and, if the frame is
+    /// non-resident, installs a pooled (all-empty) page when one is
+    /// available. Returns `true` when the frame is resident afterwards.
+    #[inline]
+    fn page_resident_or_pooled(&mut self, pfn: usize) -> bool {
+        if pfn >= self.dir.len() {
+            self.dir.resize_with(pfn + 1, || None);
+        }
+        if self.dir[pfn].is_some() {
+            return true;
+        }
+        match self.pool.pop() {
+            Some(page) => {
+                debug_assert!(
+                    page.occupied == 0 && page.cells.iter().all(|c| c.is_empty()),
+                    "pooled pages must be fully cleared"
+                );
+                self.dir[pfn] = Some(page);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ensures frame `pfn` has a resident page, reusing a pooled
+    /// (all-empty) page when one is available.
+    #[inline]
+    fn ensure_resident(&mut self, pfn: usize) {
+        if !self.page_resident_or_pooled(pfn) {
+            self.dir[pfn] = Some(Box::new(ShadowPage::new()));
+        }
+    }
+
+    /// Writes one [`ListId`] across `len` consecutive physical bytes,
+    /// resolving each shadow page once instead of once per byte — the bulk
+    /// form of [`PagedShadow::set`] behind range labeling and range
+    /// deletes, where the per-byte directory walk used to dominate the
+    /// whole-corpus replay cost.
+    ///
+    /// Semantically identical to `for i in 0..len { set(start + i, id) }`,
+    /// including occupancy accounting, freeing fully-cleared pages, and
+    /// skipping page allocation for empty writes. The caller must clamp
+    /// the range so `start + len` does not exceed the address space (see
+    /// `TaintEngine::clamp_range`); a clamped range cannot wrap.
+    pub fn fill_range(&mut self, start: u32, len: usize, id: ListId) {
+        let mut addr = start as u64;
+        let end = addr + len as u64;
+        debug_assert!(end <= u32::MAX as u64 + 1, "fill_range must be pre-clamped");
+        while addr < end {
+            let pfn = (addr >> PAGE_SHIFT) as usize;
+            let off = (addr & OFFSET_MASK as u64) as usize;
+            let span = ((SHADOW_PAGE_SIZE as usize - off) as u64).min(end - addr) as usize;
+            if id.is_empty() {
+                // Clearing a non-resident page is free.
+                if let Some(slot @ Some(_)) = self.dir.get_mut(pfn) {
+                    let page = slot.as_mut().expect("matched Some");
+                    let cells = &mut page.cells[off..off + span];
+                    // A fully-occupied page needs no scan: every cell in the
+                    // span is non-empty. Otherwise count and clear in one
+                    // pass over the span.
+                    let cleared = if page.occupied == SHADOW_PAGE_SIZE {
+                        cells.fill(ListId::EMPTY);
+                        span
+                    } else {
+                        let mut cleared = 0usize;
+                        for c in cells.iter_mut() {
+                            cleared += !c.is_empty() as usize;
+                            *c = ListId::EMPTY;
+                        }
+                        cleared
+                    };
+                    page.occupied -= cleared as u32;
+                    self.tainted -= cleared;
+                    if page.occupied == 0 {
+                        let page = slot.take().expect("matched Some");
+                        if self.pool.len() < PAGE_POOL_MAX {
+                            self.pool.push(page);
+                        }
+                    }
+                }
+            } else if self.page_resident_or_pooled(pfn) {
+                let page = self.dir[pfn].as_mut().expect("resident above");
+                let cells = &mut page.cells[off..off + span];
+                // An empty page (a reused pooled page) or a fully-occupied
+                // one needs no per-cell scan; otherwise count and overwrite
+                // in one pass over the span.
+                let fresh = if page.occupied == 0 {
+                    cells.fill(id);
+                    span
+                } else if page.occupied == SHADOW_PAGE_SIZE {
+                    cells.fill(id);
+                    0
+                } else {
+                    let mut fresh = 0usize;
+                    for c in cells.iter_mut() {
+                        fresh += c.is_empty() as usize;
+                        *c = id;
+                    }
+                    fresh
+                };
+                page.occupied += fresh as u32;
+                self.tainted += fresh;
+            } else {
+                // Brand-new page for a fresh label (the common shape for
+                // file/netflow source buffers): build it pre-filled with
+                // `id` and clear only the complement, instead of a zeroed
+                // allocation whose span cells are immediately overwritten.
+                let mut cells = vec![id; SHADOW_PAGE_SIZE as usize].into_boxed_slice();
+                cells[..off].fill(ListId::EMPTY);
+                cells[off + span..].fill(ListId::EMPTY);
+                self.dir[pfn] = Some(Box::new(ShadowPage { occupied: span as u32, cells }));
+                self.tainted += span;
+            }
+            addr += span as u64;
+        }
+    }
+
+    /// Decomposes `[start, start + len)` into maximal runs of bytes sharing
+    /// one provenance list, as `(run_start, run_len, id)` triples in
+    /// address order. Non-resident pages contribute a single
+    /// [`ListId::EMPTY`] run without being touched; resident pages are
+    /// scanned as a flat cell slice, so the cost is one directory lookup
+    /// per page rather than per byte. Bulk read-modify-write operations
+    /// (e.g. appending a process tag to a freshly-labeled buffer, which is
+    /// one run in practice) pair this with [`PagedShadow::fill_range`].
+    ///
+    /// The caller must pre-clamp the range, as for `fill_range`.
+    pub fn runs(&self, start: u32, len: usize) -> Vec<(u32, usize, ListId)> {
+        let mut out: Vec<(u32, usize, ListId)> = Vec::new();
+        let mut push = |addr: u32, span: usize, id: ListId| match out.last_mut() {
+            Some(last) if last.2 == id && last.0 as u64 + last.1 as u64 == addr as u64 => {
+                last.1 += span;
+            }
+            _ => out.push((addr, span, id)),
+        };
+        let mut addr = start as u64;
+        let end = addr + len as u64;
+        debug_assert!(end <= u32::MAX as u64 + 1, "runs must be pre-clamped");
+        while addr < end {
+            let pfn = (addr >> PAGE_SHIFT) as usize;
+            let off = (addr & OFFSET_MASK as u64) as usize;
+            let span = ((SHADOW_PAGE_SIZE as usize - off) as u64).min(end - addr) as usize;
+            match self.dir.get(pfn) {
+                Some(Some(page)) => {
+                    let cells = &page.cells[off..off + span];
+                    let mut i = 0;
+                    while i < span {
+                        let id = cells[i];
+                        let mut j = i + 1;
+                        while j < span && cells[j] == id {
+                            j += 1;
+                        }
+                        push(addr as u32 + i as u32, j - i, id);
+                        i = j;
+                    }
+                }
+                _ => push(addr as u32, span, ListId::EMPTY),
+            }
+            addr += span as u64;
+        }
+        out
     }
 
     /// Exact number of tainted bytes across all pages.
@@ -227,6 +401,90 @@ mod tests {
         }
         let got: Vec<u32> = s.iter().map(|(a, _)| a).collect();
         assert_eq!(got, vec![0x1000, 0x1002, 0x3fff, 0x5000, 0x5001]);
+    }
+
+    #[test]
+    fn fill_range_matches_per_byte_set() {
+        // Differential: fill_range over a page-crossing span must leave the
+        // shadow in exactly the state a per-byte set loop would.
+        let spans: &[(u32, usize)] =
+            &[(0x1ff0, 0x30), (0x0, 0x1000), (0x2fff, 1), (0x3000, 0x2001)];
+        for &(start, len) in spans {
+            let mut bulk = PagedShadow::new();
+            let mut byte = PagedShadow::new();
+            // Pre-taint a scattered backdrop so fills overwrite a mix of
+            // empty and occupied cells.
+            for a in (0..0x6000u32).step_by(7) {
+                bulk.set(a, lid(a + 1));
+                byte.set(a, lid(a + 1));
+            }
+            bulk.fill_range(start, len, lid(42));
+            for i in 0..len {
+                byte.set(start + i as u32, lid(42));
+            }
+            assert_eq!(bulk.tainted_bytes(), byte.tainted_bytes(), "span {start:#x}+{len:#x}");
+            assert_eq!(
+                bulk.iter().collect::<Vec<_>>(),
+                byte.iter().collect::<Vec<_>>(),
+                "span {start:#x}+{len:#x}"
+            );
+            // And clearing the same span must too (including freeing pages).
+            bulk.fill_range(start, len, ListId::EMPTY);
+            for i in 0..len {
+                byte.set(start + i as u32, ListId::EMPTY);
+            }
+            assert_eq!(bulk.iter().collect::<Vec<_>>(), byte.iter().collect::<Vec<_>>());
+            assert_eq!(bulk.resident_pages(), byte.resident_pages());
+        }
+    }
+
+    #[test]
+    fn fill_range_of_empty_allocates_nothing() {
+        let mut s = PagedShadow::new();
+        s.fill_range(0x10_0000, 0x5000, ListId::EMPTY);
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.dir.len(), 0, "clearing untouched frames must not grow the directory");
+    }
+
+    #[test]
+    fn fill_range_reaches_top_of_address_space() {
+        let mut s = PagedShadow::new();
+        s.fill_range(u32::MAX - 15, 16, lid(3));
+        assert_eq!(s.tainted_bytes(), 16);
+        assert_eq!(s.get(u32::MAX), lid(3));
+        s.fill_range(u32::MAX - 15, 16, ListId::EMPTY);
+        assert!(s.is_clean());
+    }
+
+    #[test]
+    fn freed_pages_are_reused_from_the_pool() {
+        let mut s = PagedShadow::new();
+        s.fill_range(0x3000, 0x1000, lid(5));
+        s.fill_range(0x3000, 0x1000, ListId::EMPTY);
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.pool.len(), 1, "freed page lands in the pool");
+        // Reuse on a *different* frame: the pooled page must come back
+        // fully cleared, so stale cells from its previous life are invisible.
+        s.set(0x7abc, lid(9));
+        assert_eq!(s.pool.len(), 0, "allocation drains the pool first");
+        assert_eq!(s.tainted_bytes(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0x7abc, lid(9))]);
+    }
+
+    #[test]
+    fn full_page_fast_paths_keep_counts_exact() {
+        // Exercise the occupied == SHADOW_PAGE_SIZE shortcuts in both fill
+        // directions.
+        let mut s = PagedShadow::new();
+        s.fill_range(0x2000, SHADOW_PAGE_SIZE as usize, lid(1));
+        assert_eq!(s.tainted_bytes(), SHADOW_PAGE_SIZE as usize);
+        s.fill_range(0x2100, 0x100, lid(2));
+        assert_eq!(s.tainted_bytes(), SHADOW_PAGE_SIZE as usize, "overwrite adds nothing");
+        s.fill_range(0x2100, 0x100, ListId::EMPTY);
+        assert_eq!(s.tainted_bytes(), SHADOW_PAGE_SIZE as usize - 0x100);
+        s.fill_range(0x2000, SHADOW_PAGE_SIZE as usize, ListId::EMPTY);
+        assert!(s.is_clean());
+        assert_eq!(s.resident_pages(), 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! whole-system provenance tracking tractable (DESIGN.md, decision 3).
 
 use crate::tag::{ProvTag, TagKind};
-use std::collections::HashMap;
+use faros_obs::fasthash::FastMap;
 use std::fmt;
 
 /// Identifier of an interned provenance list. `ListId::EMPTY` is the empty
@@ -64,9 +64,9 @@ impl fmt::Display for ListId {
 #[derive(Debug)]
 pub struct ProvInterner {
     lists: Vec<Box<[ProvTag]>>,
-    by_content: HashMap<Box<[ProvTag]>, u32>,
-    append_memo: HashMap<(u32, ProvTag), u32>,
-    union_memo: HashMap<(u32, u32), u32>,
+    by_content: FastMap<Box<[ProvTag]>, u32>,
+    append_memo: FastMap<(u32, ProvTag), u32>,
+    union_memo: FastMap<(u32, u32), u32>,
 }
 
 impl Default for ProvInterner {
@@ -79,13 +79,13 @@ impl ProvInterner {
     /// Creates an interner containing only the empty list.
     pub fn new() -> ProvInterner {
         let empty: Box<[ProvTag]> = Box::from([]);
-        let mut by_content = HashMap::new();
+        let mut by_content = FastMap::default();
         by_content.insert(empty.clone(), 0u32);
         ProvInterner {
             lists: vec![empty],
             by_content,
-            append_memo: HashMap::new(),
-            union_memo: HashMap::new(),
+            append_memo: FastMap::default(),
+            union_memo: FastMap::default(),
         }
     }
 
@@ -135,7 +135,11 @@ impl ProvInterner {
         if let Some(&memo) = self.append_memo.get(&(id.0, tag)) {
             return ListId(memo);
         }
-        let mut content = self.tags(id).to_vec();
+        let old = self.tags(id);
+        // Exact capacity: `intern` converts the Vec into a `Box<[_]>`, which
+        // is free only when capacity == length.
+        let mut content = Vec::with_capacity(old.len() + 1);
+        content.extend_from_slice(old);
         content.push(tag);
         let out = self.intern(content);
         self.append_memo.insert((id.0, tag), out.0);

@@ -40,16 +40,45 @@ pub enum ShadowAddr {
 impl ShadowAddr {
     /// The shadow address `n` bytes after this one.
     ///
-    /// Register addresses saturate at the register's last byte (offset 3):
-    /// a register has no "next" byte, and the guard is unconditional so a
-    /// release build can neither panic on the array index nor silently
-    /// corrupt a neighbouring slot under a dense layout.
+    /// Register addresses must stay inside the register: an offset past
+    /// byte 3 is a caller bug. The old behaviour silently saturated, which
+    /// *aliased* distinct sub-register flows onto the top byte (two source
+    /// bytes merged into one shadow cell). Debug builds now fault; release
+    /// builds still saturate at byte 3 — explicitly, as the documented
+    /// overflow policy — so the array index can neither panic nor corrupt a
+    /// neighbouring slot. Range-aware consumers (the engine's per-byte
+    /// loops) use [`ShadowAddr::checked_offset`] instead, which reports the
+    /// overflow so the byte can be treated as absent. Mirrors
+    /// `faros_emu::ShadowLoc::offset`.
     #[inline]
     pub fn offset(self, n: u8) -> ShadowAddr {
         match self {
             ShadowAddr::Mem(a) => ShadowAddr::Mem(a.wrapping_add(n as u32)),
             ShadowAddr::Reg { index, off } => {
+                debug_assert!(
+                    (off as u32) + (n as u32) < 4,
+                    "register shadow offset {off}+{n} escapes the register"
+                );
                 ShadowAddr::Reg { index, off: off.saturating_add(n).min(3) }
+            }
+        }
+    }
+
+    /// Like [`ShadowAddr::offset`], but returns `None` when a register
+    /// address would escape the register (offset past byte 3) instead of
+    /// saturating. Memory addresses always succeed (wrapping arithmetic).
+    /// Mirrors `faros_emu::ShadowLoc::checked_offset`.
+    #[inline]
+    pub fn checked_offset(self, n: u8) -> Option<ShadowAddr> {
+        match self {
+            ShadowAddr::Mem(a) => Some(ShadowAddr::Mem(a.wrapping_add(n as u32))),
+            ShadowAddr::Reg { index, off } => {
+                let new = (off as u32) + (n as u32);
+                if new < 4 {
+                    Some(ShadowAddr::Reg { index, off: new as u8 })
+                } else {
+                    None
+                }
             }
         }
     }
@@ -108,6 +137,22 @@ impl ShadowState {
                 *cell = id;
             }
         }
+    }
+
+    /// Writes one [`ListId`] across `len` consecutive physical shadow
+    /// bytes — the bulk form of [`ShadowState::set`] for memory ranges
+    /// (see [`PagedShadow::fill_range`]). The caller must pre-clamp the
+    /// range to the physical address space.
+    #[inline]
+    pub fn fill_mem_range(&mut self, phys: u32, len: usize, id: ListId) {
+        self.mem.fill_range(phys, len, id);
+    }
+
+    /// Decomposes a physical byte range into maximal same-provenance runs
+    /// (see [`PagedShadow::runs`]).
+    #[inline]
+    pub fn mem_runs(&self, phys: u32, len: usize) -> Vec<(u32, usize, ListId)> {
+        self.mem.runs(phys, len)
     }
 
     /// Number of tainted memory bytes (exact, maintained incrementally).
@@ -217,18 +262,18 @@ mod tests {
     }
 
     #[test]
-    fn reg_offset_overflow_clamps_in_all_builds() {
-        // Regression: this used to be a debug_assert!, so a release build
-        // indexed `regs[i][off]` out of range. The guard is unconditional
-        // now and saturates at the register's last byte.
+    fn reg_checked_offset_reports_overflow() {
+        // Regression for the clamp-aliasing bug: `offset` used to collapse
+        // every out-of-range register offset onto byte 3, merging distinct
+        // sub-register taint bytes. `checked_offset` reports the overflow so
+        // the engine's per-byte loops treat the byte as absent instead.
         assert_eq!(
-            ShadowAddr::Reg { index: 1, off: 2 }.offset(5),
-            ShadowAddr::Reg { index: 1, off: 3 }
+            ShadowAddr::Reg { index: 1, off: 2 }.checked_offset(1),
+            Some(ShadowAddr::Reg { index: 1, off: 3 })
         );
-        assert_eq!(
-            ShadowAddr::Reg { index: 1, off: 3 }.offset(u8::MAX),
-            ShadowAddr::Reg { index: 1, off: 3 }
-        );
+        assert_eq!(ShadowAddr::Reg { index: 1, off: 2 }.checked_offset(2), None);
+        assert_eq!(ShadowAddr::Reg { index: 1, off: 3 }.checked_offset(u8::MAX), None);
+        assert_eq!(ShadowAddr::Mem(u32::MAX).checked_offset(1), Some(ShadowAddr::Mem(0)));
     }
 
     #[test]

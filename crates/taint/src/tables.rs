@@ -6,7 +6,7 @@
 //! table (paper §V-A).
 
 use crate::tag::{FileTag, NetflowTag, ProcessTag, ProvTag, TagKind};
-use std::collections::HashMap;
+use faros_obs::fasthash::FastMap;
 use std::fmt;
 
 /// Error returned when a tag table overflows its 16-bit index space.
@@ -46,17 +46,17 @@ impl std::error::Error for TagTableFull {}
 #[derive(Debug, Default)]
 pub struct TagTables {
     netflows: Vec<NetflowTag>,
-    netflow_index: HashMap<NetflowTag, u16>,
+    netflow_index: FastMap<NetflowTag, u16>,
     processes: Vec<ProcessTag>,
-    process_index: HashMap<u32, u16>, // keyed by CR3
+    process_index: FastMap<u32, u16>, // keyed by CR3
     files: Vec<FileTag>,
-    file_index: HashMap<(String, u32), u16>,
+    file_index: FastMap<(String, u32), u16>,
     // The paper's stated future work: "we plan to augment this tag with
     // information about function name, which will require the addition of a
     // corresponding hash map" (§V-A). Entry 0 is the anonymous tag
     // (`ProvTag::EXPORT_TABLE`).
     exports: Vec<String>,
-    export_index: HashMap<String, u16>,
+    export_index: FastMap<String, u16>,
 }
 
 impl TagTables {

@@ -302,6 +302,219 @@ fn paged_shadow_matches_hashmap_oracle() {
     );
 }
 
+/// One register-addressed shadow operation whose offset arithmetic can
+/// escape the 4-byte register — the shapes behind the clamp-aliasing bug.
+#[derive(Debug, Clone)]
+enum RegOp {
+    /// Seed taint into memory so register traffic has something to move.
+    Label { phys: u32, len: usize, tag: ProvTag },
+    /// `copy(Reg{off}, Mem(src), len)` — dst bytes past the register end
+    /// must be *dropped*, not folded onto byte 3.
+    MemToReg { reg: u8, off: u8, src: u32, len: u8 },
+    /// `copy(Mem(dst), Reg{off}, len)` — src bytes past the register end
+    /// read as untainted.
+    RegToMem { dst: u32, reg: u8, off: u8, len: u8 },
+    /// `delete(Reg{off}, len)` with a possibly-escaping range.
+    DeleteReg { reg: u8, off: u8, len: u8 },
+    /// `union_into(Reg{off}, ..)` from a memory source.
+    UnionIntoReg { reg: u8, off: u8, dst_len: u8, src: u32, src_len: u8, keep: bool },
+    /// `union_into(Mem(dst), ..)` from a register source whose range may
+    /// escape — escaped source bytes contribute nothing.
+    UnionFromReg { dst: u32, dst_len: u8, reg: u8, off: u8, src_len: u8, keep: bool },
+}
+
+impl Shrink for RegOp {
+    fn shrink(&self) -> Vec<RegOp> {
+        Vec::new()
+    }
+}
+
+impl Oracle {
+    /// Applies a [`RegOp`] with the *documented* overflow policy: a
+    /// register shadow byte past offset 3 does not exist — writes to it are
+    /// dropped and reads of it yield the empty list. This is exactly what
+    /// the pre-fix clamp violated (it aliased every escaped byte onto
+    /// byte 3).
+    fn apply_reg(&mut self, op: &RegOp) {
+        match op {
+            RegOp::Label { phys, len, tag } => {
+                self.apply(&Op::LabelRange { phys: *phys, len: *len, tag: *tag });
+            }
+            RegOp::MemToReg { reg, off, src, len } => {
+                for i in 0..*len {
+                    let Some(o) = checked_reg_off(*off, i) else { break };
+                    self.regs[*reg as usize][o] = self.get_mem(src.wrapping_add(i.into()));
+                }
+            }
+            RegOp::RegToMem { dst, reg, off, len } => {
+                for i in 0..*len {
+                    let id = match checked_reg_off(*off, i) {
+                        Some(o) => self.regs[*reg as usize][o],
+                        None => ListId::EMPTY,
+                    };
+                    self.set_mem(dst.wrapping_add(i.into()), id);
+                }
+            }
+            RegOp::DeleteReg { reg, off, len } => {
+                for i in 0..*len {
+                    let Some(o) = checked_reg_off(*off, i) else { break };
+                    self.regs[*reg as usize][o] = ListId::EMPTY;
+                }
+            }
+            RegOp::UnionIntoReg { reg, off, dst_len, src, src_len, keep } => {
+                let mut acc = ListId::EMPTY;
+                for i in 0..u32::from(*src_len) {
+                    acc = self.interner.union(acc, self.get_mem(src.wrapping_add(i)));
+                }
+                for i in 0..*dst_len {
+                    let Some(o) = checked_reg_off(*off, i) else { break };
+                    let cur = self.regs[*reg as usize][o];
+                    self.regs[*reg as usize][o] =
+                        if *keep { self.interner.union(cur, acc) } else { acc };
+                }
+            }
+            RegOp::UnionFromReg { dst, dst_len, reg, off, src_len, keep } => {
+                let mut acc = ListId::EMPTY;
+                for i in 0..*src_len {
+                    let Some(o) = checked_reg_off(*off, i) else { break };
+                    acc = self.interner.union(acc, self.regs[*reg as usize][o]);
+                }
+                for i in 0..u32::from(*dst_len) {
+                    let a = dst.wrapping_add(i);
+                    let merged = if *keep {
+                        self.interner.union(self.get_mem(a), acc)
+                    } else {
+                        acc
+                    };
+                    self.set_mem(a, merged);
+                }
+            }
+        }
+    }
+}
+
+fn checked_reg_off(off: u8, i: u8) -> Option<usize> {
+    let o = u32::from(off) + u32::from(i);
+    (o < 4).then_some(o as usize)
+}
+
+fn apply_reg_to_engine(engine: &mut TaintEngine, op: &RegOp) {
+    match op {
+        RegOp::Label { phys, len, tag } => engine.label_range_fresh(*phys, *len, *tag),
+        RegOp::MemToReg { reg, off, src, len } => {
+            engine.copy(ShadowAddr::Reg { index: *reg, off: *off }, ShadowAddr::Mem(*src), *len);
+        }
+        RegOp::RegToMem { dst, reg, off, len } => {
+            engine.copy(ShadowAddr::Mem(*dst), ShadowAddr::Reg { index: *reg, off: *off }, *len);
+        }
+        RegOp::DeleteReg { reg, off, len } => {
+            engine.delete(ShadowAddr::Reg { index: *reg, off: *off }, *len);
+        }
+        RegOp::UnionIntoReg { reg, off, dst_len, src, src_len, keep } => {
+            engine.union_into(
+                ShadowAddr::Reg { index: *reg, off: *off },
+                *dst_len,
+                &[(ShadowAddr::Mem(*src), *src_len)],
+                *keep,
+            );
+        }
+        RegOp::UnionFromReg { dst, dst_len, reg, off, src_len, keep } => {
+            engine.union_into(
+                ShadowAddr::Mem(*dst),
+                *dst_len,
+                &[(ShadowAddr::Reg { index: *reg, off: *off }, *src_len)],
+                *keep,
+            );
+        }
+    }
+}
+
+fn reg_op(rng: &mut Rng) -> RegOp {
+    let reg = |r: &mut Rng| r.range_u32(0, u32::from(REGS)) as u8;
+    // Offsets 0..4 and lengths 1..=4: roughly half the draws escape the
+    // register, which is the interesting half.
+    let off = |r: &mut Rng| r.range_u32(0, 4) as u8;
+    let len = |r: &mut Rng| r.range_u32(1, 5) as u8;
+    match rng.range_u32(0, 6) {
+        0 => RegOp::Label { phys: addr(rng), len: rng.range_usize(1, 32), tag: prov_tag(rng) },
+        1 => RegOp::MemToReg { reg: reg(rng), off: off(rng), src: addr(rng), len: len(rng) },
+        2 => RegOp::RegToMem { dst: addr(rng), reg: reg(rng), off: off(rng), len: len(rng) },
+        3 => RegOp::DeleteReg { reg: reg(rng), off: off(rng), len: len(rng) },
+        4 => RegOp::UnionIntoReg {
+            reg: reg(rng),
+            off: off(rng),
+            dst_len: len(rng),
+            src: addr(rng),
+            src_len: len(rng),
+            keep: rng.next_bool(),
+        },
+        _ => RegOp::UnionFromReg {
+            dst: addr(rng),
+            dst_len: len(rng),
+            reg: reg(rng),
+            off: off(rng),
+            src_len: len(rng),
+            keep: rng.next_bool(),
+        },
+    }
+}
+
+/// Differential pin for the sub-register clamp-aliasing fix: random
+/// register-addressed flows whose offset arithmetic escapes the register
+/// must agree with an oracle that *drops* escaped bytes. Under the old
+/// `saturating_add(..).min(3)` behaviour, escaped destination bytes all
+/// collapsed onto byte 3 (last writer wins) and escaped source reads
+/// returned byte 3's list — both diverge from this oracle.
+#[test]
+fn register_offset_overflow_drops_bytes_instead_of_aliasing() {
+    check(
+        "register_offset_overflow_drops_bytes_instead_of_aliasing",
+        Config::default(),
+        |rng| rng.vec_of(1, 48, reg_op),
+        |ops| {
+            let mut engine = TaintEngine::new(PropagationMode::direct_only());
+            let mut oracle = Oracle::default();
+            for op in ops {
+                apply_reg_to_engine(&mut engine, op);
+                oracle.apply_reg(op);
+            }
+            prop_assert_eq!(engine_regions(&engine), oracle.regions(), "memory shadow");
+            for r in 0..REGS {
+                for off in 0..4u8 {
+                    let got = engine.prov_tags(ShadowAddr::Reg { index: r, off });
+                    let want = oracle.interner.tags(oracle.regs[r as usize][off as usize]);
+                    prop_assert_eq!(got, want, "register {r} byte {off}");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The exact shape that used to alias: a 4-byte copy into `Reg {{ off: 2 }}`
+/// must write register bytes 2 and 3 from source bytes 0 and 1 and stop —
+/// not fold source bytes 1..4 onto register byte 3.
+#[test]
+fn escaped_copy_keeps_the_in_range_prefix() {
+    use faros_taint::tag::TagKind;
+    let mut engine = TaintEngine::new(PropagationMode::direct_only());
+    for i in 0..4u16 {
+        engine.label_range_fresh(0x100 + u32::from(i), 1, ProvTag::new(TagKind::Process, 10 + i));
+    }
+    engine.copy(ShadowAddr::Reg { index: 0, off: 2 }, ShadowAddr::Mem(0x100), 4);
+    let tags = |engine: &TaintEngine, off: u8| {
+        engine.prov_tags(ShadowAddr::Reg { index: 0, off }).to_vec()
+    };
+    assert_eq!(tags(&engine, 2), vec![ProvTag::new(TagKind::Process, 10)]);
+    assert_eq!(
+        tags(&engine, 3),
+        vec![ProvTag::new(TagKind::Process, 11)],
+        "byte 3 must hold source byte 1, not the clamp-aliased last writer"
+    );
+    assert_eq!(tags(&engine, 0), Vec::new());
+    assert_eq!(tags(&engine, 1), Vec::new());
+}
+
 /// Focused page-boundary differential: long label runs spanning frames,
 /// then page-crossing loads/stores shuffling them, then deletes freeing
 /// pages — the allocation/free lifecycle of the paged shadow.

@@ -28,6 +28,15 @@ echo "==> cargo test -q --offline --workspace"
 # net-assembled chain.
 cargo test -q --offline --workspace
 
+echo "==> golden fixture staleness check (regen must be a no-op)"
+# Re-emitting every golden fixture must leave the working tree untouched;
+# a diff here means a checked-in fixture is stale relative to the code and
+# the golden tests above were comparing against yesterday's format.
+FAROS_REGEN_GOLDEN=1 cargo test -q --offline \
+    --test golden_roundtrip --test analyze_cli --test service_protocol >/dev/null
+git diff --exit-code -- tests/fixtures \
+    || { echo "error: stale golden fixtures; review and commit the regenerated files" >&2; exit 1; }
+
 # The analyst-facing examples double as smoke tests: each must build and
 # exit 0 end-to-end (record, replay, detect, report — and, for
 # analyze_image, the static lint truth table).
@@ -57,7 +66,7 @@ FAROS_BENCH_WRITE="$PWD" cargo bench --offline -p faros-bench --bench replay >/d
 cargo run --release --offline -p faros-bench --bin faros-cli -- json-check BENCH_replay.json
 test -s BENCH_replay.json
 
-echo "==> bench regression gate (replay_faros <= 4x replay_base)"
+echo "==> bench regression gate (replay_faros <= 1.5x replay_base)"
 cargo run --release --offline -p faros-bench --bin faros-cli -- bench-gate BENCH_replay.json
 
 echo "==> detonation service bench (FAROS_BENCH_WRITE -> BENCH_service.json)"
@@ -90,6 +99,9 @@ grep -q '"\[anon\]"' target/profile_run1.json \
 
 echo "==> service socket smoke (serve / submit / stop over target/faros.sock)"
 SOCK="target/faros.sock"
+# A previous aborted run can leave a stale socket file behind; the
+# readiness loop below would accept it before the new server binds.
+rm -f "$SOCK"
 cargo run --release --offline -p faros-bench --bin faros-cli -- \
     serve --socket "$SOCK" --workers 2 &
 SERVE_PID=$!
@@ -97,13 +109,13 @@ trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "error: service socket never appeared" >&2; exit 1; }
 cargo run --release --offline -p faros-bench --bin faros-cli -- \
-    submit process_hollowing --socket "$SOCK" | grep -q "FLAGGED"
+    submit process_hollowing --socket "$SOCK" | grep "FLAGGED" >/dev/null
 cargo run --release --offline -p faros-bench --bin faros-cli -- \
-    submit teamviewer_v209 --socket "$SOCK" | grep -q "clean"
+    submit teamviewer_v209 --socket "$SOCK" | grep "clean" >/dev/null
 # Live telemetry plane: `top` pulls stats + health + metrics + trace tail
 # over the same socket; two clean jobs must leave the service all green.
 cargo run --release --offline -p faros-bench --bin faros-cli -- \
-    top --socket "$SOCK" | grep -q "health: ok"
+    top --socket "$SOCK" | grep "health: ok" >/dev/null
 cargo run --release --offline -p faros-bench --bin faros-cli -- stop --socket "$SOCK"
 wait "$SERVE_PID"
 trap - EXIT
@@ -125,6 +137,13 @@ echo "==> static/dynamic cross-check + CFI truth-table gate over the corpus"
 # silent) with the benign dense-indirect foils at zero, and the
 # corpus-wide unresolved-indirect counts stay on their pins.
 cargo run --release --offline -p faros-bench --bin faros-cli -- analyze --corpus
+
+echo "==> interpreter-vs-cache differential over the full corpus"
+# The translation cache is mechanism, not policy: for every sample in the
+# registry, the cached and interpreted replays must retire the same
+# instruction count and assemble byte-identical reports across every
+# section (detections, coverage, CFI, metrics, profile).
+cargo run --release --offline -p faros-bench --bin faros-cli -- differential
 
 echo "==> hermeticity check: no external dependencies in any manifest"
 if grep -rn "crates-io\|serde\|proptest\|criterion\|parking_lot" crates/*/Cargo.toml Cargo.toml; then

@@ -1,0 +1,79 @@
+//! Self-modifying code vs. the translation cache.
+//!
+//! The benign `smc_patch_loop` corpus sample patches the immediate of an
+//! already-executed routine eight times and re-calls it after every patch,
+//! verifying in-guest that it never sees a stale value. Here the same
+//! recording is analyzed under both execution modes:
+//!
+//! * the cached run must invalidate on every guest store into cached code
+//!   (and be served from cache in between),
+//! * the assembled reports must be byte-identical between the interpreter
+//!   and the cache,
+//! * and FAROS must stay silent — self-modification of a process's *own*
+//!   clean bytes is not an injection signal.
+
+use faros::{analyze_recording, AnalysisConfig};
+use faros_repro::corpus::smc::smc_patch_loop;
+use faros_repro::kernel::event::NullObserver;
+use faros_repro::kernel::machine::ExecMode;
+use faros_repro::replay::{record, replay_with_exec};
+
+const BUDGET: u64 = 20_000_000;
+
+#[test]
+fn smc_reports_are_identical_and_the_cache_invalidates() {
+    let sample = smc_patch_loop();
+    let (recording, _) = record(&sample.scenario, BUDGET).unwrap();
+
+    // Raw replay under each mode: same console, and the cached machine
+    // must show both invalidation and reuse traffic.
+    let cached = replay_with_exec(
+        &sample.scenario,
+        &recording,
+        BUDGET,
+        ExecMode::Cached,
+        &mut NullObserver,
+    )
+    .unwrap();
+    let interp = replay_with_exec(
+        &sample.scenario,
+        &recording,
+        BUDGET,
+        ExecMode::Interpret,
+        &mut NullObserver,
+    )
+    .unwrap();
+    assert_eq!(cached.instructions, interp.instructions, "retired-instruction parity");
+    assert_eq!(cached.machine.console(), interp.machine.console());
+    assert!(
+        cached.machine.console().iter().any(|(_, s)| s == "smc-ok"),
+        "guest saw a stale patched value: {:?}",
+        cached.machine.console()
+    );
+    let tc = cached.machine.tc_stats();
+    assert!(tc.invalidations >= 8, "one invalidation per patch: {tc:?}");
+    assert!(tc.hits > 0, "the patch loop must be served from cache: {tc:?}");
+    let tc_interp = interp.machine.tc_stats();
+    assert_eq!(
+        (tc_interp.hits, tc_interp.misses, tc_interp.blocks_built),
+        (0, 0, 0),
+        "the interpreter must not touch the cache: {tc_interp:?}"
+    );
+
+    // Full pipeline under each mode: byte-identical reports, no detections.
+    let report_for = |exec: ExecMode| {
+        let cfg = AnalysisConfig { profile: true, exec, ..AnalysisConfig::default() };
+        let job = analyze_recording(&sample.scenario, &recording, &cfg).unwrap();
+        assert!(
+            job.report.detections.is_empty(),
+            "benign self-modification must not be flagged ({exec:?}): {:?}",
+            job.report.detections
+        );
+        job.report.to_json().unwrap()
+    };
+    assert_eq!(
+        report_for(ExecMode::Cached),
+        report_for(ExecMode::Interpret),
+        "cached and interpreted reports must be byte-identical"
+    );
+}

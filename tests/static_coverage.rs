@@ -50,7 +50,11 @@ fn coverage_for(sample: &Sample) -> analyze::CoverageReport {
 ///   in writable scratch memory (unresolvable *by design*: that is what
 ///   the CFI function-entry claim is for);
 /// * `switchboard.exe` — `call ebx`, the benign callback table is also
-///   built at runtime in writable memory.
+///   built at runtime in writable memory;
+/// * `smcbench.exe` — the patch loop's `call ebp` re-enters a routine the
+///   program instantiated into a runtime RWX allocation (the benign SMC
+///   sample), so the target exists in no module image. The *first*
+///   `call ebp`, right after `mov ebp, imm`, folds via dataflow.
 ///
 /// The `analyze --corpus` gate pins the same totals
 /// (`GATE_UNRESOLVED_BASELINE`/`GATE_UNRESOLVED_AFTER` in `faros_cli.rs`);
@@ -77,6 +81,7 @@ fn unresolved_sites_are_exactly_the_justified_set() {
         "C:/gadget.exe `call ebp` has no statically resolvable target",
         "C:/host.exe `call ebp` has no statically resolvable target",
         "C:/renderer.exe `jmp ebx` has no statically resolvable target",
+        "C:/smcbench.exe `call ebp` has no statically resolvable target",
         "C:/switchboard.exe `call ebx` has no statically resolvable target",
     ]
     .into_iter()

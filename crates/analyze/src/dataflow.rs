@@ -369,6 +369,32 @@ impl FromJson for DataflowStats {
     }
 }
 
+/// The VSA view of one reachable syscall (`int`) site: which functions'
+/// intra-procedural walks reach it and the joined abstract registers
+/// right before the instruction — what the capability analysis
+/// (`crate::syscap`) lifts into the capability lattice.
+#[derive(Debug, Clone)]
+pub struct SyscallSite {
+    /// Entries of the functions whose walk visits the site.
+    pub functions: BTreeSet<u32>,
+    /// Abstract register values at the site, joined over every visiting
+    /// function.
+    pub regs: [AVal; NUM_REGS],
+}
+
+impl SyscallSite {
+    /// The abstract service number (`eax` at the site).
+    pub fn sysno(&self) -> AVal {
+        self.regs[Reg::Eax.index()]
+    }
+
+    /// Abstract syscall argument `i` (`a0..a4` = `ebx ecx edx esi edi`).
+    pub fn arg(&self, i: usize) -> AVal {
+        const ARGS: [Reg; 5] = [Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi];
+        self.regs[ARGS[i].index()]
+    }
+}
+
 /// Everything the dataflow engine derives from one image.
 #[derive(Debug, Clone)]
 pub struct ImageDataflow {
@@ -376,6 +402,13 @@ pub struct ImageDataflow {
     pub cfg: ModuleCfg,
     /// The inter-procedural source→sink flow map.
     pub flows: ImageFlowMap,
+    /// Reachable `int` sites with their joined VSA register view.
+    pub syscall_sites: BTreeMap<u32, SyscallSite>,
+    /// Static call graph: function entry → direct and resolved-indirect
+    /// in-image callees.
+    pub call_graph: BTreeMap<u32, BTreeSet<u32>>,
+    /// Externally reachable function entries (image entry + code exports).
+    pub roots: BTreeSet<u32>,
     /// Cost/outcome counters.
     pub stats: DataflowStats,
 }
@@ -453,8 +486,39 @@ pub fn analyze_image(name: &str, image: &FdlImage) -> ImageDataflow {
         }
     }
 
-    let flows = taint_phases(name, image, &cfg, &vsas, &resolved, &mut stats);
-    ImageDataflow { cfg, flows, stats }
+    // The syscall-site view and call graph the capability analysis (and
+    // the `syscall-number-unresolved` lint) consume, derived from the
+    // final VSA fixpoint so nothing is analyzed twice.
+    let mut syscall_sites: BTreeMap<u32, SyscallSite> = BTreeMap::new();
+    for (&entry, f) in &vsas {
+        for (&va, regs) in &f.site_regs {
+            if !matches!(cfg.instr_at(va), Some(Instr::Int { .. })) {
+                continue;
+            }
+            let site = syscall_sites.entry(va).or_insert_with(|| SyscallSite {
+                functions: BTreeSet::new(),
+                regs: [AVal::Bot; NUM_REGS],
+            });
+            site.functions.insert(entry);
+            for (slot, r) in site.regs.iter_mut().zip(regs) {
+                *slot = slot.join(r);
+            }
+        }
+    }
+    let call_graph: BTreeMap<u32, BTreeSet<u32>> =
+        vsas.iter().map(|(&e, f)| (e, callees_of(&cfg, f, &resolved))).collect();
+    let mut roots = BTreeSet::new();
+    if cfg.blocks.contains_key(&image.entry) {
+        roots.insert(image.entry);
+    }
+    for e in &image.exports {
+        if cfg.blocks.contains_key(&e.va) {
+            roots.insert(e.va);
+        }
+    }
+
+    let flows = taint_phases(name, image, &cfg, &vsas, &call_graph, &resolved, &mut stats);
+    ImageDataflow { cfg, flows, syscall_sites, call_graph, roots, stats }
 }
 
 /// Direct and resolved-indirect callees of the function `f`, derived from
@@ -844,6 +908,7 @@ fn taint_phases(
     image: &FdlImage,
     cfg: &ModuleCfg,
     vsas: &BTreeMap<u32, FunctionVsa>,
+    callee_sets: &BTreeMap<u32, BTreeSet<u32>>,
     resolved: &BTreeMap<u32, Vec<u32>>,
     stats: &mut DataflowStats,
 ) -> ImageFlowMap {
@@ -853,11 +918,9 @@ fn taint_phases(
         .iter()
         .map(|(&e, f)| (e, local_source_mask(cfg, f, resolved)))
         .collect();
-    let callee_sets: BTreeMap<u32, BTreeSet<u32>> =
-        vsas.iter().map(|(&e, f)| (e, callees_of(cfg, f, resolved))).collect();
     loop {
         let mut changed = false;
-        for (&e, callees) in &callee_sets {
+        for (&e, callees) in callee_sets {
             let mut m = introduces[&e];
             for c in callees {
                 m |= introduces.get(c).copied().unwrap_or(ALL_SOURCES);
@@ -895,7 +958,7 @@ fn taint_phases(
     }
     loop {
         let mut changed = false;
-        for (&e, callees) in &callee_sets {
+        for (&e, callees) in callee_sets {
             let flow = ambient[&e] | introduces[&e];
             for c in callees {
                 if let Some(a) = ambient.get_mut(c) {
@@ -1055,7 +1118,7 @@ impl FromJson for TaintCrossCheck {
     }
 }
 
-fn basename(path: &str) -> &str {
+pub(crate) fn basename(path: &str) -> &str {
     path.rsplit(['/', '\\']).next().unwrap_or(path)
 }
 

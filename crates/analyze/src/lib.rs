@@ -50,6 +50,7 @@ pub mod gadgets;
 pub mod lint;
 pub mod report;
 pub mod symbols;
+pub mod syscap;
 pub mod vsa;
 
 pub use cfg::{BasicBlock, ModuleCfg};
@@ -64,4 +65,9 @@ pub use dataflow::{
 pub use lint::{lint_image, render_findings, Finding, FindingKind, Severity};
 pub use report::StaticReport;
 pub use symbols::{layout_map, layouts_for, module_layout, module_layout_from_cfg};
+pub use syscap::{
+    ambient_caps, analyze_image_caps, capability_cross_check, capability_cross_check_with_stats,
+    caps_of_syscall, render_capability_check, CapWitness, CapabilityCrossCheck, CapabilityReport,
+    ProcessCapCheck, Recipe, RecipeHit, ResidualRecipe, SyscapStats, RECIPES,
+};
 pub use vsa::{AVal, StridedInterval};

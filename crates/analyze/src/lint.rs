@@ -55,6 +55,10 @@ pub enum FindingKind {
     ExportOutsideCode,
     /// Two differently named exports with the same djb2 name hash.
     ExportHashCollision,
+    /// A syscall site whose service number the VSA cannot resolve to a
+    /// constant — every syscall-indexed static view (taint sources,
+    /// capability lifting) must treat it as "could be any service".
+    SyscallNumberUnresolved,
 }
 
 impl FindingKind {
@@ -65,7 +69,9 @@ impl FindingKind {
             | FindingKind::WriteToCode
             | FindingKind::ExportOutsideCode
             | FindingKind::ExportHashCollision => Severity::Error,
-            FindingKind::UnresolvedIndirect | FindingKind::UnreachableBlock => Severity::Advisory,
+            FindingKind::UnresolvedIndirect
+            | FindingKind::UnreachableBlock
+            | FindingKind::SyscallNumberUnresolved => Severity::Advisory,
         }
     }
 }
@@ -79,6 +85,7 @@ impl fmt::Display for FindingKind {
             FindingKind::UnreachableBlock => "unreachable-block",
             FindingKind::ExportOutsideCode => "export-outside-code",
             FindingKind::ExportHashCollision => "export-hash-collision",
+            FindingKind::SyscallNumberUnresolved => "syscall-number-unresolved",
         };
         write!(f, "{s}")
     }

@@ -12,6 +12,7 @@ use crate::cfi::CfiModel;
 use crate::dataflow::{self, DataflowStats, ImageFlowMap};
 use crate::gadgets::{self, GadgetReport};
 use crate::lint::{lint_with_cfg, Finding, FindingKind, Severity};
+use crate::syscap::{self, CapabilityReport};
 use faros_kernel::module::FdlImage;
 use faros_support::json::{self, FromJson, JsonError, JsonValue, ToJson};
 
@@ -46,6 +47,7 @@ impl FromJson for FindingKind {
             Some("unreachable-block") => Ok(FindingKind::UnreachableBlock),
             Some("export-outside-code") => Ok(FindingKind::ExportOutsideCode),
             Some("export-hash-collision") => Ok(FindingKind::ExportHashCollision),
+            Some("syscall-number-unresolved") => Ok(FindingKind::SyscallNumberUnresolved),
             _ => Err(JsonError::decode("unknown FindingKind")),
         }
     }
@@ -95,13 +97,23 @@ pub struct StaticReport {
     /// The static CFI model (resolved target sets, call-preceded return
     /// sites, function entries) the dynamic cross-check enforces.
     pub cfi: CfiModel,
+    /// What the image can do through the syscall ABI: its capability set
+    /// with witness chains, and statically present injection recipes.
+    pub capabilities: CapabilityReport,
 }
 
 impl StaticReport {
     /// Runs the whole static pipeline over one image.
     pub fn build(name: &str, image: &FdlImage) -> StaticReport {
         let analysis = dataflow::analyze_image(name, image);
-        let findings = lint_with_cfg(name, image, &analysis.cfg);
+        let mut findings = lint_with_cfg(name, image, &analysis.cfg);
+        findings.extend(syscap::unresolved_syscall_findings(name, &analysis));
+        findings.sort_by(|a, b| {
+            (a.severity, a.kind, a.va, &a.module, &a.detail)
+                .cmp(&(b.severity, b.kind, b.va, &b.module, &b.detail))
+        });
+        findings.dedup();
+        let capabilities = syscap::capability_report(&analysis);
         let resolved_sites = analysis
             .cfg
             .resolved_targets
@@ -118,6 +130,7 @@ impl StaticReport {
             stats: analysis.stats,
             gadgets,
             cfi,
+            capabilities,
         }
     }
 
@@ -165,6 +178,7 @@ impl ToJson for StaticReport {
             ("stats", self.stats.to_json_value()),
             ("gadgets", self.gadgets.to_json_value()),
             ("cfi", self.cfi.to_json_value()),
+            ("capabilities", self.capabilities.to_json_value()),
         ])
     }
 }
@@ -185,9 +199,10 @@ impl FromJson for StaticReport {
             resolved_sites,
             flows: json::field(v, "flows")?,
             stats: json::field(v, "stats")?,
-            // Absent in pre-CFI reports.
+            // Absent in pre-CFI / pre-capability reports.
             gadgets: json::field_or_default(v, "gadgets")?,
             cfi: json::field_or_default(v, "cfi")?,
+            capabilities: json::field_or_default(v, "capabilities")?,
         })
     }
 }

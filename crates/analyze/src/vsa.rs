@@ -89,10 +89,9 @@ impl StridedInterval {
 
     /// Number of elements.
     pub fn count(&self) -> u64 {
-        if self.stride == 0 {
-            1
-        } else {
-            u64::from((self.hi - self.lo) / self.stride) + 1
+        match (self.hi - self.lo).checked_div(self.stride) {
+            Some(n) => u64::from(n) + 1,
+            None => 1,
         }
     }
 
@@ -100,7 +99,7 @@ impl StridedInterval {
     pub fn contains(&self, v: u32) -> bool {
         v >= self.lo
             && v <= self.hi
-            && (self.stride == 0 || (v - self.lo) % self.stride == 0)
+            && (self.stride == 0 || (v - self.lo).is_multiple_of(self.stride))
     }
 
     /// Enumerates the elements when there are at most [`MAX_ENUMERATED`].

@@ -4,11 +4,12 @@
 //! faros-cli list                      list every corpus sample
 //! faros-cli record <sample> -o FILE   run live, save the recording (JSON)
 //! faros-cli analyze <sample> [opts]   record + replay under FAROS, print report
-//!                                     (with the static coverage + taint
-//!                                     cross-checks attached)
+//!                                     (with the static coverage, taint, CFI
+//!                                     and capability cross-checks attached)
 //! faros-cli analyze <image.fdl>       static-only: CFG + dataflow (VSA,
 //!                                     indirect-branch resolution, taint flow
-//!                                     map) + lints over one FDL image file
+//!                                     map, syscall capabilities) + lints over
+//!                                     one FDL image file
 //! faros-cli analyze --corpus          run the static/dynamic cross-check
 //!                                     truth-table gate over the whole corpus
 //! faros-cli replay <sample> -i FILE   replay a saved recording under FAROS
@@ -237,6 +238,14 @@ fn print_report(faros: &Faros, report: &FarosReport, opts: &Opts) {
             report.cfi.stats.violations, report.cfi.stats.tainted_violations
         );
     }
+    if report.capabilities_suspicious() {
+        println!(
+            "[!] capability cross-check: {} statically impossible capability exercise(s), \
+             {} injection recipe(s) completed",
+            report.capabilities.impossible_total(),
+            report.capabilities.recipes_exercised_total()
+        );
+    }
     if !report.whitelisted.is_empty() {
         println!("[i] {} whitelisted detection(s) suppressed", report.whitelisted.len());
     }
@@ -441,6 +450,31 @@ fn analyze_static(path: &str, opts: &Opts) {
         report.cfi.return_sites.len(),
         report.cfi.function_entries.len()
     );
+    let caps = &report.capabilities;
+    println!(
+        "[i] capability surface: {} ({} recipe(s) statically present, {} unresolved \
+         service-number site(s){})",
+        caps.caps.render(),
+        caps.recipes.len(),
+        caps.unresolved_sites.len(),
+        if caps.calls_unknown_code { ", calls unknown code" } else { "" }
+    );
+    for w in &caps.witnesses {
+        let path: Vec<String> = w.path.iter().map(|f| format!("{f:#010x}")).collect();
+        println!(
+            "    {} at {:#010x} (sysno {:#04x}, {}) via {}",
+            w.capability,
+            w.site,
+            w.sysno,
+            w.args,
+            path.join(" -> ")
+        );
+    }
+    for r in &caps.recipes {
+        let steps: Vec<String> =
+            r.steps.iter().map(|(c, va)| format!("{c} @ {va:#010x}")).collect();
+        println!("    recipe {}: {}", r.recipe, steps.join(" -> "));
+    }
     if report.errors().count() > 0 {
         exit(1);
     }
@@ -463,16 +497,21 @@ fn analyze_static(path: &str, opts: &Opts) {
 const GATE_UNRESOLVED_BASELINE: u64 = 33;
 const GATE_UNRESOLVED_AFTER: u64 = 7;
 
-/// Records and replays one sample through the shared job pipeline,
-/// classifying its dynamic taint alerts against the static flow model of
-/// its own program images.
-fn cross_check_sample(sample: &Sample) -> faros_analyze::TaintCrossCheck {
-    pipeline_report(sample).taint
-}
+/// Pinned corpus-wide `syscall-number-unresolved` advisory count. The
+/// corpus builder materializes every service number as a constant
+/// `mov eax, imm` before the `int`, so the VSA resolves every *intended*
+/// site. The single pinned advisory is a decode artifact in
+/// `taint_bomb`'s `C:/pong.exe` (site `0x0040004d`): the recovered block
+/// falls through the terminal `NtTerminateProcess` into the `"pong"`
+/// banner string, whose bytes happen to decode as an `int` with a
+/// clobbered (post-syscall) EAX. A change in this count means a new
+/// sample computes its service number (acknowledge it here) or the VSA
+/// regressed.
+const GATE_SYSNO_UNRESOLVED: u64 = 1;
 
 /// Records and replays one sample through the shared job pipeline and
-/// returns the full fused report (taint verdict, coverage diff, CFI
-/// cross-check).
+/// returns the full fused report (taint verdict, coverage diff, CFI and
+/// capability cross-checks).
 fn pipeline_report(sample: &Sample) -> FarosReport {
     let (recording, _) =
         record(&sample.scenario, BUDGET).unwrap_or_else(|e| fail(&e.to_string()));
@@ -490,13 +529,17 @@ fn pipeline_report(sample: &Sample) -> FarosReport {
 fn corpus_gate() {
     let mut bad = 0usize;
     for sample in faros_corpus::attacks::all_injecting_samples() {
-        let cc = cross_check_sample(&sample);
-        let ok = cc.impossible_total() >= 1;
+        let report = pipeline_report(&sample);
+        let cc = &report.taint;
+        let caps = &report.capabilities;
+        let ok = cc.impossible_total() >= 1 && caps.injection_suspected();
         println!(
-            "corpus-gate: {:<28} impossible={} {}",
+            "corpus-gate: {:<28} impossible={} cap-impossible={} recipes-exercised={} {}",
             sample.name(),
             cc.impossible_total(),
-            if ok { "ok" } else { "FAIL (expected >=1)" }
+            caps.impossible_total(),
+            caps.recipes_exercised_total(),
+            if ok { "ok" } else { "FAIL (expected >=1 taint alert and a capability alert)" }
         );
         if !ok {
             bad += 1;
@@ -504,17 +547,75 @@ fn corpus_gate() {
     }
     for family in families::malware_rows().into_iter().chain(families::benign_rows()) {
         let sample = families::build_family_sample(&family, 0, 1);
-        let cc = cross_check_sample(&sample);
-        let ok = cc.impossible_total() == 0;
+        let report = pipeline_report(&sample);
+        let cc = &report.taint;
+        let caps = &report.capabilities;
+        let ok = cc.impossible_total() == 0
+            && caps.impossible_total() == 0
+            && caps.recipes_exercised_total() == 0;
         println!(
-            "corpus-gate: {:<28} impossible={} {}",
+            "corpus-gate: {:<28} impossible={} cap-alerts={} {}",
             family.name,
             cc.impossible_total(),
+            caps.impossible_total() + caps.recipes_exercised_total(),
             if ok { "ok" } else { "FAIL (expected 0)" }
         );
         if !ok {
             bad += 1;
         }
+    }
+
+    // The capability truth table's own corner cases: the two-process
+    // laundering injector must light *both* capability alert classes —
+    // the injected stage beacons over a socket the victim's image cannot
+    // statically justify (impossible capability) and the accomplice
+    // completes the write-and-run-remote recipe — while the
+    // debugger-shaped foil (cross-process reads only, all statically
+    // modeled) must stay quiet.
+    {
+        let report = pipeline_report(&faros_corpus::laundering::capability_laundering());
+        let caps = &report.capabilities;
+        let ok = caps.impossible_total() >= 1 && caps.recipes_exercised_total() >= 1;
+        println!(
+            "corpus-gate: {:<28} cap-impossible={} recipes-exercised={} {}",
+            "capability_laundering",
+            caps.impossible_total(),
+            caps.recipes_exercised_total(),
+            if ok { "ok" } else { "FAIL (expected an impossible capability and a recipe)" }
+        );
+        if !ok {
+            bad += 1;
+        }
+        let report = pipeline_report(&faros_corpus::laundering::debugger_foil());
+        let caps = &report.capabilities;
+        let ok = !caps.injection_suspected() && report.taint.impossible_total() == 0;
+        println!(
+            "corpus-gate: {:<28} cap-impossible={} recipes-exercised={} {}",
+            "debugger_foil",
+            caps.impossible_total(),
+            caps.recipes_exercised_total(),
+            if ok { "ok" } else { "FAIL (expected 0)" }
+        );
+        if !ok {
+            bad += 1;
+        }
+    }
+
+    // The JIT hosts allocate executable buffers and then download code
+    // into their address space — dynamically that is the
+    // download-to-exec recipe, a known false positive of the capability
+    // signal (Table III's copy-and-patch JITs really do behave this
+    // way). Reported here for visibility, excluded from the gated clean
+    // set.
+    for name in ["jit_pulleysystem", "jit_gmail_com"] {
+        let sample =
+            find_sample(name).unwrap_or_else(|| fail(&format!("unknown jit sample `{name}`")));
+        let report = pipeline_report(&sample);
+        println!(
+            "corpus-gate: {:<28} recipes-exercised={} (known JIT FP, informational)",
+            name,
+            report.capabilities.recipes_exercised_total()
+        );
     }
 
     // The CFI reuse truth table: every ROP/JOP sample must raise at
@@ -526,13 +627,18 @@ fn corpus_gate() {
         let report = pipeline_report(&sample);
         let ok = report.cfi.stats.violations >= 1
             && !report.attack_flagged()
-            && !report.coverage_suspicious();
+            && !report.coverage_suspicious()
+            && !report.capabilities_suspicious();
         println!(
             "corpus-gate: {:<28} cfi-violations={} taint={} {}",
             sample.name(),
             report.cfi.stats.violations,
             report.attack_flagged(),
-            if ok { "ok" } else { "FAIL (expected >=1 CFI, taint/coverage silent)" }
+            if ok {
+                "ok"
+            } else {
+                "FAIL (expected >=1 CFI, taint/coverage/capability silent)"
+            }
         );
         if !ok {
             bad += 1;
@@ -542,7 +648,8 @@ fn corpus_gate() {
         let report = pipeline_report(&sample);
         let ok = report.cfi.stats.violations == 0
             && !report.attack_flagged()
-            && !report.coverage_suspicious();
+            && !report.coverage_suspicious()
+            && !report.capabilities_suspicious();
         println!(
             "corpus-gate: {:<28} cfi-violations={} {}",
             sample.name(),
@@ -554,17 +661,23 @@ fn corpus_gate() {
         }
     }
 
-    let (mut baseline, mut after) = (0u64, 0u64);
+    let (mut baseline, mut after, mut sysno_unresolved) = (0u64, 0u64, 0u64);
     for sample in sample_registry() {
         for (path, image) in sample.scenario.programs() {
             baseline += faros_analyze::lint_image(path, image)
                 .iter()
                 .filter(|f| f.kind == faros_analyze::FindingKind::UnresolvedIndirect)
                 .count() as u64;
-            after += StaticReport::build(path, image)
+            let report = StaticReport::build(path, image);
+            after += report
                 .findings
                 .iter()
                 .filter(|f| f.kind == faros_analyze::FindingKind::UnresolvedIndirect)
+                .count() as u64;
+            sysno_unresolved += report
+                .findings
+                .iter()
+                .filter(|f| f.kind == faros_analyze::FindingKind::SyscallNumberUnresolved)
                 .count() as u64;
         }
     }
@@ -574,6 +687,14 @@ fn corpus_gate() {
     );
     if baseline != GATE_UNRESOLVED_BASELINE || after != GATE_UNRESOLVED_AFTER {
         println!("corpus-gate: FAIL (unresolved-indirect counts moved off the pins)");
+        bad += 1;
+    }
+    println!(
+        "corpus-gate: syscall-number-unresolved advisories: {sysno_unresolved} \
+         (pinned {GATE_SYSNO_UNRESOLVED})"
+    );
+    if sysno_unresolved != GATE_SYSNO_UNRESOLVED {
+        println!("corpus-gate: FAIL (syscall-number-unresolved count moved off the pin)");
         bad += 1;
     }
     if bad > 0 {
@@ -869,6 +990,17 @@ fn top_cmd(opts: &Opts) {
                 .trim_start_matches("plugin.")
                 .trim_end_matches(".dispatches");
             println!("  {plugin:<16} {v}");
+        }
+    }
+    let syscap: Vec<_> = metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("syscap."))
+        .collect();
+    if !syscap.is_empty() {
+        println!("capability analysis (summed over jobs):");
+        for (name, v) in syscap {
+            println!("  {:<24} {v}", name.trim_start_matches("syscap."));
         }
     }
     println!("trace tail ({} event(s), {dropped} dropped):", events.len());

@@ -236,6 +236,7 @@ impl Faros {
             coverage: Vec::new(),
             taint: Default::default(),
             cfi: Default::default(),
+            capabilities: Default::default(),
             metrics: MetricsSnapshot::default(),
             profile: Default::default(),
         }

@@ -25,8 +25,8 @@ use faros_obs::profile::PhaseProfile;
 use faros_obs::trace::RecorderHandle;
 use faros_kernel::machine::ExecMode;
 use faros_replay::{
-    replay_with_exec, BlockCoverage, CfiMonitor, PluginCost, PluginManager, Profiler, Recording,
-    ReplayError, Scenario, TraceRecorder,
+    replay_with_exec, BlockCoverage, CapabilityMonitor, CfiMonitor, PluginCost, PluginManager,
+    Profiler, Recording, ReplayError, Scenario, TraceRecorder,
 };
 use faros_taint::engine::PropagationMode;
 use std::time::Instant;
@@ -158,7 +158,7 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     recording: &Recording,
     cfg: &AnalysisConfig,
 ) -> Result<AnalyzedJob, ReplayError> {
-    let mut faros = Faros::with_mode(cfg.policy.clone(), cfg.mode.clone());
+    let mut faros = Faros::with_mode(cfg.policy.clone(), cfg.mode);
     let ring = if cfg.capture_trace {
         let ring = RecorderHandle::new(cfg.trace_capacity);
         faros.attach_recorder(ring.clone());
@@ -209,6 +209,7 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     }
     observers.register(Box::new(BlockCoverage::new()));
     observers.register(Box::new(CfiMonitor::new()));
+    observers.register(Box::new(CapabilityMonitor::new()));
     let replay_start = Instant::now();
     replay_with_exec(scenario, recording, cfg.budget, cfg.exec, &mut observers)?;
     cost.phases.add_ns("replay", replay_start.elapsed().as_nanos() as u64);
@@ -218,6 +219,9 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     let monitor = *observers
         .take_as::<CfiMonitor>("cfi-monitor")
         .expect("the cfi monitor was registered above");
+    let capmon = *observers
+        .take_as::<CapabilityMonitor>("capability-monitor")
+        .expect("the capability monitor was registered above");
     let profiler = if cfg.profile {
         Some(*observers.take_as::<Profiler>("profiler").expect("registered above"))
     } else {
@@ -241,10 +245,15 @@ pub fn analyze_recording<S: Scenario + ?Sized>(
     report.attach_taint(taint);
     let transfers = monitor.into_processes();
     let cfi = faros_analyze::cfi::check(&transfers, &images, faros.tainted_transfers());
+    let caps_observed = capmon.into_processes();
+    let (caps, cap_stats) =
+        faros_analyze::capability_cross_check_with_stats(&caps_observed, &images);
     let mut reg = MetricsRegistry::new();
     stats.record_into(&mut reg);
     cfi.stats.record_into(&mut reg);
+    cap_stats.record_into(&mut reg);
     report.attach_cfi(cfi);
+    report.attach_capabilities(caps);
     if let Some(profiler) = profiler {
         // Symbolize the raw per-block samples through the images' static
         // function tables — a pure function of recording + images, so the

@@ -99,6 +99,12 @@ pub struct FarosReport {
     /// model, with violations taint-fused — the code-reuse (ROP/JOP)
     /// signal (empty when the replay ran without the CFI monitor).
     pub cfi: faros_analyze::CfiCheckReport,
+    /// Static-vs-dynamic *capability* cross-check: per-image syscall
+    /// capability reports with witness chains and injection recipes, every
+    /// concretely exercised capability classified statically modeled vs
+    /// statically impossible-per-model, plus the residual capability
+    /// surface (empty when the replay ran without the capability monitor).
+    pub capabilities: faros_analyze::CapabilityCrossCheck,
     /// Deterministic run metrics (empty when the replay ran without
     /// metrics collection).
     pub metrics: MetricsSnapshot,
@@ -172,6 +178,18 @@ impl FarosReport {
         self.cfi.violation_found()
     }
 
+    /// Imports the static-vs-dynamic capability cross-check computed by
+    /// `faros-analyze::syscap` from a `CapabilityMonitor`'s observations.
+    pub fn attach_capabilities(&mut self, capabilities: faros_analyze::CapabilityCrossCheck) {
+        self.capabilities = capabilities;
+    }
+
+    /// Returns `true` if any process exercised a statically impossible
+    /// capability or completed an injection recipe.
+    pub fn capabilities_suspicious(&self) -> bool {
+        self.capabilities.injection_suspected()
+    }
+
     /// Attaches a metrics snapshot (typically the merge of the FAROS
     /// engine's, the trace recorder's, and the plugin manager's snapshots).
     pub fn attach_metrics(&mut self, metrics: MetricsSnapshot) {
@@ -225,6 +243,10 @@ impl FarosReport {
         if !self.profile.is_empty() {
             s.push('\n');
             s.push_str(&self.profile.to_table(5));
+        }
+        if !self.capabilities.is_empty() {
+            s.push('\n');
+            s.push_str(&faros_analyze::render_capability_check(&self.capabilities));
         }
         if !self.cfi.is_empty() {
             s.push_str(&format!(
@@ -400,6 +422,9 @@ impl ToJson for FarosReport {
         if !self.cfi.is_empty() {
             fields.push(("cfi", self.cfi.to_json_value()));
         }
+        if !self.capabilities.is_empty() {
+            fields.push(("capabilities", self.capabilities.to_json_value()));
+        }
         if !self.metrics.is_empty() {
             fields.push(("metrics", self.metrics.to_json_value()));
         }
@@ -419,6 +444,7 @@ impl FromJson for FarosReport {
             coverage: json::field_or_default(v, "coverage")?,
             taint: json::field_or_default(v, "taint")?,
             cfi: json::field_or_default(v, "cfi")?,
+            capabilities: json::field_or_default(v, "capabilities")?,
             metrics: json::field_or_default(v, "metrics")?,
             profile: json::field_or_default(v, "profile")?,
         })

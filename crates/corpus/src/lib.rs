@@ -33,6 +33,7 @@ pub mod builder;
 pub mod dll;
 pub mod endpoints;
 pub mod evasion;
+pub mod laundering;
 pub mod reuse;
 pub mod scenario;
 pub mod smc;
@@ -53,6 +54,8 @@ pub fn sample_registry() -> Vec<Sample> {
     out.push(evasion::tainted_function_pointer(ods));
     out.push(evasion::clean_indirect_call(gpa));
     out.push(evasion::taint_bomb(8));
+    out.push(laundering::capability_laundering());
+    out.push(laundering::debugger_foil());
     out.push(indirect::fig1_lookup_table());
     out.push(indirect::fig2_bit_copy());
     out.push(smc::smc_patch_loop());

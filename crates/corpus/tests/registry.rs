@@ -27,8 +27,9 @@ fn category_counts_are_coherent() {
     let samples = sample_registry();
     let injecting = samples.iter().filter(|s| s.category.should_flag()).count();
     let jit = samples.iter().filter(|s| s.category == Category::Jit).count();
-    // 9 mainline attacks + laundered + tainted-function-pointer = 11.
-    assert_eq!(injecting, 11, "injecting samples");
+    // 9 mainline attacks + laundered + tainted-function-pointer
+    // + capability-laundering = 12.
+    assert_eq!(injecting, 12, "injecting samples");
     assert_eq!(jit, 20, "Table III workloads");
     let negatives = samples.len() - injecting;
     assert!(negatives >= 124, "FP dataset + benign + demos: {negatives}");

@@ -297,6 +297,15 @@ impl Machine {
         ]
     }
 
+    /// The services reachable through the kernel module's API stubs. A
+    /// stub is `mov eax, sysno; int; ret` — it forwards the *caller's*
+    /// argument registers untouched — so any process that can call into
+    /// unknown code can exercise any capability these services grant.
+    /// The static capability model uses this as its ambient set.
+    pub fn kernel_stub_services() -> Vec<Sysno> {
+        Self::kernel_api().into_iter().filter_map(|(_, s)| s).collect()
+    }
+
     fn build_kernel_module(&mut self) {
         let api = Self::kernel_api();
         let mut asm = Asm::new(KERNEL_STUBS_VA);

@@ -23,6 +23,7 @@
 
 pub mod cfi;
 pub mod coverage;
+pub mod syscap;
 pub mod driver;
 pub mod plugin;
 pub mod profiler;
@@ -39,5 +40,6 @@ pub use driver::{
 pub use plugin::{Plugin, PluginCost, PluginManager};
 pub use profiler::{ProcessRetired, Profiler};
 pub use recorder::TraceRecorder;
+pub use syscap::{CapSet, Capability, CapabilityMonitor, ProcessCapabilities};
 pub use trace::{TraceEvent, TracePlugin};
 pub use scenario::{Scenario, DEFAULT_GUEST_IP};

@@ -127,7 +127,7 @@ impl CpuHooks for TraceRecorder {
         // with ticks the machine already reported.
         self.now = self.now.max(ctx.retired);
         self.metrics.inc(self.ctr_instructions);
-        if self.insn_sample > 0 && ctx.retired % self.insn_sample == 0 {
+        if self.insn_sample > 0 && ctx.retired.is_multiple_of(self.insn_sample) {
             let (pid, tid) = self.cur;
             self.recorder.record(
                 TraceEvent::instant(self.now, pid, tid, TraceCategory::Insn, "insn")

@@ -76,7 +76,9 @@ pub struct PagedShadow {
     /// Global count of tainted (non-empty) bytes across all pages.
     tainted: usize,
     /// Freed pages kept for reuse; every pooled page is all-[`ListId::EMPTY`]
-    /// (see [`PAGE_POOL_MAX`]).
+    /// (see [`PAGE_POOL_MAX`]). Pages stay boxed in the pool so reuse
+    /// moves a pointer, not the 4 Ki cell array.
+    #[allow(clippy::vec_box)]
     pool: Vec<Box<ShadowPage>>,
 }
 

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> warnings-as-errors build (RUSTFLAGS=-D warnings)"
 RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
 
+echo "==> clippy (workspace, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> style check"
 # In-tree fmt-equivalent: no tabs, no trailing whitespace, no CRLF in any
 # Rust source.
@@ -131,11 +134,14 @@ if [ "$cli_report" != "$(cat tests/fixtures/analyze_demo_report.json)" ]; then
     exit 1
 fi
 
-echo "==> static/dynamic cross-check + CFI truth-table gate over the corpus"
-# Injectors keep >=1 statically-impossible alert, family variants zero,
-# every ROP/JOP reuse sample trips >=1 cfi-violation (taint/coverage
-# silent) with the benign dense-indirect foils at zero, and the
-# corpus-wide unresolved-indirect counts stay on their pins.
+echo "==> static/dynamic cross-check + CFI + capability truth-table gate over the corpus"
+# Injectors keep >=1 statically-impossible alert and >=1 exercised
+# injection recipe, family variants zero on both, every ROP/JOP reuse
+# sample trips >=1 cfi-violation (taint/coverage/capability silent) with
+# the benign dense-indirect foils at zero, the capability-laundering pair
+# raises the impossible-capability alert while the debugger foil stays
+# quiet, and the corpus-wide advisory counts (unresolved indirects,
+# unresolved syscall numbers) stay on their pins.
 cargo run --release --offline -p faros-bench --bin faros-cli -- analyze --corpus
 
 echo "==> interpreter-vs-cache differential over the full corpus"

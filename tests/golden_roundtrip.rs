@@ -80,6 +80,32 @@ fn report_fixture_parses_and_is_flagged() {
 }
 
 #[test]
+fn capability_check_json_is_byte_stable_and_lossless() {
+    use faros_repro::analyze::CapabilityCrossCheck;
+    use faros_repro::support::json::{FromJson, ToJson};
+
+    // The pipeline-produced capability cross-check is the wire format
+    // the truth-table gate and the service verdicts ride on; pin the
+    // laundering sample's check (one impossible capability on the
+    // victim, one exercised recipe on the accomplice, witness chains on
+    // every static report) byte for byte.
+    let sample = faros_repro::corpus::laundering::capability_laundering();
+    let (recording, _) = record(&sample.scenario, BUDGET).unwrap();
+    let job =
+        faros::analyze_recording(&sample.scenario, &recording, &faros::AnalysisConfig::default())
+            .unwrap();
+    let caps = &job.report.capabilities;
+    assert!(caps.injection_suspected());
+    assert!(caps.reports.iter().all(|r| r.caps.len() == r.witnesses.len()));
+
+    let json = caps.to_json_value().to_pretty();
+    check_golden("capability_check_laundering.json", &json);
+
+    let restored = CapabilityCrossCheck::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+    assert_eq!(caps, &restored);
+}
+
+#[test]
 fn recording_json_is_byte_stable_and_lossless() {
     let sample = attacks::reverse_tcp_dns();
     let (recording, _) = record(&sample.scenario, BUDGET).unwrap();
